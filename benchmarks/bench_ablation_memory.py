@@ -1,0 +1,73 @@
+"""A5 — Ablation: memory-bounded candidate batching (Section 2.5).
+
+When the candidate set exceeds memory, the Improved algorithm counts it in
+batches, paying one extra pass per batch. This bench sweeps the memory
+budget and reports time and pass counts; results must not change.
+
+Run directly::
+
+    python -m benchmarks.bench_ablation_memory
+"""
+
+import time
+
+import pytest
+
+from repro.core.negmining import ImprovedNegativeMiner
+
+from .common import MINRI, dataset, support_sweep
+
+MINSUP = support_sweep()[0]
+BUDGETS = [None, 2000, 500, 100]
+
+
+def _mine(budget):
+    data = dataset("short")
+    data.database.reset_scans()
+    output = ImprovedNegativeMiner(
+        data.database,
+        data.taxonomy,
+        MINSUP,
+        MINRI,
+        max_candidates_in_memory=budget,
+    ).mine()
+    return output
+
+
+@pytest.mark.parametrize("budget", BUDGETS)
+def test_memory_budget(benchmark, budget):
+    output = benchmark.pedantic(
+        _mine, args=(budget,), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        batches=output.stats.counting_batches,
+        passes=output.stats.data_passes,
+        negatives=output.stats.negative_itemsets,
+    )
+
+
+def main() -> None:
+    print(f"=== A5: memory budgets at MinSup={MINSUP} ===")
+    print(f"{'budget':>8} {'time(s)':>9} {'batches':>8} {'passes':>7} "
+          f"{'negatives':>10}")
+    reference = None
+    for budget in BUDGETS:
+        started = time.perf_counter()
+        output = _mine(budget)
+        elapsed = time.perf_counter() - started
+        label = "all" if budget is None else str(budget)
+        print(
+            f"{label:>8} {elapsed:>9.3f} "
+            f"{output.stats.counting_batches:>8} "
+            f"{output.stats.data_passes:>7} "
+            f"{output.stats.negative_itemsets:>10}"
+        )
+        found = [negative.items for negative in output.negatives]
+        if reference is None:
+            reference = found
+        assert found == reference, "batching must not change results"
+    print("\nresults identical across budgets; extra passes are the cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""E3 — Figure 7: negative candidates per itemset size, fan-out 9 vs 3.
+
+The paper normalizes the number of generated negative candidates by the
+number of generalized large itemsets and plots it against itemset size for
+both data sets, confirming that candidates increase with fan-out and that
+the per-itemset count is largest for small sizes.
+
+Run directly for the table::
+
+    python -m benchmarks.bench_fig7_candidates
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.candidates import generate_negative_candidates
+from repro.mining.generalized import mine_generalized
+
+from .common import MINRI, dataset, support_sweep
+
+MINSUP = support_sweep()[0]
+
+
+def candidate_profile(kind: str):
+    """Candidates and large itemsets per size for one dataset."""
+    data = dataset(kind)
+    index = mine_generalized(data.database, data.taxonomy, MINSUP)
+    candidates = generate_negative_candidates(
+        index, data.taxonomy, MINSUP, MINRI
+    )
+    candidate_sizes = Counter(len(items) for items in candidates)
+    large_sizes = Counter(
+        {size: len(index.of_size(size)) for size in index.sizes}
+    )
+    return data, index, candidates, candidate_sizes, large_sizes
+
+
+@pytest.mark.parametrize("kind", ["short", "tall"])
+def test_fig7_candidate_generation(benchmark, kind):
+    data = dataset(kind)
+    index = mine_generalized(data.database, data.taxonomy, MINSUP)
+
+    def generate():
+        return generate_negative_candidates(
+            index, data.taxonomy, MINSUP, MINRI
+        )
+
+    candidates = benchmark.pedantic(generate, rounds=1, iterations=1)
+    sizes = Counter(len(items) for items in candidates)
+    benchmark.extra_info.update(
+        total_candidates=len(candidates),
+        by_size={size: sizes[size] for size in sorted(sizes)},
+        fanout=data.taxonomy.fanout(),
+    )
+
+
+def main() -> None:
+    print(
+        f"=== Figure 7: negative candidates (normalized by #large "
+        f"itemsets) at MinSup={MINSUP} ==="
+    )
+    profiles = {}
+    for kind in ("short", "tall"):
+        data, index, candidates, candidate_sizes, large_sizes = (
+            candidate_profile(kind)
+        )
+        profiles[kind] = (data, candidate_sizes, large_sizes)
+        print(
+            f"\n{kind}: fan-out={data.taxonomy.fanout():.1f}, "
+            f"large itemsets={len(index)}, candidates={len(candidates)}"
+        )
+        print(f"{'size':>6} {'#large':>8} {'#cands':>8} {'normalized':>11}")
+        for size in sorted(set(candidate_sizes) | set(large_sizes)):
+            large = large_sizes.get(size, 0)
+            cands = candidate_sizes.get(size, 0)
+            normalized = cands / large if large else float("nan")
+            print(f"{size:>6} {large:>8} {cands:>8} {normalized:>11.2f}")
+
+    short_norm = _normalized_at_two(profiles["short"])
+    tall_norm = _normalized_at_two(profiles["tall"])
+    print(
+        f"\nshape check: normalized candidates at size 2 — "
+        f"short(f=9)={short_norm:.2f} vs tall(f=3)={tall_norm:.2f} "
+        f"(paper: grows with fan-out)"
+    )
+
+
+def _normalized_at_two(profile):
+    _data, candidate_sizes, large_sizes = profile
+    large = large_sizes.get(2, 0)
+    return candidate_sizes.get(2, 0) / large if large else 0.0
+
+
+if __name__ == "__main__":
+    main()

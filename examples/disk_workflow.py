@@ -1,0 +1,75 @@
+"""End-to-end disk workflow: generate → save → stream-mine → explain.
+
+Mirrors how the library is used against data that does not fit in memory:
+the basket file is written once, then every mining pass streams it from
+disk (:class:`repro.data.FileBackedDatabase`), which makes the pass-count
+difference between the paper's Naive and Improved schedules a real IO
+difference.
+
+Run with::
+
+    python examples/disk_workflow.py [workdir]
+"""
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.negmining import ImprovedNegativeMiner, NaiveNegativeMiner
+from repro.data import FileBackedDatabase, save_basket_file, save_taxonomy_file
+from repro.data.io import load_taxonomy_file
+from repro.synthetic import SHORT, generate_dataset
+
+MINSUP = 0.08
+MINRI = 0.5
+
+
+def main() -> None:
+    workdir = (
+        Path(sys.argv[1]) if len(sys.argv) > 1
+        else Path(tempfile.mkdtemp(prefix="repro-disk-"))
+    )
+    workdir.mkdir(parents=True, exist_ok=True)
+    baskets = workdir / "market.basket"
+    taxonomy_file = workdir / "market.tax"
+
+    print(f"writing dataset under {workdir}")
+    dataset = generate_dataset(SHORT.scaled(0.02), seed=5)
+    save_basket_file(dataset.database, baskets)
+    save_taxonomy_file(dataset.taxonomy, taxonomy_file)
+    print(
+        f"  {baskets.name}: {baskets.stat().st_size / 1024:.0f} KiB, "
+        f"{len(dataset.database)} transactions"
+    )
+
+    database = FileBackedDatabase(baskets)
+    taxonomy = load_taxonomy_file(taxonomy_file)
+
+    print()
+    print(f"mining from disk at MinSup={MINSUP:.0%}, MinRI={MINRI}")
+    for label, miner_class in (
+        ("improved", ImprovedNegativeMiner),
+        ("naive", NaiveNegativeMiner),
+    ):
+        database.reset_scans()
+        started = time.perf_counter()
+        output = miner_class(database, taxonomy, MINSUP, MINRI).mine()
+        elapsed = time.perf_counter() - started
+        io_bytes = database.scans * baskets.stat().st_size
+        print(
+            f"  {label:<9} time={elapsed:6.2f}s "
+            f"passes={output.stats.data_passes:3d} "
+            f"file-reads={io_bytes / 1024:6.0f} KiB "
+            f"negatives={output.stats.negative_itemsets}"
+        )
+
+    print()
+    print(
+        "the Improved algorithm reads the file n+1 times, the Naive one "
+        "~2n times — the paper's motivation, measured on real files."
+    )
+
+
+if __name__ == "__main__":
+    main()

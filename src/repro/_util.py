@@ -1,0 +1,68 @@
+"""Small internal helpers shared across subpackages."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that *value* lies in ``(0, 1]`` and return it.
+
+    Support and interest thresholds are fractions of the database size;
+    zero is rejected because it would admit every itemset.
+    """
+    if not 0.0 < value <= 1.0:
+        raise ConfigError(f"{name} must be in (0, 1], got {value!r}")
+    return value
+
+
+def check_positive(value: int, name: str) -> int:
+    """Validate that *value* is a positive integer and return it."""
+    if value < 1:
+        raise ConfigError(f"{name} must be >= 1, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Validate that *value* is >= 0 and return it."""
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating wall-clock timer used by the benchmark harnesses.
+
+    >>> watch = Stopwatch()
+    >>> with watch.measure():
+    ...     pass
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _laps: list[float] = field(default_factory=list)
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            lap = time.perf_counter() - start
+            self.elapsed += lap
+            self._laps.append(lap)
+
+    @property
+    def laps(self) -> list[float]:
+        return list(self._laps)
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._laps.clear()

@@ -1,0 +1,259 @@
+"""Command-line interface: ``python -m repro`` / ``repro-mine``.
+
+Subcommands
+-----------
+``generate``
+    Emit a synthetic dataset (basket + taxonomy files) with the paper's
+    generator.
+``mine``
+    Mine strong negative association rules from a basket/taxonomy pair.
+``positive``
+    Mine generalized positive association rules (the substrate on its
+    own).
+``inspect``
+    Print summary statistics of a basket/taxonomy pair.
+``analyze``
+    Taxonomy diagnostics: structural profile, coarse-category report,
+    per-category balance against the data (Section 2.1.3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .core.api import MiningConfig, mine_negative_rules
+from .data.io import (
+    load_basket_file,
+    load_taxonomy_file,
+    save_basket_file,
+    save_taxonomy_file,
+)
+from .core.explain import explain_result_rule
+from .errors import ReproError
+from .taxonomy.analysis import (
+    category_balance,
+    format_profile,
+    granularity_report,
+    profile,
+)
+from .mining.generalized import mine_generalized
+from .mining.rules import generate_rules
+from .synthetic.generator import generate_dataset
+from .synthetic.params import SHORT, TALL, GeneratorParams
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mine",
+        description=(
+            "Negative association rule mining "
+            "(Savasere/Omiecinski/Navathe, ICDE 1998)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic dataset"
+    )
+    generate.add_argument(
+        "--preset",
+        choices=("short", "tall"),
+        default="short",
+        help="taxonomy shape: 'short' (fan-out 9) or 'tall' (fan-out 3)",
+    )
+    generate.add_argument("--transactions", type=int, default=None)
+    generate.add_argument("--items", type=int, default=None)
+    generate.add_argument("--scale", type=float, default=None,
+                          help="scale all extensive parameters by a factor")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--baskets", required=True,
+                          help="output basket file")
+    generate.add_argument("--taxonomy", required=True,
+                          help="output taxonomy file")
+
+    mine = commands.add_parser(
+        "mine", help="mine strong negative association rules"
+    )
+    _add_data_arguments(mine)
+    mine.add_argument("--minsup", type=float, default=0.01)
+    mine.add_argument("--minri", type=float, default=0.5)
+    mine.add_argument("--miner", choices=("improved", "naive"),
+                      default="improved")
+    mine.add_argument("--algorithm",
+                      choices=("basic", "cumulate", "estmerge"),
+                      default="cumulate")
+    mine.add_argument("--engine", choices=("bitmap", "hashtree", "index", "brute"),
+                      default="bitmap")
+    mine.add_argument("--max-size", type=int, default=None)
+    mine.add_argument("--max-sibling-replacements", type=int,
+                      default=None, dest="max_sibling_replacements",
+                      help="cap Case-3 sibling replacements (1 = the paper's examples)")
+    mine.add_argument("--limit", type=int, default=25,
+                      help="print at most this many rules")
+    mine.add_argument("--explain", action="store_true",
+                      help="print the full derivation of each rule")
+
+    positive = commands.add_parser(
+        "positive", help="mine generalized positive association rules"
+    )
+    _add_data_arguments(positive)
+    positive.add_argument("--minsup", type=float, default=0.01)
+    positive.add_argument("--minconf", type=float, default=0.5)
+    positive.add_argument("--algorithm",
+                          choices=("basic", "cumulate", "estmerge"),
+                          default="cumulate")
+    positive.add_argument("--limit", type=int, default=25)
+
+    inspect = commands.add_parser(
+        "inspect", help="print dataset statistics"
+    )
+    _add_data_arguments(inspect)
+
+    analyze = commands.add_parser(
+        "analyze", help="taxonomy diagnostics (granularity, balance)"
+    )
+    _add_data_arguments(analyze)
+    analyze.add_argument("--coarse-fanout", type=int, default=20,
+                         help="flag categories with this many children")
+    return parser
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--baskets", required=True, help="basket file")
+    parser.add_argument("--taxonomy", required=True, help="taxonomy file")
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    params: GeneratorParams = SHORT if args.preset == "short" else TALL
+    if args.scale is not None:
+        params = params.scaled(args.scale)
+    updates = {}
+    if args.transactions is not None:
+        updates["num_transactions"] = args.transactions
+    if args.items is not None:
+        updates["num_items"] = args.items
+    if updates:
+        from dataclasses import replace
+
+        params = replace(params, **updates)
+    dataset = generate_dataset(params, seed=args.seed)
+    save_basket_file(dataset.database, args.baskets)
+    save_taxonomy_file(dataset.taxonomy, args.taxonomy)
+    print(
+        f"wrote {len(dataset.database)} transactions to {args.baskets} and "
+        f"{len(dataset.taxonomy)} taxonomy nodes to {args.taxonomy}"
+    )
+    return 0
+
+
+def _command_mine(args: argparse.Namespace) -> int:
+    database = load_basket_file(args.baskets)
+    taxonomy = load_taxonomy_file(args.taxonomy)
+    config = MiningConfig(
+        minsup=args.minsup,
+        minri=args.minri,
+        miner=args.miner,
+        algorithm=args.algorithm,
+        engine=args.engine,
+        max_size=args.max_size,
+        max_sibling_replacements=args.max_sibling_replacements,
+    )
+    result = mine_negative_rules(database, taxonomy, config=config)
+    print(result.summary(taxonomy, limit=args.limit))
+    if args.explain:
+        for rule in result.rules[: args.limit]:
+            print()
+            print(
+                explain_result_rule(
+                    rule,
+                    result.negative_itemsets,
+                    result.large_itemsets,
+                    taxonomy,
+                )
+            )
+    return 0
+
+
+def _command_positive(args: argparse.Namespace) -> int:
+    database = load_basket_file(args.baskets)
+    taxonomy = load_taxonomy_file(args.taxonomy)
+    index = mine_generalized(
+        database, taxonomy, args.minsup, algorithm=args.algorithm
+    )
+    rules = generate_rules(index, args.minconf)
+    print(f"large itemsets : {len(index)}")
+    print(f"rules          : {len(rules)}")
+    for rule in rules[: args.limit]:
+        print("  " + rule.format(taxonomy.name_of))
+    if len(rules) > args.limit:
+        print(f"  ... and {len(rules) - args.limit} more")
+    return 0
+
+
+def _command_inspect(args: argparse.Namespace) -> int:
+    database = load_basket_file(args.baskets)
+    taxonomy = load_taxonomy_file(args.taxonomy)
+    print(database)
+    print(taxonomy)
+    known = sum(1 for item in database.items if item in taxonomy)
+    print(f"items covered by taxonomy: {known}/{len(database.items)}")
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    database = load_basket_file(args.baskets)
+    taxonomy = load_taxonomy_file(args.taxonomy)
+    print(format_profile(profile(taxonomy)))
+    findings = granularity_report(
+        taxonomy, coarse_fanout=args.coarse_fanout
+    )
+    if findings:
+        print(f"coarse categories (fan-out >= {args.coarse_fanout}):")
+        for finding in findings[:20]:
+            print(
+                f"  {taxonomy.name_of(finding.category)}: "
+                f"{finding.fanout} children"
+            )
+    else:
+        print(
+            f"no category has fan-out >= {args.coarse_fanout} "
+            "(fine-granularity taxonomy)"
+        )
+    counts = database.item_counts()
+    scored = []
+    for category in sorted(taxonomy.categories):
+        if len(taxonomy.children(category)) >= 2:
+            scored.append(
+                (category_balance(taxonomy, counts, category), category)
+            )
+    scored.sort()
+    if scored:
+        print("least balanced categories (0 = one child dominates):")
+        for balance, category in scored[:10]:
+            print(f"  {taxonomy.name_of(category)}: {balance:.2f}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "mine": _command_mine,
+    "positive": _command_positive,
+    "inspect": _command_inspect,
+    "analyze": _command_analyze,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,260 @@
+"""High-level façade: mine strong negative association rules in one call.
+
+:func:`mine_negative_rules` wires together the full pipeline — generalized
+positive mining, negative candidate generation, counting, and rule
+generation — behind one configurable entry point, which is what the
+examples, the CLI and most downstream users call.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+
+from .._util import check_fraction
+from ..data.database import TransactionDatabase
+from ..data.filedb import FileBackedDatabase
+from ..errors import ConfigError
+from ..mining.generalized import ALGORITHMS
+from ..mining.counting import ENGINES
+from ..mining.itemset_index import LargeItemsetIndex
+from ..taxonomy.tree import Taxonomy
+from .candidates import NegativeCandidate
+from .negmining import (
+    ImprovedNegativeMiner,
+    MinerOutput,
+    MiningStats,
+    NaiveNegativeMiner,
+    NegativeItemset,
+)
+from .rulegen import NegativeRule, generate_negative_rules
+
+MINERS = ("improved", "naive")
+
+
+@dataclass(frozen=True, slots=True)
+class MiningConfig:
+    """All tunables of the negative-mining pipeline.
+
+    Attributes
+    ----------
+    minsup:
+        Fractional minimum support (both rule sides must meet it).
+    minri:
+        Minimum rule interest RI.
+    miner:
+        ``"improved"`` (Figure 3; default) or ``"naive"`` (Section 2.2.1).
+    algorithm:
+        Generalized positive miner: ``"basic"``, ``"cumulate"``,
+        ``"estmerge"`` (Improved miner only; Naive is level-wise by
+        nature).
+    engine:
+        Support-counting engine: ``"bitmap"``, ``"hashtree"``, ``"index"``, ``"brute"``.
+    max_size:
+        Optional cap on itemset size.
+    max_candidates_in_memory:
+        Memory budget for the Improved miner's counting phase
+        (Section 2.5); ``None`` = single batch.
+    prune_taxonomy:
+        Delete small 1-itemsets from the taxonomy before candidate
+        generation (Improved miner optimization).
+    prune_small_antecedents:
+        Figure 4's consequent pruning on small antecedents.
+    figure3_literal:
+        Use Figure 3's literal negative-itemset predicate instead of the
+        body text's deviation predicate (DESIGN.md §3).
+    max_sibling_replacements:
+        Cap on sibling replacements per candidate; ``1`` matches the
+        paper's Case-3 examples and tames dense-data blow-up (see
+        :func:`repro.core.candidates.generate_negative_candidates`).
+    seed:
+        Seed for the EstMerge sample, when used.
+    """
+
+    minsup: float = 0.01
+    minri: float = 0.5
+    miner: str = "improved"
+    algorithm: str = "cumulate"
+    engine: str = "bitmap"
+    max_size: int | None = None
+    max_candidates_in_memory: int | None = None
+    prune_taxonomy: bool = True
+    prune_small_antecedents: bool = True
+    figure3_literal: bool = False
+    max_sibling_replacements: int | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        check_fraction(self.minsup, "minsup")
+        check_fraction(self.minri, "minri")
+        if self.miner not in MINERS:
+            raise ConfigError(
+                f"unknown miner {self.miner!r}; choose from {MINERS}"
+            )
+        if self.algorithm not in ALGORITHMS:
+            raise ConfigError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"choose from {ALGORITHMS}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
+
+
+@dataclass(slots=True)
+class NegativeMiningResult:
+    """Everything the pipeline produced, plus provenance.
+
+    Attributes
+    ----------
+    rules:
+        Strong negative rules sorted by descending RI.
+    negative_itemsets:
+        Confirmed negative itemsets sorted by descending deviation.
+    candidates:
+        Every candidate that reached the counting phase.
+    large_itemsets:
+        The generalized large itemsets (step 1's output).
+    stats:
+        Pass/candidate accounting.
+    config:
+        The configuration used.
+    """
+
+    rules: list[NegativeRule]
+    negative_itemsets: list[NegativeItemset]
+    candidates: dict[tuple[int, ...], NegativeCandidate]
+    large_itemsets: LargeItemsetIndex
+    stats: MiningStats
+    config: MiningConfig = field(default_factory=MiningConfig)
+
+    def summary(self, taxonomy: Taxonomy | None = None, limit: int = 10) -> str:
+        """A human-readable report of the top rules."""
+        lines = [
+            f"large itemsets : {self.stats.large_itemsets}",
+            f"candidates     : {self.stats.candidates_generated}",
+            f"negative sets  : {self.stats.negative_itemsets}",
+            f"rules          : {len(self.rules)}",
+            f"data passes    : {self.stats.data_passes}",
+        ]
+        for rule in self.rules[:limit]:
+            lines.append("  " + rule.format(taxonomy))
+        if len(self.rules) > limit:
+            lines.append(f"  ... and {len(self.rules) - limit} more")
+        return "\n".join(lines)
+
+
+def mine_negative_rules(
+    transactions: (
+        TransactionDatabase | FileBackedDatabase | Iterable[Iterable[int]]
+    ),
+    taxonomy: Taxonomy,
+    minsup: float | None = None,
+    minri: float | None = None,
+    config: MiningConfig | None = None,
+    **overrides,
+) -> NegativeMiningResult:
+    """Mine strong negative association rules from customer transactions.
+
+    Parameters
+    ----------
+    transactions:
+        A :class:`TransactionDatabase`, a
+        :class:`~repro.data.filedb.FileBackedDatabase` (scanned from
+        disk on every pass), or any iterable of item-id iterables
+        (transactions over taxonomy leaves).
+    taxonomy:
+        The item taxonomy (the domain knowledge).
+    minsup, minri:
+        Shorthand for the two main thresholds; any other
+        :class:`MiningConfig` field can be passed as a keyword override.
+    config:
+        A full configuration; *minsup*/*minri*/keyword overrides are
+        applied on top of it.
+
+    Returns
+    -------
+    NegativeMiningResult
+
+    Examples
+    --------
+    >>> from repro.taxonomy import taxonomy_from_nested
+    >>> taxonomy = taxonomy_from_nested(
+    ...     {"drinks": {"soda": ["Coke", "Pepsi"]}})
+    >>> coke, pepsi = taxonomy.id_of("Coke"), taxonomy.id_of("Pepsi")
+    >>> rows = [[coke]] * 50 + [[pepsi]] * 50
+    >>> result = mine_negative_rules(rows, taxonomy, minsup=0.2, minri=0.2)
+    >>> result.stats.data_passes >= 2
+    True
+    """
+    settings = dict(overrides)
+    if minsup is not None:
+        settings["minsup"] = minsup
+    if minri is not None:
+        settings["minri"] = minri
+    if config is not None:
+        base = {
+            name: getattr(config, name)
+            for name in MiningConfig.__dataclass_fields__
+        }
+        base.update(settings)
+        settings = base
+    final = MiningConfig(**settings)
+
+    if isinstance(transactions, (TransactionDatabase, FileBackedDatabase)):
+        database = transactions
+    else:
+        database = TransactionDatabase(transactions)
+
+    output = _run_miner(database, taxonomy, final)
+    rules = generate_negative_rules(
+        output.negatives,
+        output.large_itemsets,
+        final.minri,
+        prune_small_antecedents=final.prune_small_antecedents,
+    )
+    return NegativeMiningResult(
+        rules=rules,
+        negative_itemsets=output.negatives,
+        candidates=output.candidates,
+        large_itemsets=output.large_itemsets,
+        stats=output.stats,
+        config=final,
+    )
+
+
+def _run_miner(
+    database: TransactionDatabase, taxonomy: Taxonomy, config: MiningConfig
+) -> MinerOutput:
+    if config.miner == "naive":
+        miner: NaiveNegativeMiner | ImprovedNegativeMiner = (
+            NaiveNegativeMiner(
+                database,
+                taxonomy,
+                config.minsup,
+                config.minri,
+                engine=config.engine,
+                max_size=config.max_size,
+                figure3_literal=config.figure3_literal,
+                max_sibling_replacements=config.max_sibling_replacements,
+            )
+        )
+    else:
+        rng = random.Random(config.seed) if config.seed is not None else None
+        miner = ImprovedNegativeMiner(
+            database,
+            taxonomy,
+            config.minsup,
+            config.minri,
+            algorithm=config.algorithm,
+            engine=config.engine,
+            max_size=config.max_size,
+            max_candidates_in_memory=config.max_candidates_in_memory,
+            prune_taxonomy=config.prune_taxonomy,
+            figure3_literal=config.figure3_literal,
+            max_sibling_replacements=config.max_sibling_replacements,
+            rng=rng,
+        )
+    return miner.mine()

@@ -1,0 +1,298 @@
+"""Candidate negative itemset generation (paper Section 2.1.1).
+
+For every large itemset, candidates are formed by swapping items for their
+taxonomy relatives wherever an expected support can be computed:
+
+* **children replacements** — any non-empty subset of positions replaced by
+  immediate children (all positions = Case 1, a proper subset = Case 2);
+* **sibling replacements** — a *proper* non-empty subset of positions
+  replaced by siblings (Case 3; the paper's exclusion list rules out
+  candidates consisting solely of siblings).
+
+Exclusions (Section 2.1.1): ancestors never participate, and children and
+sibling replacements are never mixed within one candidate. Further
+admission rules:
+
+* every 1-item subset of a candidate must itself be a large itemset
+  ("otherwise no rule will be produced for this itemset");
+* the candidate must not already be a (generalized) large itemset — those
+  are positive associations, as with {Bryers, Evian} in the paper's
+  example;
+* no item of a candidate may be an ancestor of another (such itemsets are
+  degenerate: their support equals the support without the ancestor);
+* the expected support must reach ``MinSup × MinRI`` — a smaller
+  expectation can never produce a rule with ``RI >= MinRI``;
+* when the same candidate arises from several large itemsets, "the largest
+  value of the expected support is chosen" — enforced via the hash-table
+  dedup of Section 2.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+from itertools import combinations
+
+from .._util import check_fraction
+from ..itemset import Itemset, replace_positions
+from ..mining.generalized import contains_item_and_ancestor
+from ..mining.itemset_index import LargeItemsetIndex
+from ..taxonomy.tree import Taxonomy
+from .interest import deviation_threshold
+
+CASE_CHILDREN = "children"
+CASE_SIBLINGS = "siblings"
+
+
+@dataclass(frozen=True, slots=True)
+class NegativeCandidate:
+    """A candidate negative itemset awaiting a counting pass.
+
+    Attributes
+    ----------
+    items:
+        The canonical candidate itemset.
+    expected_support:
+        Fractional support predicted by the taxonomy (maximum over all
+        generation paths).
+    source:
+        The large itemset the winning expectation was derived from.
+    case:
+        ``"children"`` (Cases 1–2) or ``"siblings"`` (Case 3).
+    """
+
+    items: Itemset
+    expected_support: float
+    source: Itemset
+    case: str
+
+
+RatioPool = tuple[tuple[int, float], ...]
+
+
+class _RelativeCache:
+    """Large-filtered children/sibling ratio pools, computed per item.
+
+    A pool entry is ``(relative_item, sup(relative) / sup(item))`` — the
+    expectation factor contributed by replacing *item* with the relative.
+    Pools are sorted by descending ratio so the branch-and-bound
+    enumeration can cut off as soon as the bound falls below threshold.
+    """
+
+    __slots__ = ("_taxonomy", "_index", "_children", "_siblings")
+
+    def __init__(self, taxonomy: Taxonomy, index: LargeItemsetIndex) -> None:
+        self._taxonomy = taxonomy
+        self._index = index
+        self._children: dict[int, RatioPool] = {}
+        self._siblings: dict[int, RatioPool] = {}
+
+    def _pool(self, item: int, relatives: tuple[int, ...]) -> RatioPool:
+        own_support = self._index.support_or_none((item,))
+        if own_support is None or own_support <= 0.0:
+            return ()
+        entries = [
+            (relative, self._index.support((relative,)) / own_support)
+            for relative in relatives
+            if self._index.is_large((relative,))
+        ]
+        entries.sort(key=lambda entry: -entry[1])
+        return tuple(entries)
+
+    def children_ratios(self, item: int) -> RatioPool:
+        if item not in self._children:
+            self._children[item] = self._pool(
+                item, self._taxonomy.children(item)
+            )
+        return self._children[item]
+
+    def sibling_ratios(self, item: int) -> RatioPool:
+        if item not in self._siblings:
+            self._siblings[item] = self._pool(
+                item, self._taxonomy.siblings(item)
+            )
+        return self._siblings[item]
+
+
+def generate_negative_candidates(
+    index: LargeItemsetIndex,
+    taxonomy: Taxonomy,
+    minsup: float,
+    minri: float,
+    sources: Iterable[Itemset] | None = None,
+    max_size: int | None = None,
+    max_sibling_replacements: int | None = None,
+) -> dict[Itemset, NegativeCandidate]:
+    """Generate all candidate negative itemsets from large itemsets.
+
+    Parameters
+    ----------
+    index:
+        The generalized large itemsets (with 1-itemset supports, which
+        provide the expectation ratios).
+    taxonomy:
+        Full or pruned taxonomy. Pruning small items first (the Improved
+        algorithm's optimization) shrinks the children/sibling lists that
+        are iterated but cannot change the output: replacements are always
+        filtered to large 1-itemsets here.
+    minsup, minri:
+        Thresholds; candidates need expected support of at least
+        ``minsup * minri``.
+    sources:
+        Large itemsets to generate from. Defaults to every indexed itemset
+        of size >= 2 (negative itemsets of size 1 cannot form rules).
+    max_size:
+        Skip sources larger than this (candidates keep the source's size).
+    max_sibling_replacements:
+        Cap on how many positions a Case-3 candidate may replace with
+        siblings. ``None`` allows any proper subset (the paper's general
+        formula); ``1`` matches the paper's worked examples exactly and
+        tames the exponential blow-up on dense data — sibling support
+        ratios are often near 1, so unlike children replacements the
+        expectation threshold barely prunes them.
+
+    Returns
+    -------
+    dict
+        Candidate itemset -> :class:`NegativeCandidate`, deduplicated with
+        maximum expected support.
+    """
+    check_fraction(minsup, "minsup")
+    threshold = deviation_threshold(minsup, minri)
+    cache = _RelativeCache(taxonomy, index)
+    out: dict[Itemset, NegativeCandidate] = {}
+
+    if sources is None:
+        source_list: list[Itemset] = [
+            items
+            for size in index.sizes
+            if size >= 2
+            for items in sorted(index.of_size(size))
+        ]
+    else:
+        source_list = [items for items in sources if len(items) >= 2]
+
+    for source in source_list:
+        if max_size is not None and len(source) > max_size:
+            continue
+        if any(item not in taxonomy for item in source):
+            # A pruned taxonomy may have dropped items of a stale index
+            # entry; such sources cannot yield admissible candidates.
+            continue
+        if contains_item_and_ancestor(source, taxonomy):
+            # Degenerate large itemsets (possible with the Basic miner)
+            # predict nothing beyond their non-degenerate reduction.
+            continue
+        base = index.support(source)
+        _expand(
+            source, base, cache, index, taxonomy, threshold,
+            max_sibling_replacements, out,
+        )
+    return out
+
+
+def _expand(
+    source: Itemset,
+    base: float,
+    cache: _RelativeCache,
+    index: LargeItemsetIndex,
+    taxonomy: Taxonomy,
+    threshold: float,
+    max_sibling_replacements: int | None,
+    out: dict[Itemset, NegativeCandidate],
+) -> None:
+    """Enumerate all admissible replacements of *source* with pruning.
+
+    The raw enumeration is exponential (the Section 2.1.2 estimate), and
+    the paper lists "more efficient candidate generation techniques" as
+    future work. This implementation contributes one: branch-and-bound on
+    the expectation threshold. Each position's replacement pool is sorted
+    by descending support ratio, so during the cross-product recursion an
+    exact upper bound on the achievable expectation is available; branches
+    (and whole position subsets) that cannot reach ``MinSup × MinRI`` are
+    cut. Only candidates that the threshold would reject anyway are
+    skipped, so the output is identical to exhaustive enumeration.
+    """
+    size = len(source)
+    for case, ratio_pools, proper_only in (
+        (CASE_CHILDREN, cache.children_ratios, False),
+        (CASE_SIBLINGS, cache.sibling_ratios, True),
+    ):
+        max_positions = size - 1 if proper_only else size
+        if case == CASE_SIBLINGS and max_sibling_replacements is not None:
+            max_positions = min(max_positions, max_sibling_replacements)
+        position_pools = [ratio_pools(source[p]) for p in range(size)]
+        for count in range(1, max_positions + 1):
+            for positions in combinations(range(size), count):
+                pools = [position_pools[p] for p in positions]
+                if any(not pool for pool in pools):
+                    continue
+                # Exact upper bound: best (first) ratio at every position.
+                bound = base
+                for pool in pools:
+                    bound *= pool[0][1]
+                if bound < threshold:
+                    continue
+                _descend(
+                    source, positions, pools, 0, (), base, case,
+                    index, taxonomy, threshold, out,
+                )
+
+
+def _descend(
+    source: Itemset,
+    positions: tuple[int, ...],
+    pools: list[tuple[tuple[int, float], ...]],
+    depth: int,
+    chosen: tuple[int, ...],
+    accumulated: float,
+    case: str,
+    index: LargeItemsetIndex,
+    taxonomy: Taxonomy,
+    threshold: float,
+    out: dict[Itemset, NegativeCandidate],
+) -> None:
+    """Depth-first cross-product with expectation bound pruning."""
+    if depth == len(pools):
+        _admit(
+            source, positions, chosen, accumulated, case, index,
+            taxonomy, out,
+        )
+        return
+    remaining_best = 1.0
+    for pool in pools[depth + 1:]:
+        remaining_best *= pool[0][1]
+    for item, ratio in pools[depth]:
+        value = accumulated * ratio
+        if value * remaining_best < threshold:
+            # Pools are ratio-descending: no later item can recover.
+            break
+        _descend(
+            source, positions, pools, depth + 1, chosen + (item,),
+            value, case, index, taxonomy, threshold, out,
+        )
+
+
+def _admit(
+    source: Itemset,
+    positions: tuple[int, ...],
+    assignment: tuple[int, ...],
+    expectation: float,
+    case: str,
+    index: LargeItemsetIndex,
+    taxonomy: Taxonomy,
+    out: dict[Itemset, NegativeCandidate],
+) -> None:
+    candidate = replace_positions(source, positions, assignment)
+    if candidate is None or candidate in index:
+        return
+    if contains_item_and_ancestor(candidate, taxonomy):
+        return
+    existing = out.get(candidate)
+    if existing is None or expectation > existing.expected_support:
+        out[candidate] = NegativeCandidate(
+            items=candidate,
+            expected_support=expectation,
+            source=source,
+            case=case,
+        )

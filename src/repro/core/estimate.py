@@ -1,0 +1,61 @@
+"""Analytic candidate-count estimate (paper Section 2.1.2).
+
+The paper estimates the number of negative candidates generated per large
+itemset of size ``k`` under average taxonomy fan-out ``f`` as::
+
+    sum_{i=1..k} C(k, i) * f^i  +  k * (f - 1)
+
+The first term counts children replacements (choose ``i`` positions, ``f``
+children each); the second counts single-position sibling replacements
+(each of the ``k`` items has ``f - 1`` siblings on average). The estimate
+is exponential in ``k`` — the motivation for pruning small items from the
+taxonomy — and the A4 ablation bench compares it against measured counts.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+from ..errors import ConfigError
+
+
+def estimate_candidates_per_itemset(size: int, fanout: float) -> float:
+    """Estimated candidates generated from one size-*size* large itemset.
+
+    Parameters
+    ----------
+    size:
+        Itemset size ``k >= 1``.
+    fanout:
+        Average taxonomy fan-out ``f >= 1``.
+    """
+    if size < 1:
+        raise ConfigError(f"itemset size must be >= 1, got {size}")
+    if fanout < 1.0:
+        raise ConfigError(f"fanout must be >= 1, got {fanout}")
+    children_term = sum(
+        comb(size, chosen) * fanout**chosen
+        for chosen in range(1, size + 1)
+    )
+    sibling_term = size * (fanout - 1.0)
+    return children_term + sibling_term
+
+
+def estimate_total_candidates(
+    itemset_sizes: dict[int, int], fanout: float
+) -> float:
+    """Estimate total candidates for a population of large itemsets.
+
+    Parameters
+    ----------
+    itemset_sizes:
+        Mapping from itemset size to the number of large itemsets of that
+        size (as reported by a :class:`~repro.mining.LargeItemsetIndex`).
+    fanout:
+        Average taxonomy fan-out.
+    """
+    return sum(
+        count * estimate_candidates_per_itemset(size, fanout)
+        for size, count in itemset_sizes.items()
+        if size >= 2
+    )

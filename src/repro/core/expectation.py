@@ -1,0 +1,74 @@
+"""Expected support of candidate negative itemsets (paper Section 2.1.1).
+
+The uniformity assumption — items under the same parent have similar
+associations — lets the algorithm predict the support a candidate *would*
+have if its items behaved like their relatives in some large itemset. All
+three cases in the paper share one algebraic shape: start from the support
+of the large itemset and scale by one ratio per replaced position.
+
+Case 1 (all positions replaced by children), from large ``{C, G}``::
+
+    E[sup(D J)] = sup(CG) * (sup(D) / sup(C)) * (sup(J) / sup(G))
+
+Case 2 (some positions replaced by children)::
+
+    E[sup(C J)] = sup(CG) * (sup(J) / sup(G))
+
+Case 3 (positions replaced by siblings; H is a sibling of G)::
+
+    E[sup(C H)] = sup(CG) * (sup(H) / sup(G))
+
+In every case the ratio is ``sup(new item) / sup(item it stands in for)``,
+so one function suffices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import ConfigError
+
+
+def expected_support(
+    base_support: float,
+    replacements: Iterable[tuple[float, float]],
+) -> float:
+    """Scale *base_support* by one ``new/old`` support ratio per replacement.
+
+    Parameters
+    ----------
+    base_support:
+        Support of the large itemset the candidate was derived from.
+    replacements:
+        ``(new_item_support, replaced_item_support)`` pairs — one per
+        replaced position. For a child replacement the replaced item is the
+        parent; for a sibling replacement it is the sibling that occurs in
+        the large itemset.
+
+    Returns
+    -------
+    float
+        The expected fractional support of the candidate.
+
+    Notes
+    -----
+    Replaced items are members of large itemsets, so their supports are
+    positive by construction; a zero denominator is reported as a
+    :class:`~repro.errors.ConfigError` because it means the caller passed
+    a support that could never belong to a large itemset.
+    """
+    if base_support < 0.0:
+        raise ConfigError(f"base support cannot be negative: {base_support}")
+    value = base_support
+    for new_support, old_support in replacements:
+        if old_support <= 0.0:
+            raise ConfigError(
+                "replaced-item support must be positive "
+                f"(got {old_support!r})"
+            )
+        if new_support < 0.0:
+            raise ConfigError(
+                f"new-item support cannot be negative: {new_support}"
+            )
+        value *= new_support / old_support
+    return value

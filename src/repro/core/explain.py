@@ -1,0 +1,196 @@
+"""Human-readable derivations of negative rules.
+
+A negative rule is only as convincing as its expectation, so this module
+reconstructs, for any mined rule or negative itemset, the full chain the
+paper walks through in its examples: which large itemset predicted the
+candidate, which taxonomy case was applied, the expected-support formula
+with its actual numbers, the deviation against the ``MinSup × MinRI``
+threshold, and the RI computation for the chosen antecedent.
+
+The output mirrors the structure of Section 2.1.3's worked example, e.g.::
+
+    negative itemset {Perrier, Bryers}
+      derived from large itemset {Bryers, Evian} (case: siblings)
+      E[sup] = sup({Bryers, Evian}) * sup(Perrier)/sup(Evian)
+             = 0.1200 * 0.0800/0.2000 = 0.0480
+      actual support 0.0050; deviation 0.0430
+    rule {Perrier} =/=> {Bryers}
+      RI = (0.0480 - 0.0050) / sup({Perrier}) = 0.0430 / 0.0800 = 0.537
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..itemset import Itemset
+from ..mining.itemset_index import LargeItemsetIndex
+from ..taxonomy.tree import Taxonomy
+from .candidates import CASE_CHILDREN
+from .negmining import NegativeItemset
+from .rulegen import NegativeRule
+
+
+@dataclass(frozen=True, slots=True)
+class Replacement:
+    """One item substitution along a candidate's derivation."""
+
+    new_item: int
+    source_item: int
+    new_support: float
+    source_support: float
+
+    @property
+    def ratio(self) -> float:
+        return self.new_support / self.source_support
+
+
+@dataclass(frozen=True, slots=True)
+class Derivation:
+    """The reconstructed derivation of a negative itemset."""
+
+    items: Itemset
+    source: Itemset
+    case: str
+    base_support: float
+    replacements: tuple[Replacement, ...]
+    expected_support: float
+    actual_support: float
+
+    @property
+    def deviation(self) -> float:
+        return self.expected_support - self.actual_support
+
+
+def derive(
+    negative: NegativeItemset,
+    index: LargeItemsetIndex,
+    taxonomy: Taxonomy,
+) -> Derivation:
+    """Reconstruct the expectation derivation of *negative*.
+
+    Items shared between the negative itemset and its source were kept;
+    the remaining items are paired through the taxonomy — by parenthood
+    for the children case, by shared parent for the siblings case.
+    """
+    kept = set(negative.items) & set(negative.source)
+    new_items = [item for item in negative.items if item not in kept]
+    source_items = [
+        item for item in negative.source if item not in kept
+    ]
+    replacements: list[Replacement] = []
+    remaining = list(source_items)
+    for new_item in new_items:
+        partner = _find_partner(new_item, remaining, taxonomy,
+                                negative.case)
+        if partner is not None:
+            remaining.remove(partner)
+            replacements.append(
+                Replacement(
+                    new_item=new_item,
+                    source_item=partner,
+                    new_support=index.support((new_item,)),
+                    source_support=index.support((partner,)),
+                )
+            )
+    return Derivation(
+        items=negative.items,
+        source=negative.source,
+        case=negative.case,
+        base_support=index.support(negative.source),
+        replacements=tuple(replacements),
+        expected_support=negative.expected_support,
+        actual_support=negative.actual_support,
+    )
+
+
+def _find_partner(
+    new_item: int,
+    candidates: list[int],
+    taxonomy: Taxonomy,
+    case: str,
+) -> int | None:
+    parent = taxonomy.parent(new_item)
+    for candidate in candidates:
+        if case == CASE_CHILDREN:
+            if candidate == parent:
+                return candidate
+        else:  # siblings / substitutes share a parent or a declaration
+            if taxonomy.parent(candidate) == parent:
+                return candidate
+    return candidates[0] if candidates else None
+
+
+def format_derivation(
+    derivation: Derivation, taxonomy: Taxonomy
+) -> str:
+    """Render a derivation in the style of the paper's examples."""
+    name = taxonomy.name_of
+    lines = [
+        f"negative itemset {taxonomy.format_itemset(derivation.items)}",
+        (
+            f"  derived from large itemset "
+            f"{taxonomy.format_itemset(derivation.source)} "
+            f"(case: {derivation.case})"
+        ),
+    ]
+    symbol_terms = [f"sup({taxonomy.format_itemset(derivation.source)})"]
+    numeric_terms = [f"{derivation.base_support:.4f}"]
+    for replacement in derivation.replacements:
+        symbol_terms.append(
+            f"sup({name(replacement.new_item)})/"
+            f"sup({name(replacement.source_item)})"
+        )
+        numeric_terms.append(
+            f"{replacement.new_support:.4f}/"
+            f"{replacement.source_support:.4f}"
+        )
+    lines.append("  E[sup] = " + " * ".join(symbol_terms))
+    lines.append(
+        "         = "
+        + " * ".join(numeric_terms)
+        + f" = {derivation.expected_support:.4f}"
+    )
+    lines.append(
+        f"  actual support {derivation.actual_support:.4f}; "
+        f"deviation {derivation.deviation:.4f}"
+    )
+    return "\n".join(lines)
+
+
+def explain_rule(
+    rule: NegativeRule,
+    negative: NegativeItemset,
+    index: LargeItemsetIndex,
+    taxonomy: Taxonomy,
+) -> str:
+    """Full textual explanation of a rule: derivation plus RI arithmetic."""
+    derivation = derive(negative, index, taxonomy)
+    lines = [format_derivation(derivation, taxonomy)]
+    lines.append(
+        f"rule {taxonomy.format_itemset(rule.antecedent)} =/=> "
+        f"{taxonomy.format_itemset(rule.consequent)}"
+    )
+    lines.append(
+        f"  RI = ({rule.expected_support:.4f} - "
+        f"{rule.actual_support:.4f}) / "
+        f"sup({taxonomy.format_itemset(rule.antecedent)}) = "
+        f"{rule.expected_support - rule.actual_support:.4f} / "
+        f"{rule.antecedent_support:.4f} = {rule.ri:.3f}"
+    )
+    return "\n".join(lines)
+
+
+def explain_result_rule(
+    rule: NegativeRule,
+    negatives: list[NegativeItemset],
+    index: LargeItemsetIndex,
+    taxonomy: Taxonomy,
+) -> str:
+    """Explain a rule straight from a mining result's negative list."""
+    items = rule.items
+    for negative in negatives:
+        if negative.items == items:
+            return explain_rule(rule, negative, index, taxonomy)
+    raise KeyError(
+        f"rule itemset {items!r} not found among the negative itemsets"
+    )

@@ -1,0 +1,373 @@
+"""The Naive and Improved negative-itemset miners (paper Section 2.2).
+
+Both miners share the same semantics — find every candidate negative
+itemset whose actual support deviates at least ``MinSup × MinRI`` from its
+expected support — and differ only in the *pass schedule*:
+
+Naive (Section 2.2.1)
+    Per iteration ``k``: one pass to find the generalized large itemsets of
+    size ``k``, then a second pass to count that level's negative
+    candidates. Roughly ``2n`` passes for ``n`` levels.
+
+Improved (Section 2.2.2, Figure 3)
+    First find all generalized large itemsets (``n`` passes), then delete
+    all small 1-itemsets from the taxonomy, generate the negative
+    candidates of *all* sizes at once and count them in a single extra pass
+    — ``n + 1`` passes. When the candidate set exceeds the configured
+    memory budget, counting falls back to multiple batches (the memory
+    management scheme of Section 2.5).
+
+The negative-itemset predicate follows the body text
+(``E[sup] - sup >= MinSup × MinRI``). Figure 3's literal final line
+(``count < MinSup × MinRI``) contradicts the RI definition; it is kept
+available behind ``figure3_literal=True`` for comparison (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .._util import check_fraction, check_positive
+from ..data.database import TransactionDatabase
+from ..itemset import Itemset
+from ..mining.counting import count_supports
+from ..mining.generalized import iter_generalized_levels, mine_generalized
+from ..mining.itemset_index import LargeItemsetIndex
+from ..taxonomy.prune import restrict_to_items
+from ..taxonomy.tree import Taxonomy
+from .candidates import NegativeCandidate, generate_negative_candidates
+from .interest import deviation_threshold
+
+
+@dataclass(frozen=True, slots=True)
+class NegativeItemset:
+    """A confirmed negative itemset: support far below expectation.
+
+    Attributes
+    ----------
+    items:
+        The canonical itemset.
+    expected_support, actual_support:
+        Fractions of |D|.
+    source:
+        The large itemset whose expectation was used.
+    case:
+        Generation case (``"children"`` or ``"siblings"``).
+    """
+
+    items: Itemset
+    expected_support: float
+    actual_support: float
+    source: Itemset
+    case: str
+
+    @property
+    def deviation(self) -> float:
+        """How far the actual support fell below the expectation."""
+        return self.expected_support - self.actual_support
+
+
+@dataclass(slots=True)
+class MiningStats:
+    """Bookkeeping reported alongside mining results."""
+
+    data_passes: int = 0
+    large_itemsets: int = 0
+    candidates_generated: int = 0
+    negative_itemsets: int = 0
+    counting_batches: int = 0
+    candidates_by_size: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class MinerOutput:
+    """Everything a negative-itemset miner produces."""
+
+    large_itemsets: LargeItemsetIndex
+    candidates: dict[Itemset, NegativeCandidate]
+    negatives: list[NegativeItemset]
+    stats: MiningStats
+
+
+def select_negatives(
+    candidates: dict[Itemset, NegativeCandidate],
+    counts: dict[Itemset, int],
+    total: int,
+    threshold: float,
+    figure3_literal: bool,
+) -> list[NegativeItemset]:
+    """Apply the negative-itemset predicate to counted candidates."""
+    negatives: list[NegativeItemset] = []
+    for items, count in counts.items():
+        candidate = candidates[items]
+        actual = count / total
+        if figure3_literal:
+            keep = actual < threshold
+        else:
+            keep = candidate.expected_support - actual >= threshold
+        if keep:
+            negatives.append(
+                NegativeItemset(
+                    items=items,
+                    expected_support=candidate.expected_support,
+                    actual_support=actual,
+                    source=candidate.source,
+                    case=candidate.case,
+                )
+            )
+    negatives.sort(key=lambda negative: (-negative.deviation, negative.items))
+    return negatives
+
+
+class NaiveNegativeMiner:
+    """Two-passes-per-level negative mining (Section 2.2.1).
+
+    Parameters
+    ----------
+    database, taxonomy:
+        The data and the domain knowledge.
+    minsup, minri:
+        Fractional minimum support and minimum rule interest.
+    engine:
+        Counting engine for both phases.
+    max_size:
+        Optional cap on itemset size.
+    figure3_literal:
+        Use Figure 3's literal low-support predicate instead of the body
+        text's deviation predicate (see module docstring).
+    """
+
+    def __init__(
+        self,
+        database: TransactionDatabase,
+        taxonomy: Taxonomy,
+        minsup: float,
+        minri: float,
+        engine: str = "bitmap",
+        max_size: int | None = None,
+        figure3_literal: bool = False,
+        max_sibling_replacements: int | None = None,
+    ) -> None:
+        check_fraction(minsup, "minsup")
+        check_fraction(minri, "minri")
+        self._database = database
+        self._taxonomy = taxonomy
+        self._minsup = minsup
+        self._minri = minri
+        self._engine = engine
+        self._max_size = max_size
+        self._figure3_literal = figure3_literal
+        self._max_sibling_replacements = max_sibling_replacements
+
+    def mine(self) -> MinerOutput:
+        """Run the per-level loop and return all results."""
+        database = self._database
+        total = len(database)
+        threshold = deviation_threshold(self._minsup, self._minri)
+        start_passes = database.scans
+
+        index = LargeItemsetIndex()
+        all_candidates: dict[Itemset, NegativeCandidate] = {}
+        negatives: list[NegativeItemset] = []
+        batches = 0
+
+        levels = iter_generalized_levels(
+            database,
+            self._taxonomy,
+            self._minsup,
+            engine=self._engine,
+            max_size=self._max_size,
+        )
+        for level_number, level in enumerate(levels, start=1):
+            for items, support in level.items():
+                index.add(items, support)
+            if level_number == 1:
+                continue
+            candidates = generate_negative_candidates(
+                index,
+                self._taxonomy,
+                self._minsup,
+                self._minri,
+                sources=level.keys(),
+                max_sibling_replacements=self._max_sibling_replacements,
+            )
+            if not candidates:
+                continue
+            all_candidates.update(candidates)
+            counts = count_supports(
+                database.scan(),
+                list(candidates),
+                taxonomy=self._taxonomy,
+                engine=self._engine,
+                restrict_to_candidate_items=True,
+            )
+            batches += 1
+            negatives.extend(
+                select_negatives(
+                    candidates, counts, total, threshold,
+                    self._figure3_literal,
+                )
+            )
+
+        negatives.sort(
+            key=lambda negative: (-negative.deviation, negative.items)
+        )
+        stats = _build_stats(
+            database.scans - start_passes, index, all_candidates, negatives,
+            batches,
+        )
+        return MinerOutput(index, all_candidates, negatives, stats)
+
+
+class ImprovedNegativeMiner:
+    """Single deferred counting pass (Section 2.2.2, Figure 3).
+
+    Parameters
+    ----------
+    database, taxonomy, minsup, minri, engine, max_size, figure3_literal:
+        As for :class:`NaiveNegativeMiner`.
+    algorithm:
+        Generalized miner for step 1 (``"basic"``, ``"cumulate"``,
+        ``"estmerge"``).
+    max_candidates_in_memory:
+        Memory budget of Section 2.5: when the candidate set is larger,
+        counting is split into that many-candidate batches, one pass each.
+        ``None`` counts everything in one pass.
+    prune_taxonomy:
+        Apply the "delete all small 1-itemsets from the taxonomy"
+        optimization before candidate generation. Never changes the
+        output (replacements are filtered to large items either way);
+        exposed for the A3 ablation.
+    rng:
+        Randomness for the EstMerge sample, when that algorithm is chosen.
+    """
+
+    def __init__(
+        self,
+        database: TransactionDatabase,
+        taxonomy: Taxonomy,
+        minsup: float,
+        minri: float,
+        algorithm: str = "cumulate",
+        engine: str = "bitmap",
+        max_size: int | None = None,
+        max_candidates_in_memory: int | None = None,
+        prune_taxonomy: bool = True,
+        figure3_literal: bool = False,
+        max_sibling_replacements: int | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        check_fraction(minsup, "minsup")
+        check_fraction(minri, "minri")
+        if max_candidates_in_memory is not None:
+            check_positive(
+                max_candidates_in_memory, "max_candidates_in_memory"
+            )
+        self._database = database
+        self._taxonomy = taxonomy
+        self._minsup = minsup
+        self._minri = minri
+        self._algorithm = algorithm
+        self._engine = engine
+        self._max_size = max_size
+        self._batch_size = max_candidates_in_memory
+        self._prune_taxonomy = prune_taxonomy
+        self._figure3_literal = figure3_literal
+        self._max_sibling_replacements = max_sibling_replacements
+        self._rng = rng
+
+    def mine(self) -> MinerOutput:
+        """Run the three phases and return all results."""
+        database = self._database
+        total = len(database)
+        threshold = deviation_threshold(self._minsup, self._minri)
+        start_passes = database.scans
+
+        index = mine_generalized(
+            database,
+            self._taxonomy,
+            self._minsup,
+            algorithm=self._algorithm,
+            engine=self._engine,
+            max_size=self._max_size,
+            rng=self._rng,
+        )
+
+        generation_taxonomy = self._taxonomy
+        if self._prune_taxonomy:
+            large_singles = [items[0] for items in index.of_size(1)]
+            generation_taxonomy = restrict_to_items(
+                self._taxonomy, large_singles
+            )
+
+        candidates = generate_negative_candidates(
+            index,
+            generation_taxonomy,
+            self._minsup,
+            self._minri,
+            max_size=self._max_size,
+            max_sibling_replacements=self._max_sibling_replacements,
+        )
+
+        negatives: list[NegativeItemset] = []
+        batches = 0
+        for batch in _batched(sorted(candidates), self._batch_size):
+            # Counting uses the *full* taxonomy: transactions may contain
+            # small items whose ancestors still matter for other rows.
+            counts = count_supports(
+                database.scan(),
+                batch,
+                taxonomy=self._taxonomy,
+                engine=self._engine,
+                restrict_to_candidate_items=True,
+            )
+            batches += 1
+            negatives.extend(
+                select_negatives(
+                    candidates, counts, total, threshold,
+                    self._figure3_literal,
+                )
+            )
+
+        negatives.sort(
+            key=lambda negative: (-negative.deviation, negative.items)
+        )
+        stats = _build_stats(
+            database.scans - start_passes, index, candidates, negatives,
+            batches,
+        )
+        return MinerOutput(index, candidates, negatives, stats)
+
+
+def _batched(
+    items: list[Itemset], batch_size: int | None
+) -> list[list[Itemset]]:
+    if not items:
+        return []
+    if batch_size is None:
+        return [items]
+    return [
+        items[start:start + batch_size]
+        for start in range(0, len(items), batch_size)
+    ]
+
+
+def _build_stats(
+    passes: int,
+    index: LargeItemsetIndex,
+    candidates: dict[Itemset, NegativeCandidate],
+    negatives: list[NegativeItemset],
+    batches: int,
+) -> MiningStats:
+    by_size: dict[int, int] = {}
+    for items in candidates:
+        by_size[len(items)] = by_size.get(len(items), 0) + 1
+    return MiningStats(
+        data_passes=passes,
+        large_itemsets=len(index),
+        candidates_generated=len(candidates),
+        negative_itemsets=len(negatives),
+        counting_batches=batches,
+        candidates_by_size=dict(sorted(by_size.items())),
+    )

@@ -1,0 +1,180 @@
+"""Negative rule generation (paper Section 2.3, Figure 4).
+
+For each negative itemset ``n`` the generator emits rules
+``(n - h) =/=> h`` over consequents ``h`` grown level-wise with
+``apriori-gen`` — the paper's extension of the classic *ap-genrules*
+procedure. A consequent ``h`` survives a level only when all of:
+
+* ``h`` is a large itemset (the consequent of a rule must meet MinSup);
+* the antecedent ``n - h`` is a large itemset (same requirement on the
+  antecedent; Figure 4 prunes the consequent when it fails);
+* ``RI = (E[sup(n)] - sup(n)) / sup(n - h) >= MinRI`` — growing the
+  consequent only shrinks the antecedent, whose support can then only be
+  larger, so a failed RI can never recover on a superset consequent.
+
+``prune_small_antecedents=False`` disables the second pruning (but still
+refuses to *emit* such rules) so the exhaustive behavior can be compared
+in tests: Figure 4's pruning is a heuristic — subsets of a small
+antecedent may themselves be large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+from .._util import check_fraction
+from ..itemset import Itemset, difference
+from ..mining.apriori import apriori_gen
+from ..mining.itemset_index import LargeItemsetIndex
+from ..taxonomy.tree import Taxonomy
+from .interest import rule_interest
+from .negmining import NegativeItemset
+
+
+@dataclass(frozen=True, slots=True)
+class NegativeRule:
+    """A strong negative association rule ``antecedent =/=> consequent``.
+
+    Attributes
+    ----------
+    antecedent, consequent:
+        Disjoint non-empty canonical itemsets partitioning the negative
+        itemset.
+    ri:
+        The rule interest measure.
+    expected_support, actual_support:
+        Expectation vs measurement for ``antecedent ∪ consequent``.
+    antecedent_support, consequent_support:
+        Fractional supports of the sides (both >= MinSup by construction).
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+    ri: float
+    expected_support: float
+    actual_support: float
+    antecedent_support: float
+    consequent_support: float
+
+    @property
+    def items(self) -> Itemset:
+        """The underlying negative itemset."""
+        return tuple(sorted(self.antecedent + self.consequent))
+
+    def format(self, taxonomy: Taxonomy | None = None) -> str:
+        """Render the rule, using taxonomy names when available."""
+        if taxonomy is not None:
+            name_of = taxonomy.name_of
+        else:
+            name_of = str
+        left = ", ".join(name_of(item) for item in self.antecedent)
+        right = ", ".join(name_of(item) for item in self.consequent)
+        return (
+            f"{{{left}}} =/=> {{{right}}} "
+            f"(RI={self.ri:.3f}, expected={self.expected_support:.4f}, "
+            f"actual={self.actual_support:.4f})"
+        )
+
+
+def generate_negative_rules(
+    negatives: Iterable[NegativeItemset],
+    index: LargeItemsetIndex,
+    minri: float,
+    prune_small_antecedents: bool = True,
+) -> list[NegativeRule]:
+    """Generate every strong negative rule from the negative itemsets.
+
+    Parameters
+    ----------
+    negatives:
+        Output of a negative miner.
+    index:
+        The generalized large itemsets (for side supports and largeness
+        tests).
+    minri:
+        Minimum rule interest.
+    prune_small_antecedents:
+        Follow Figure 4 and stop extending a consequent whose antecedent
+        is small (default), or keep extending for exhaustive enumeration.
+
+    Returns
+    -------
+    list of NegativeRule, sorted by descending RI.
+    """
+    check_fraction(minri, "minri")
+    rules: list[NegativeRule] = []
+    for negative in negatives:
+        rules.extend(
+            _rules_for_itemset(negative, index, minri,
+                               prune_small_antecedents)
+        )
+    rules.sort(key=lambda rule: (-rule.ri, rule.antecedent, rule.consequent))
+    return rules
+
+
+def _rules_for_itemset(
+    negative: NegativeItemset,
+    index: LargeItemsetIndex,
+    minri: float,
+    prune_small_antecedents: bool,
+) -> Iterator[NegativeRule]:
+    items = negative.items
+    size = len(items)
+    frontier: list[Itemset] = []
+    for drop in range(size):
+        consequent = (items[drop],)
+        keep, rule = _evaluate(
+            negative, consequent, index, minri, prune_small_antecedents
+        )
+        if rule is not None:
+            yield rule
+        if keep:
+            frontier.append(consequent)
+
+    while frontier and len(frontier[0]) + 1 < size:
+        next_frontier: list[Itemset] = []
+        for consequent in apriori_gen(frontier):
+            keep, rule = _evaluate(
+                negative, consequent, index, minri, prune_small_antecedents
+            )
+            if rule is not None:
+                yield rule
+            if keep:
+                next_frontier.append(consequent)
+        frontier = next_frontier
+
+
+def _evaluate(
+    negative: NegativeItemset,
+    consequent: Itemset,
+    index: LargeItemsetIndex,
+    minri: float,
+    prune_small_antecedents: bool,
+) -> tuple[bool, NegativeRule | None]:
+    """Judge one consequent; return (keep-in-frontier, emitted rule)."""
+    if not index.is_large(consequent):
+        return False, None
+    antecedent = difference(negative.items, consequent)
+    if not index.is_large(antecedent):
+        # Figure 4 deletes the consequent here; exhaustive mode keeps
+        # extending (a superset consequent means a *smaller* antecedent,
+        # which may be large even though this one is not).
+        return (not prune_small_antecedents), None
+    ri = rule_interest(
+        negative.expected_support,
+        negative.actual_support,
+        index.support(antecedent),
+    )
+    if ri < minri:
+        return False, None
+    rule = NegativeRule(
+        antecedent=antecedent,
+        consequent=consequent,
+        ri=ri,
+        expected_support=negative.expected_support,
+        actual_support=negative.actual_support,
+        antecedent_support=index.support(antecedent),
+        consequent_support=index.support(consequent),
+    )
+    return True, rule

@@ -1,0 +1,127 @@
+"""In-memory transaction database with pass accounting.
+
+``D`` in the paper is "a set of variable length transactions over L" (the
+leaf items), each with a unique TID. Here the TID is the transaction's index.
+Transactions are stored in canonical itemset form (sorted tuples) so subset
+tests against candidates are cheap and deterministic.
+
+The class deliberately models the paper's IO cost: algorithms must go through
+:meth:`TransactionDatabase.scan` to read the data, and every completed
+iteration increments :attr:`TransactionDatabase.scans`. The ablation bench A6
+uses this to verify the Naive miner's ``2n`` passes against the Improved
+miner's ``n + 1``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+from ..errors import DatabaseError
+from ..itemset import Itemset, itemset
+
+
+class TransactionDatabase:
+    """A list of customer transactions with scan counting.
+
+    Parameters
+    ----------
+    transactions:
+        Iterable of item-id iterables. Each transaction is canonicalized
+        (sorted, de-duplicated); empty transactions are rejected because
+        they carry no information and would skew support fractions.
+    """
+
+    __slots__ = ("_transactions", "_scans", "_item_counts")
+
+    def __init__(self, transactions: Iterable[Iterable[int]]) -> None:
+        rows: list[Itemset] = []
+        for index, raw in enumerate(transactions):
+            row = itemset(raw)
+            if not row:
+                raise DatabaseError(f"transaction {index} is empty")
+            rows.append(row)
+        if not rows:
+            raise DatabaseError("database must contain at least 1 transaction")
+        self._transactions: tuple[Itemset, ...] = tuple(rows)
+        self._scans = 0
+        self._item_counts: dict[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def scan(self) -> Iterator[Itemset]:
+        """Iterate over all transactions, counting one full pass.
+
+        The scan counter is incremented up-front: algorithms that scan are
+        assumed to read the whole database (partial scans are not part of
+        the paper's cost model).
+        """
+        self._scans += 1
+        return iter(self._transactions)
+
+    def transaction(self, tid: int) -> Itemset:
+        """Return the transaction with the given TID (its index)."""
+        try:
+            return self._transactions[tid]
+        except IndexError:
+            raise DatabaseError(f"unknown TID {tid}") from None
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[Itemset]:
+        """Iterate *without* counting a pass (for tests and reports)."""
+        return iter(self._transactions)
+
+    # ------------------------------------------------------------------
+    # Pass accounting
+    # ------------------------------------------------------------------
+    @property
+    def scans(self) -> int:
+        """Number of full passes made over the data so far."""
+        return self._scans
+
+    def reset_scans(self) -> None:
+        """Zero the pass counter (called between benchmark runs)."""
+        self._scans = 0
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def items(self) -> frozenset[int]:
+        """The set of distinct items occurring in any transaction."""
+        return frozenset(self._count_items())
+
+    def item_counts(self) -> dict[int, int]:
+        """Absolute occurrence count of every item (cached; not a pass)."""
+        return dict(self._count_items())
+
+    def _count_items(self) -> dict[int, int]:
+        if self._item_counts is None:
+            counts: Counter[int] = Counter()
+            for row in self._transactions:
+                counts.update(row)
+            self._item_counts = dict(counts)
+        return self._item_counts
+
+    def average_length(self) -> float:
+        """Average transaction length |T|."""
+        total = sum(len(row) for row in self._transactions)
+        return total / len(self._transactions)
+
+    def absolute(self, fraction: float) -> float:
+        """Convert a fractional support threshold to an absolute count."""
+        return fraction * len(self._transactions)
+
+    def fraction(self, count: int) -> float:
+        """Convert an absolute occurrence count to fractional support."""
+        return count / len(self._transactions)
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionDatabase(transactions={len(self)}, "
+            f"items={len(self.items)}, "
+            f"avg_length={self.average_length():.2f})"
+        )

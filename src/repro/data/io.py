@@ -1,0 +1,111 @@
+"""Plain-text IO for transaction databases and taxonomies.
+
+Two tiny line-oriented formats keep datasets diffable and tool-friendly:
+
+* **Basket files** — one transaction per line, item ids separated by
+  whitespace. Lines starting with ``#`` are comments.
+
+  ::
+
+      # tid-implicit basket file
+      3 17 42
+      8 17
+
+* **Taxonomy files** — tab-separated ``child<TAB>parent[<TAB>name]`` rows.
+  A row with parent ``-`` declares an isolated root. The optional third
+  column names the *child* node.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..errors import DatabaseError, TaxonomyError
+from ..taxonomy.tree import Taxonomy
+from .database import TransactionDatabase
+
+PathLike = str | os.PathLike[str]
+
+
+def save_basket_file(database: TransactionDatabase, path: PathLike) -> None:
+    """Write *database* to *path* in basket format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# repro basket file: one transaction per line\n")
+        for row in database:
+            handle.write(" ".join(str(item) for item in row))
+            handle.write("\n")
+
+
+def load_basket_file(path: PathLike) -> TransactionDatabase:
+    """Read a basket file back into a :class:`TransactionDatabase`."""
+    transactions: list[list[int]] = []
+    path = Path(path)
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                transactions.append([int(tok) for tok in stripped.split()])
+            except ValueError as exc:
+                raise DatabaseError(
+                    f"{path}:{line_number}: malformed basket line "
+                    f"{stripped!r}"
+                ) from exc
+    if not transactions:
+        raise DatabaseError(f"{path}: no transactions found")
+    return TransactionDatabase(transactions)
+
+
+def save_taxonomy_file(taxonomy: Taxonomy, path: PathLike) -> None:
+    """Write *taxonomy* to *path* in child/parent/name TSV format."""
+    names = taxonomy.names_map()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# repro taxonomy file: child<TAB>parent[<TAB>name]\n")
+        parent_map = taxonomy.parent_map()
+        for node in taxonomy.nodes:
+            parent = parent_map.get(node)
+            parent_token = "-" if parent is None else str(parent)
+            if node in names:
+                handle.write(f"{node}\t{parent_token}\t{names[node]}\n")
+            else:
+                handle.write(f"{node}\t{parent_token}\n")
+
+
+def load_taxonomy_file(path: PathLike) -> Taxonomy:
+    """Read a taxonomy TSV back into a :class:`Taxonomy`."""
+    parents: dict[int, int] = {}
+    extra_roots: list[int] = []
+    names: dict[int, str] = {}
+    path = Path(path)
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.rstrip("\n")
+            if not stripped.strip() or stripped.startswith("#"):
+                continue
+            fields = stripped.split("\t")
+            if len(fields) not in (2, 3):
+                raise TaxonomyError(
+                    f"{path}:{line_number}: expected 2 or 3 tab-separated "
+                    f"fields, got {len(fields)}"
+                )
+            try:
+                child = int(fields[0])
+            except ValueError as exc:
+                raise TaxonomyError(
+                    f"{path}:{line_number}: malformed child id {fields[0]!r}"
+                ) from exc
+            if fields[1] == "-":
+                extra_roots.append(child)
+            else:
+                try:
+                    parents[child] = int(fields[1])
+                except ValueError as exc:
+                    raise TaxonomyError(
+                        f"{path}:{line_number}: malformed parent id "
+                        f"{fields[1]!r}"
+                    ) from exc
+            if len(fields) == 3:
+                names[child] = fields[2]
+    return Taxonomy(parents, names=names, extra_roots=extra_roots)

@@ -1,0 +1,48 @@
+"""Random sampling of transaction databases.
+
+The *EstMerge* generalized miner (Srikant & Agrawal) estimates candidate
+supports on a sample before deciding which candidates to count over the full
+database. Sampling reads the whole database once and therefore counts as a
+pass.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigError
+from .database import TransactionDatabase
+
+
+def sample_database(
+    database: TransactionDatabase,
+    fraction: float,
+    rng: random.Random | None = None,
+) -> TransactionDatabase:
+    """Return a simple random sample of *database*.
+
+    Parameters
+    ----------
+    database:
+        Source transactions.
+    fraction:
+        Sampling fraction in ``(0, 1]``. At least one transaction is always
+        retained so the sample is a valid database.
+    rng:
+        Optional :class:`random.Random` for reproducibility; a fresh
+        generator is used otherwise.
+
+    Notes
+    -----
+    The source database's scan counter is incremented: drawing the sample is
+    a pass over the data.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigError(f"sample fraction must be in (0, 1], got {fraction}")
+    rng = rng or random.Random()
+    picked = [row for row in database.scan() if rng.random() < fraction]
+    if not picked:
+        # Degenerate draw on tiny databases: fall back to one random row.
+        rows = list(database)
+        picked = [rows[rng.randrange(len(rows))]]
+    return TransactionDatabase(picked)

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch a single base class. Sub-classes
+distinguish the major failure domains: taxonomy construction, database
+construction/IO, mining configuration, and synthetic data generation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class TaxonomyError(ReproError):
+    """A taxonomy is structurally invalid (cycle, unknown node, ...)."""
+
+
+class DatabaseError(ReproError):
+    """A transaction database is invalid or an IO operation failed."""
+
+
+class ConfigError(ReproError):
+    """A mining parameter is out of range or inconsistent."""
+
+
+class GenerationError(ReproError):
+    """Synthetic data generation failed (inconsistent parameters)."""

@@ -1,0 +1,124 @@
+"""Canonical itemset representation and basic lattice operations.
+
+Throughout the library an *item* is an ``int`` identifier (taxonomy nodes and
+transaction items share one id space) and an *itemset* is a sorted tuple of
+distinct item ids. The sorted-tuple canonical form makes itemsets hashable,
+cheap to compare, and directly usable as dictionary keys for support tables —
+the "hash table of large itemsets" of Section 2.4 of the paper is a plain
+``dict`` keyed on these tuples.
+
+The helpers here are deliberately small and allocation-conscious: they sit on
+the hot path of candidate generation and support counting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from itertools import combinations
+
+Item = int
+Itemset = tuple[int, ...]
+
+
+def itemset(items: Iterable[int]) -> Itemset:
+    """Return the canonical (sorted, de-duplicated) form of *items*.
+
+    >>> itemset([3, 1, 2, 1])
+    (1, 2, 3)
+    """
+    return tuple(sorted(set(items)))
+
+
+def is_canonical(candidate: tuple[int, ...]) -> bool:
+    """Return True when *candidate* is sorted and free of duplicates."""
+    return all(a < b for a, b in zip(candidate, candidate[1:]))
+
+
+def union(first: Itemset, second: Itemset) -> Itemset:
+    """Return the canonical union of two canonical itemsets.
+
+    Merges two sorted tuples without building intermediate sets.
+    """
+    merged: list[int] = []
+    i = j = 0
+    len_a, len_b = len(first), len(second)
+    while i < len_a and j < len_b:
+        a, b = first[i], second[j]
+        if a < b:
+            merged.append(a)
+            i += 1
+        elif b < a:
+            merged.append(b)
+            j += 1
+        else:
+            merged.append(a)
+            i += 1
+            j += 1
+    if i < len_a:
+        merged.extend(first[i:])
+    if j < len_b:
+        merged.extend(second[j:])
+    return tuple(merged)
+
+
+def difference(first: Itemset, second: Itemset) -> Itemset:
+    """Return the canonical set difference ``first - second``."""
+    exclude = set(second)
+    return tuple(item for item in first if item not in exclude)
+
+
+def is_subset(small: Itemset, big: Itemset) -> bool:
+    """Return True when every item of *small* occurs in *big*.
+
+    Both arguments must be canonical; runs a linear merge rather than
+    building sets.
+    """
+    if len(small) > len(big):
+        return False
+    j = 0
+    len_b = len(big)
+    for item in small:
+        while j < len_b and big[j] < item:
+            j += 1
+        if j == len_b or big[j] != item:
+            return False
+        j += 1
+    return True
+
+
+def subsets_of_size(source: Itemset, size: int) -> list[Itemset]:
+    """Return all size-*size* subsets of a canonical itemset, canonical order.
+
+    >>> subsets_of_size((1, 2, 3), 2)
+    [(1, 2), (1, 3), (2, 3)]
+    """
+    return list(combinations(source, size))
+
+
+def proper_nonempty_subsets(source: Itemset) -> list[Itemset]:
+    """Return every proper non-empty subset of *source*.
+
+    Used by rule generators to enumerate antecedent/consequent splits.
+    The result contains ``2**len(source) - 2`` itemsets.
+    """
+    out: list[Itemset] = []
+    for size in range(1, len(source)):
+        out.extend(combinations(source, size))
+    return out
+
+
+def replace_positions(
+    source: Itemset, positions: tuple[int, ...], replacements: tuple[int, ...]
+) -> Itemset | None:
+    """Replace ``source[p]`` with the matching replacement for each position.
+
+    Returns the canonical result, or ``None`` when the replacement introduces
+    a duplicate item (the resulting "itemset" would collapse to a smaller
+    size, which candidate generation must reject).
+    """
+    items = list(source)
+    for position, new_item in zip(positions, replacements):
+        items[position] = new_item
+    if len(set(items)) != len(items):
+        return None
+    return tuple(sorted(items))

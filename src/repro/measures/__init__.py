@@ -1,0 +1,32 @@
+"""Classical interestingness measures.
+
+The paper's RI is "only one measure of interestingness" (its own footnote);
+this subpackage provides the standard complementary measures — lift,
+leverage (Piatetsky-Shapiro, paper ref [9]), conviction, and the chi-square
+statistic — so users can cross-score both positive and negative rules.
+"""
+
+from .information import expected_itemset_support, surprise_bits
+from .metrics import (
+    chi_square,
+    confidence,
+    conviction,
+    leverage,
+    lift,
+    negative_confidence,
+)
+from .scoring import RuleScores, score_negative_rule, score_positive_rule
+
+__all__ = [
+    "confidence",
+    "lift",
+    "leverage",
+    "conviction",
+    "chi_square",
+    "negative_confidence",
+    "RuleScores",
+    "score_negative_rule",
+    "score_positive_rule",
+    "surprise_bits",
+    "expected_itemset_support",
+]

@@ -1,0 +1,81 @@
+"""Information-theoretic unexpectedness (paper Section 1.1).
+
+"In information theoretic terms the a priori probabilities represent our
+state of ignorance and the deviation of the a posteriori probabilities
+represent the degree of information gained."
+
+These helpers quantify that deviation for an itemset whose expected
+(a priori) and actual (a posteriori) supports are known:
+
+* :func:`surprise_bits` — the pointwise KL contribution of observing the
+  itemset's presence/absence frequencies instead of the expected ones,
+  in bits per transaction. This is the "degree of information gained" of
+  the quote: 0 when expectation matches observation, growing with the
+  deviation in either direction.
+* :func:`expected_itemset_support` — the ignorance baseline of the
+  paper's intro example: under item independence with uniform item
+  popularity, the chance that a specific ``k``-itemset appears in a
+  transaction of average length ``t`` over ``n`` items.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+
+
+def surprise_bits(expected_support: float, actual_support: float) -> float:
+    """KL divergence (bits/transaction) of observed vs expected presence.
+
+    Treats the itemset's presence as a Bernoulli variable with expected
+    parameter ``expected_support`` and observed parameter
+    ``actual_support`` and returns ``KL(actual || expected)`` in bits.
+
+    Edge behavior: when the expectation is 0 or 1 and the observation
+    deviates, the divergence is infinite — returned as ``math.inf``.
+    """
+    for name, value in (
+        ("expected_support", expected_support),
+        ("actual_support", actual_support),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise ConfigError(
+                f"{name} must be a fraction in [0, 1], got {value}"
+            )
+    terms = 0.0
+    for observed, anticipated in (
+        (actual_support, expected_support),
+        (1.0 - actual_support, 1.0 - expected_support),
+    ):
+        if observed == 0.0:
+            continue
+        if anticipated == 0.0:
+            return math.inf
+        terms += observed * math.log2(observed / anticipated)
+    return max(0.0, terms)
+
+
+def expected_itemset_support(
+    itemset_size: int, num_items: int, avg_transaction_size: float
+) -> float:
+    """Independence baseline for a specific ``k``-itemset's support.
+
+    The paper's Section 1.1 example: 50,000 items, 10 M transactions of
+    5 items — a specific item is expected in ``5/50,000`` of transactions
+    and a specific pair in the square of that, which is why *naive*
+    negative mining drowns in uninformative absences.
+
+    >>> expected_itemset_support(1, 50_000, 5.0)
+    0.0001
+    >>> expected_itemset_support(2, 50_000, 5.0)
+    1e-08
+    """
+    if itemset_size < 1:
+        raise ConfigError(f"itemset_size must be >= 1, got {itemset_size}")
+    if num_items < 1:
+        raise ConfigError(f"num_items must be >= 1, got {num_items}")
+    if avg_transaction_size <= 0:
+        raise ConfigError("avg_transaction_size must be positive")
+    per_item = min(1.0, avg_transaction_size / num_items)
+    return per_item**itemset_size

@@ -1,0 +1,127 @@
+"""Rule quality metrics over fractional supports.
+
+All functions take *fractional* supports (values in ``[0, 1]``): the
+support of the antecedent ``X``, the consequent ``Y``, and their union
+``X ∪ Y``. They are deliberately independent of the mining machinery so
+they can score rules from any source.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+
+
+def _check(value: float, name: str) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be a fraction in [0, 1], got {value}")
+    return value
+
+
+def _check_rule(sup_x: float, sup_y: float, sup_xy: float) -> None:
+    _check(sup_x, "sup_x")
+    _check(sup_y, "sup_y")
+    _check(sup_xy, "sup_xy")
+    if sup_xy > min(sup_x, sup_y) + 1e-12:
+        raise ConfigError(
+            "support(X ∪ Y) cannot exceed the support of either side "
+            f"(got {sup_xy} > min({sup_x}, {sup_y}))"
+        )
+
+
+def confidence(sup_x: float, sup_xy: float) -> float:
+    """``P(Y | X)`` — the classic rule confidence."""
+    _check(sup_x, "sup_x")
+    _check(sup_xy, "sup_xy")
+    if sup_x <= 0.0:
+        raise ConfigError("confidence undefined for support(X) = 0")
+    return sup_xy / sup_x
+
+
+def negative_confidence(sup_x: float, sup_xy: float) -> float:
+    """``P(not Y | X)`` — how often X buyers avoid Y.
+
+    This is the number quoted in negative-rule prose like "60 % of the
+    customers who buy potato chips do not buy bottled water".
+    """
+    return 1.0 - confidence(sup_x, sup_xy)
+
+
+def lift(sup_x: float, sup_y: float, sup_xy: float) -> float:
+    """``P(X ∪ Y) / (P(X) · P(Y))`` — ratio to independence.
+
+    Lift below 1 indicates negative correlation, above 1 positive.
+    """
+    _check_rule(sup_x, sup_y, sup_xy)
+    if sup_x <= 0.0 or sup_y <= 0.0:
+        raise ConfigError("lift undefined when either side has support 0")
+    return sup_xy / (sup_x * sup_y)
+
+
+def leverage(sup_x: float, sup_y: float, sup_xy: float) -> float:
+    """``P(X ∪ Y) - P(X) · P(Y)`` — Piatetsky-Shapiro's rule-interest.
+
+    The additive counterpart of lift; negative values indicate the items
+    co-occur less often than independence predicts.
+    """
+    _check_rule(sup_x, sup_y, sup_xy)
+    return sup_xy - sup_x * sup_y
+
+
+def conviction(sup_x: float, sup_y: float, sup_xy: float) -> float:
+    """``P(X) · P(not Y) / P(X and not Y)``.
+
+    Conviction below 1 marks negative association; ``math.inf`` is
+    returned for perfect implication (X never occurs without Y).
+    """
+    _check_rule(sup_x, sup_y, sup_xy)
+    if sup_x <= 0.0:
+        raise ConfigError("conviction undefined for support(X) = 0")
+    x_without_y = sup_x - sup_xy
+    if x_without_y <= 0.0:
+        return math.inf
+    return sup_x * (1.0 - sup_y) / x_without_y
+
+
+def chi_square(
+    sup_x: float, sup_y: float, sup_xy: float, transactions: int
+) -> float:
+    """Chi-square statistic of the 2×2 contingency table of X and Y.
+
+    Parameters
+    ----------
+    sup_x, sup_y, sup_xy:
+        Fractional supports.
+    transactions:
+        |D|, needed to scale fractions back to counts.
+
+    Returns
+    -------
+    float
+        The statistic (1 degree of freedom). Returns 0 when either
+        marginal is degenerate (all or no transactions contain a side),
+        since the table then has an empty row or column.
+    """
+    _check_rule(sup_x, sup_y, sup_xy)
+    if transactions < 1:
+        raise ConfigError("transactions must be >= 1")
+    statistic = 0.0
+    for x_present in (True, False):
+        for y_present in (True, False):
+            margin_x = sup_x if x_present else 1.0 - sup_x
+            margin_y = sup_y if y_present else 1.0 - sup_y
+            expected = margin_x * margin_y * transactions
+            if expected <= 0.0:
+                return 0.0
+            if x_present and y_present:
+                observed_fraction = sup_xy
+            elif x_present:
+                observed_fraction = sup_x - sup_xy
+            elif y_present:
+                observed_fraction = sup_y - sup_xy
+            else:
+                observed_fraction = 1.0 - sup_x - sup_y + sup_xy
+            observed = observed_fraction * transactions
+            statistic += (observed - expected) ** 2 / expected
+    return statistic

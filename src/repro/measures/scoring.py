@@ -1,0 +1,100 @@
+"""Convenience scoring of mined rules with the classical measures.
+
+The paper's RI footnote acknowledges other interestingness factors; these
+helpers attach the standard ones (lift, leverage, conviction, chi-square,
+negative confidence) to the rule objects produced by the miners so that
+reports can rank or filter on any of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.rulegen import NegativeRule
+from ..mining.rules import AssociationRule
+from .metrics import (
+    chi_square,
+    confidence,
+    conviction,
+    leverage,
+    lift,
+    negative_confidence,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class RuleScores:
+    """All classical measures for one rule (positive or negative)."""
+
+    confidence: float
+    negative_confidence: float
+    lift: float
+    leverage: float
+    conviction: float
+    chi_square: float
+
+    def as_dict(self) -> dict[str, float]:
+        """The scores as a plain dict, e.g. for CSV or JSON reports."""
+        return {
+            "confidence": self.confidence,
+            "negative_confidence": self.negative_confidence,
+            "lift": self.lift,
+            "leverage": self.leverage,
+            "conviction": self.conviction,
+            "chi_square": self.chi_square,
+        }
+
+
+def score_negative_rule(
+    rule: NegativeRule, transactions: int
+) -> RuleScores:
+    """Score a negative rule from its recorded supports.
+
+    Parameters
+    ----------
+    rule:
+        A rule from :func:`repro.core.rulegen.generate_negative_rules`.
+    transactions:
+        |D|, for the chi-square statistic.
+
+    Notes
+    -----
+    A strong negative rule typically shows lift < 1, leverage < 0,
+    conviction < 1 and a high negative confidence — the classical
+    signatures of negative correlation.
+    """
+    return _score(
+        rule.antecedent_support,
+        rule.consequent_support,
+        rule.actual_support,
+        transactions,
+    )
+
+
+def score_positive_rule(
+    rule: AssociationRule, consequent_support: float, transactions: int
+) -> RuleScores:
+    """Score a positive rule; needs the consequent's own support.
+
+    :class:`~repro.mining.rules.AssociationRule` does not carry the
+    consequent's marginal support, so it is passed explicitly (available
+    from the :class:`~repro.mining.itemset_index.LargeItemsetIndex` the
+    rule came from).
+    """
+    antecedent_support = rule.support / rule.confidence
+    return _score(
+        antecedent_support, consequent_support, rule.support, transactions
+    )
+
+
+def _score(
+    sup_x: float, sup_y: float, sup_xy: float, transactions: int
+) -> RuleScores:
+    return RuleScores(
+        confidence=confidence(sup_x, sup_xy),
+        negative_confidence=negative_confidence(sup_x, sup_xy),
+        lift=lift(sup_x, sup_y, sup_xy),
+        leverage=leverage(sup_x, sup_y, sup_xy),
+        conviction=conviction(sup_x, sup_y, sup_xy),
+        chi_square=chi_square(sup_x, sup_y, sup_xy, transactions),
+    )

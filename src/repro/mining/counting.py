@@ -1,0 +1,189 @@
+"""Pluggable support-counting engines.
+
+Counting the support of a candidate set against the database is the inner
+loop of every miner here (positive and negative). Four engines are
+provided, all returning identical counts (property-tested):
+
+* ``"bitmap"`` (default) — vertical counting: one pass builds a per-item
+  transaction bitset (a Python ``int``), and each candidate's count is the
+  popcount of the AND of its items' bitsets. By far the fastest in
+  CPython; the 1998 paper predates the vertical-layout literature, so this
+  engine is an engineering substitution (documented in DESIGN.md) — the
+  paper-faithful hash tree remains available and equivalent.
+* ``"hashtree"`` — the classic Apriori hash tree of Section 2.4 (see
+  :mod:`repro.mining.hash_tree`). Candidates are grouped by size and one
+  tree is built per size.
+* ``"index"`` — candidates bucketed by their smallest item; for each
+  transaction only buckets of present items are probed. Simple and fast for
+  small candidate sets.
+* ``"brute"`` — test every candidate against every transaction. The oracle
+  the others are verified against.
+
+The free function :func:`count_supports` adds the generalized-mining twist:
+when a taxonomy is supplied, each transaction is extended with item
+ancestors before matching, optionally filtered to the ancestors that can
+actually occur in a candidate (the *Cumulate* optimization).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Collection, Iterable, Iterator
+
+from ..errors import ConfigError
+from ..itemset import Itemset
+from ..taxonomy.tree import Taxonomy
+from .hash_tree import HashTree
+
+ENGINES = ("bitmap", "hashtree", "index", "brute")
+
+DEFAULT_ENGINE = "bitmap"
+
+
+def _count_bitmap(
+    transactions: Iterable[Itemset], candidates: Collection[Itemset]
+) -> dict[Itemset, int]:
+    """Vertical counting with per-item transaction bitsets.
+
+    Builds ``mask[item]`` — an arbitrary-precision integer whose bit ``t``
+    is set when transaction ``t`` contains the item — restricted to items
+    that occur in some candidate, then intersects masks per candidate and
+    popcounts.
+    """
+    wanted = {item for candidate in candidates for item in candidate}
+    masks: dict[int, int] = {}
+    for position, row in enumerate(transactions):
+        bit = 1 << position
+        for item in row:
+            if item in wanted:
+                masks[item] = masks.get(item, 0) | bit
+    counts: dict[Itemset, int] = {}
+    for candidate in candidates:
+        mask = masks.get(candidate[0], 0)
+        for item in candidate[1:]:
+            if not mask:
+                break
+            mask &= masks.get(item, 0)
+        counts[candidate] = mask.bit_count()
+    return counts
+
+
+def _count_brute(
+    transactions: Iterable[Itemset], candidates: Collection[Itemset]
+) -> dict[Itemset, int]:
+    counts = dict.fromkeys(candidates, 0)
+    candidate_list = list(counts)
+    for row in transactions:
+        row_set = set(row)
+        for candidate in candidate_list:
+            if all(item in row_set for item in candidate):
+                counts[candidate] += 1
+    return counts
+
+
+def _count_index(
+    transactions: Iterable[Itemset], candidates: Collection[Itemset]
+) -> dict[Itemset, int]:
+    counts = dict.fromkeys(candidates, 0)
+    by_first: dict[int, list[Itemset]] = defaultdict(list)
+    for candidate in counts:
+        by_first[candidate[0]].append(candidate)
+    for row in transactions:
+        row_set = set(row)
+        for item in row:
+            for candidate in by_first.get(item, ()):
+                if all(member in row_set for member in candidate[1:]):
+                    counts[candidate] += 1
+    return counts
+
+
+def _count_hashtree(
+    transactions: Iterable[Itemset], candidates: Collection[Itemset]
+) -> dict[Itemset, int]:
+    by_size: dict[int, list[Itemset]] = defaultdict(list)
+    for candidate in candidates:
+        by_size[len(candidate)].append(candidate)
+    trees = {
+        size: HashTree(members) for size, members in by_size.items()
+    }
+    for row in transactions:
+        for tree in trees.values():
+            tree.add_transaction(row)
+    counts: dict[Itemset, int] = {}
+    for tree in trees.values():
+        counts.update(tree.counts())
+    return counts
+
+
+_ENGINE_FUNCS = {
+    "bitmap": _count_bitmap,
+    "brute": _count_brute,
+    "index": _count_index,
+    "hashtree": _count_hashtree,
+}
+
+
+def _extended(
+    transactions: Iterable[Itemset],
+    taxonomy: Taxonomy,
+    keep: frozenset[int] | None,
+) -> Iterator[Itemset]:
+    """Yield transactions extended with ancestors (optionally filtered).
+
+    *keep*, when given, restricts the extended transaction to items that can
+    appear in some candidate — Cumulate's "filter the ancestors" and "drop
+    useless items" optimizations rolled into one.
+    """
+    for row in transactions:
+        extended = taxonomy.ancestor_closure(row)
+        if keep is not None:
+            extended = extended & keep
+        yield tuple(sorted(extended))
+
+
+def count_supports(
+    transactions: Iterable[Itemset],
+    candidates: Collection[Itemset],
+    taxonomy: Taxonomy | None = None,
+    engine: str = DEFAULT_ENGINE,
+    restrict_to_candidate_items: bool = False,
+) -> dict[Itemset, int]:
+    """Count how many transactions contain each candidate.
+
+    Parameters
+    ----------
+    transactions:
+        The rows of one database pass (e.g. ``database.scan()``).
+    candidates:
+        Canonical itemsets to count; mixed sizes are allowed.
+    taxonomy:
+        When given, rows are extended with ancestors first so that
+        category-level candidates are counted generalized.
+    engine:
+        One of ``"bitmap"``, ``"hashtree"``, ``"index"``, ``"brute"``.
+    restrict_to_candidate_items:
+        With a taxonomy: intersect each extended row with the set of items
+        occurring in any candidate (Cumulate optimization; changes no
+        counts, only speed).
+
+    Returns
+    -------
+    dict
+        Absolute count per candidate. Every candidate appears as a key,
+        with 0 when unsupported.
+    """
+    if engine not in _ENGINE_FUNCS:
+        raise ConfigError(
+            f"unknown counting engine {engine!r}; choose from {ENGINES}"
+        )
+    if not candidates:
+        return {}
+    rows: Iterable[Itemset] = transactions
+    if taxonomy is not None:
+        keep: frozenset[int] | None = None
+        if restrict_to_candidate_items:
+            keep = frozenset(
+                item for candidate in candidates for item in candidate
+            )
+        rows = _extended(rows, taxonomy, keep)
+    return _ENGINE_FUNCS[engine](rows, candidates)

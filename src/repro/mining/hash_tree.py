@@ -1,0 +1,168 @@
+"""The classic Apriori hash tree for subset counting.
+
+Section 2.4 of the paper relies on the candidate-counting machinery of
+Agrawal & Srikant: candidates of a fixed size *k* are stored in a hash tree
+whose interior nodes hash on successive items and whose leaves hold small
+candidate buckets. For a transaction *t*, the tree is walked once and every
+candidate contained in *t* has its counter incremented — the ``subset(C_k,
+t)`` operation of Figure 3.
+
+Structure
+---------
+* An interior node at depth *d* hashes the next chosen item of the
+  transaction into one of ``branching`` buckets.
+* A leaf stores up to ``leaf_capacity`` candidates; when it overflows and
+  its depth is still below the candidate size, it splits into an interior
+  node (candidates are re-inserted one level deeper).
+* Matching walks the transaction: at an interior node each remaining
+  transaction item is hashed and the corresponding child visited with the
+  suffix that follows the item; at a leaf every stored candidate is checked
+  for containment in the transaction's remaining suffix.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import ConfigError
+from ..itemset import Itemset, is_subset
+
+
+class _Node:
+    __slots__ = ("children", "bucket")
+
+    def __init__(self) -> None:
+        # Leaf until it splits: ``children is None`` means leaf.
+        self.children: dict[int, _Node] | None = None
+        self.bucket: list[Itemset] = []
+
+
+class HashTree:
+    """Hash tree over same-size candidate itemsets, with match counters.
+
+    Parameters
+    ----------
+    candidates:
+        Canonical itemsets, all of the same length ``k >= 1``.
+    branching:
+        Hash fan-out of interior nodes.
+    leaf_capacity:
+        Number of candidates a leaf holds before splitting.
+    """
+
+    def __init__(
+        self,
+        candidates: Iterable[Itemset],
+        branching: int = 8,
+        leaf_capacity: int = 16,
+    ) -> None:
+        if branching < 2:
+            raise ConfigError(f"branching must be >= 2, got {branching}")
+        if leaf_capacity < 1:
+            raise ConfigError(
+                f"leaf_capacity must be >= 1, got {leaf_capacity}"
+            )
+        self._branching = branching
+        self._leaf_capacity = leaf_capacity
+        self._root = _Node()
+        self._counts: dict[Itemset, int] = {}
+        self._size: int | None = None
+        # Hash buckets collide, so one transaction can reach the same leaf
+        # along several paths; a per-transaction stamp prevents checking
+        # (and double-counting) a candidate twice.
+        self._stamp = 0
+        self._last_checked: dict[Itemset, int] = {}
+        for candidate in candidates:
+            self._insert(candidate)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _insert(self, candidate: Itemset) -> None:
+        if not candidate:
+            raise ConfigError("cannot insert the empty itemset")
+        if self._size is None:
+            self._size = len(candidate)
+        elif len(candidate) != self._size:
+            raise ConfigError(
+                f"all candidates must have size {self._size}, "
+                f"got {candidate!r}"
+            )
+        if candidate in self._counts:
+            return
+        self._counts[candidate] = 0
+        node = self._root
+        depth = 0
+        while node.children is not None:
+            node = node.children[candidate[depth] % self._branching]
+            depth += 1
+        node.bucket.append(candidate)
+        if len(node.bucket) > self._leaf_capacity and depth < self._size:
+            self._split(node, depth)
+
+    def _split(self, node: _Node, depth: int) -> None:
+        """Turn an overflowing leaf into an interior node."""
+        node.children = {
+            slot: _Node() for slot in range(self._branching)
+        }
+        bucket, node.bucket = node.bucket, []
+        for candidate in bucket:
+            child = node.children[candidate[depth] % self._branching]
+            child.bucket.append(candidate)
+        # A pathological bucket (all candidates share a prefix hash) may
+        # still overflow a child; recurse while depth allows.
+        for child in node.children.values():
+            if len(child.bucket) > self._leaf_capacity and depth + 1 < (
+                self._size or 0
+            ):
+                self._split(child, depth + 1)
+
+    # ------------------------------------------------------------------
+    # Counting
+    # ------------------------------------------------------------------
+    @property
+    def candidate_size(self) -> int:
+        """The common length of the stored candidates (0 when empty)."""
+        return self._size or 0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def add_transaction(self, transaction: Itemset) -> None:
+        """Increment the counter of every candidate contained in the row."""
+        if self._size is None or len(transaction) < self._size:
+            return
+        self._stamp += 1
+        self._visit(self._root, transaction, 0, 0)
+
+    def _visit(
+        self, node: _Node, transaction: Itemset, start: int, depth: int
+    ) -> None:
+        if node.children is None:
+            for candidate in node.bucket:
+                # Path items only matched by hash value, so the candidate
+                # must be verified in full; the stamp skips candidates
+                # already checked for this transaction.
+                if self._last_checked.get(candidate) == self._stamp:
+                    continue
+                self._last_checked[candidate] = self._stamp
+                if is_subset(candidate, transaction):
+                    self._counts[candidate] += 1
+            return
+        assert self._size is not None
+        remaining = self._size - depth
+        # Leave enough transaction items for the rest of the candidate.
+        last_start = len(transaction) - remaining
+        for index in range(start, last_start + 1):
+            child = node.children[transaction[index] % self._branching]
+            self._visit(child, transaction, index + 1, depth + 1)
+
+    def counts(self) -> dict[Itemset, int]:
+        """Copy of the per-candidate match counts."""
+        return dict(self._counts)
+
+    def count_all(self, transactions: Iterable[Itemset]) -> dict[Itemset, int]:
+        """Count every transaction and return the final counters."""
+        for row in transactions:
+            self.add_transaction(row)
+        return self.counts()

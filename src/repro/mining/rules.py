@@ -1,0 +1,119 @@
+"""Positive association-rule generation (the *ap-genrules* procedure).
+
+The negative rule generator of the paper (Figure 4) is "an extension of the
+ap-genrules algorithm described in [2]" — Agrawal & Srikant's fast rule
+generator. The base procedure is implemented here both as a substrate users
+can call directly and as the template the negative variant extends.
+
+For a large itemset ``l`` the procedure grows rule *consequents* level-wise
+with ``apriori-gen``: if the rule ``(l - h) => h`` fails minimum confidence,
+then so does every rule whose consequent is a superset of ``h`` (its
+antecedent is a subset of ``l - h`` and thus at least as frequent), so ``h``
+is pruned from the frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+from .._util import check_fraction
+from ..itemset import Itemset, difference
+from .apriori import apriori_gen
+from .itemset_index import LargeItemsetIndex
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationRule:
+    """A positive association rule ``antecedent => consequent``.
+
+    Attributes
+    ----------
+    antecedent, consequent:
+        Disjoint, non-empty canonical itemsets.
+    support:
+        Fractional support of ``antecedent ∪ consequent``.
+    confidence:
+        ``support(antecedent ∪ consequent) / support(antecedent)``.
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: float
+    confidence: float
+
+    def format(self, name_of=str) -> str:
+        """Render the rule using a node-naming function."""
+        left = ", ".join(name_of(item) for item in self.antecedent)
+        right = ", ".join(name_of(item) for item in self.consequent)
+        return (
+            f"{{{left}}} => {{{right}}} "
+            f"(sup={self.support:.4f}, conf={self.confidence:.4f})"
+        )
+
+
+def generate_rules(
+    index: LargeItemsetIndex, minconf: float
+) -> list[AssociationRule]:
+    """Generate every rule meeting *minconf* from the large itemsets.
+
+    Parameters
+    ----------
+    index:
+        Large itemsets with supports, as produced by any of the miners.
+    minconf:
+        Minimum confidence in ``(0, 1]``.
+
+    Returns
+    -------
+    list of AssociationRule, sorted by descending confidence then support.
+    """
+    check_fraction(minconf, "minconf")
+    rules = list(_rules_iter(index, minconf))
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support))
+    return rules
+
+
+def _rules_iter(
+    index: LargeItemsetIndex, minconf: float
+) -> Iterator[AssociationRule]:
+    for size in index.sizes:
+        if size < 2:
+            continue
+        for items in sorted(index.of_size(size)):
+            support = index.support(items)
+            # Seed frontier: 1-item consequents that meet confidence.
+            frontier: list[Itemset] = []
+            for drop in range(size):
+                consequent = (items[drop],)
+                antecedent = items[:drop] + items[drop + 1:]
+                confidence = support / index.support(antecedent)
+                if confidence >= minconf:
+                    frontier.append(consequent)
+                    yield AssociationRule(
+                        antecedent, consequent, support, confidence
+                    )
+            yield from _grow_consequents(items, support, frontier, index,
+                                         minconf)
+
+
+def _grow_consequents(
+    items: Itemset,
+    support: float,
+    frontier: list[Itemset],
+    index: LargeItemsetIndex,
+    minconf: float,
+) -> Iterator[AssociationRule]:
+    """Level-wise consequent growth (the recursive half of ap-genrules)."""
+    size = len(items)
+    while frontier and len(frontier[0]) + 1 < size:
+        next_frontier: list[Itemset] = []
+        for consequent in apriori_gen(frontier):
+            antecedent = difference(items, consequent)
+            confidence = support / index.support(antecedent)
+            if confidence >= minconf:
+                next_frontier.append(consequent)
+                yield AssociationRule(
+                    antecedent, consequent, support, confidence
+                )
+        frontier = next_frontier

@@ -1,0 +1,143 @@
+"""Potentially-large clusters and itemsets (paper Section 3.1, stage two).
+
+"To generate the set of potentially maximal large itemsets, we first
+generate potentially maximal clusters of categories comprising of items one
+level above the leaf level. ... Next for each cluster we generate a set of
+potentially maximal itemsets from the children of the items in the
+cluster."
+
+A *cluster* is a small group of leaf-parent categories that tend to be
+bought together (e.g. {frozen yogurt, bottled water}); its *itemsets* are
+concrete brand combinations drawn from those categories' children. Cluster
+and itemset weights are exponential(1), normalized — a handful of popular
+purchase patterns dominate, which is what gives the data both strong
+positive associations (cluster level) and strong negative ones (brands of
+the same category that never co-occur in the chosen itemsets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GenerationError
+from ..itemset import Itemset, itemset
+from ..taxonomy.tree import Taxonomy
+from .params import GeneratorParams
+
+
+@dataclass(frozen=True, slots=True)
+class Cluster:
+    """One potentially-maximal cluster of categories.
+
+    Attributes
+    ----------
+    categories:
+        The member category ids.
+    itemsets:
+        Potentially-large leaf itemsets drawn from the categories'
+        children.
+    itemset_weights:
+        Normalized exponential pick probabilities, aligned with
+        *itemsets*.
+    corruption_levels:
+        Per-itemset corruption level ``c`` (normal(0.5, 0.1), clamped to
+        [0, 1]).
+    """
+
+    categories: Itemset
+    itemsets: tuple[Itemset, ...]
+    itemset_weights: tuple[float, ...]
+    corruption_levels: tuple[float, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterModel:
+    """The complete consumer-choice model used to emit transactions."""
+
+    clusters: tuple[Cluster, ...]
+    cluster_weights: tuple[float, ...]
+
+
+def leaf_parent_categories(taxonomy: Taxonomy) -> list[int]:
+    """Categories "one level above the leaf level".
+
+    A category qualifies when all of its children are leaves; when the
+    taxonomy is ragged (leaves at several depths) this is the natural
+    generalization.
+    """
+    return [
+        category
+        for category in sorted(taxonomy.categories)
+        if all(taxonomy.is_leaf(child) for child in taxonomy.children(category))
+    ]
+
+
+def _normalized_exponential(count: int, rng: np.random.Generator) -> np.ndarray:
+    weights = rng.exponential(scale=1.0, size=count)
+    total = weights.sum()
+    if total <= 0.0:  # pragma: no cover - exponential draws are positive
+        return np.full(count, 1.0 / count)
+    return weights / total
+
+
+def build_cluster_model(
+    taxonomy: Taxonomy,
+    params: GeneratorParams,
+    rng: np.random.Generator,
+) -> ClusterModel:
+    """Draw the cluster/itemset model for *taxonomy* under *params*.
+
+    Raises
+    ------
+    GenerationError
+        When the taxonomy has no leaf-parent categories to cluster.
+    """
+    eligible = leaf_parent_categories(taxonomy)
+    if not eligible:
+        raise GenerationError(
+            "taxonomy has no categories whose children are all leaves; "
+            "cannot build the cluster model"
+        )
+    eligible_array = np.array(eligible)
+    corruption_std = float(np.sqrt(params.corruption_variance))
+
+    clusters: list[Cluster] = []
+    for _ in range(params.num_clusters):
+        size = max(1, int(rng.poisson(params.avg_cluster_size)))
+        size = min(size, len(eligible))
+        members = rng.choice(eligible_array, size=size, replace=False)
+        categories = itemset(int(member) for member in members)
+
+        pool: list[int] = []
+        for category in categories:
+            pool.extend(taxonomy.children(category))
+        pool_array = np.array(sorted(set(pool)))
+
+        count = max(1, int(rng.poisson(params.avg_itemsets_per_cluster)))
+        member_itemsets: list[Itemset] = []
+        corruption: list[float] = []
+        for _ in range(count):
+            want = max(1, int(rng.poisson(params.avg_itemset_size)))
+            want = min(want, len(pool_array))
+            chosen = rng.choice(pool_array, size=want, replace=False)
+            member_itemsets.append(itemset(int(item) for item in chosen))
+            level = rng.normal(params.corruption_mean, corruption_std)
+            corruption.append(float(min(1.0, max(0.0, level))))
+
+        weights = _normalized_exponential(len(member_itemsets), rng)
+        clusters.append(
+            Cluster(
+                categories=categories,
+                itemsets=tuple(member_itemsets),
+                itemset_weights=tuple(float(w) for w in weights),
+                corruption_levels=tuple(corruption),
+            )
+        )
+
+    cluster_weights = _normalized_exponential(len(clusters), rng)
+    return ClusterModel(
+        clusters=tuple(clusters),
+        cluster_weights=tuple(float(w) for w in cluster_weights),
+    )

@@ -1,0 +1,101 @@
+"""Generator parameters (paper Tables 3 and 4).
+
+The parameter names follow Table 3:
+
+====== ===================================================== =============
+Symbol Meaning                                               Field
+====== ===================================================== =============
+|D|    Number of transactions                                num_transactions
+|T|    Average size of transactions                          avg_transaction_size
+|C|    Average size of maximal potentially large clusters    avg_cluster_size
+|I|    Average size of maximal potentially large itemsets    avg_itemset_size
+|S|    Average number of itemsets for each cluster           avg_itemsets_per_cluster
+|L|    Number of maximal potentially large clusters          num_clusters
+N      Number of items (taxonomy leaves)                     num_items
+R      Number of roots                                       num_roots
+F      Fan-out                                               fanout
+====== ===================================================== =============
+
+:data:`SHORT` and :data:`TALL` are the two data sets of Table 4 (fan-out 9
+vs 3, everything else shared). The available text of the paper has OCR
+damage on two Table 4 entries — |T| and R — for which we adopt the
+conventional values of the Srikant–Agrawal generator family this model
+derives from (|T| = 10, R = 250); see DESIGN.md "Substitutions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .._util import check_positive
+from ..errors import GenerationError
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorParams:
+    """All knobs of the synthetic retail-data generator."""
+
+    num_transactions: int = 50_000
+    avg_transaction_size: float = 10.0
+    avg_cluster_size: float = 5.0
+    avg_itemset_size: float = 5.0
+    avg_itemsets_per_cluster: float = 3.0
+    num_clusters: int = 2_000
+    num_items: int = 8_000
+    num_roots: int = 250
+    fanout: float = 9.0
+    corruption_mean: float = 0.5
+    corruption_variance: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_transactions, "num_transactions")
+        check_positive(self.num_clusters, "num_clusters")
+        check_positive(self.num_items, "num_items")
+        check_positive(self.num_roots, "num_roots")
+        for name in (
+            "avg_transaction_size",
+            "avg_cluster_size",
+            "avg_itemset_size",
+            "avg_itemsets_per_cluster",
+        ):
+            if getattr(self, name) <= 0:
+                raise GenerationError(f"{name} must be positive")
+        if self.fanout < 1.0:
+            raise GenerationError(
+                f"fanout must be >= 1, got {self.fanout}"
+            )
+        if self.num_roots > self.num_items:
+            raise GenerationError(
+                "num_roots cannot exceed num_items "
+                f"({self.num_roots} > {self.num_items})"
+            )
+        if not 0.0 <= self.corruption_mean <= 1.0:
+            raise GenerationError("corruption_mean must be in [0, 1]")
+        if self.corruption_variance < 0.0:
+            raise GenerationError("corruption_variance must be >= 0")
+
+    def scaled(self, factor: float) -> "GeneratorParams":
+        """A proportionally smaller workload for quick runs.
+
+        Scales the extensive quantities — transactions, items, clusters,
+        roots — by *factor* while leaving the per-transaction shape
+        parameters untouched, so the mined structure stays comparable.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise GenerationError(
+                f"scale factor must be in (0, 1], got {factor}"
+            )
+        return replace(
+            self,
+            num_transactions=max(1, round(self.num_transactions * factor)),
+            num_items=max(10, round(self.num_items * factor)),
+            num_clusters=max(1, round(self.num_clusters * factor)),
+            num_roots=max(1, round(self.num_roots * factor)),
+        )
+
+
+#: The "Short" data set of Table 4: wide taxonomy (fan-out 9), few levels.
+SHORT = GeneratorParams(fanout=9.0)
+
+#: The "Tall" data set of Table 4: narrow taxonomy (fan-out 3), many levels.
+TALL = GeneratorParams(fanout=3.0)

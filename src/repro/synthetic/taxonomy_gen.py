@@ -1,0 +1,71 @@
+"""Random taxonomy generation (paper Section 3.1, first stage).
+
+"We first generate a taxonomy over the items. For any internal node, the
+number of children are picked from a Poisson distribution with mean set to
+F. This process is generated starting from the root level ... until there
+are no more items."
+
+The process below expands the forest breadth-first from ``R`` roots:
+expanding a node draws ``Poisson(F)`` children (clamped to at least 2 so an
+"internal" node is a real category) and consumes ``children - 1`` units of
+the leaf budget ``N``. Expansion stops when the budget is exhausted; every
+unexpanded node is a leaf. A small fan-out therefore produces a *tall*
+taxonomy and a large fan-out a *short* one — the two experimental data
+sets of Section 3.2.
+
+Node ids are assigned in BFS order, so roots get the smallest ids and
+leaves the largest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..taxonomy.tree import Taxonomy
+from .params import GeneratorParams
+
+
+def generate_taxonomy(
+    params: GeneratorParams, rng: np.random.Generator
+) -> Taxonomy:
+    """Generate a random taxonomy with ~``params.num_items`` leaves.
+
+    Parameters
+    ----------
+    params:
+        Uses ``num_items`` (N), ``num_roots`` (R) and ``fanout`` (F).
+    rng:
+        Numpy random generator — pass ``np.random.default_rng(seed)`` for
+        reproducibility.
+
+    Returns
+    -------
+    Taxonomy
+        A forest with exactly ``num_roots`` roots and ``num_items`` leaves
+        (up to the final node's clamping, the leaf count is exact).
+    """
+    target_leaves = params.num_items
+    parents: dict[int, int] = {}
+    next_id = params.num_roots
+    queue: deque[int] = deque(range(params.num_roots))
+    leaves = params.num_roots
+
+    while queue and leaves < target_leaves:
+        node = queue.popleft()
+        remaining = target_leaves - leaves
+        children = int(rng.poisson(params.fanout))
+        if children < 2:
+            children = 2  # a category with < 2 children is not a category
+        # Expanding turns one leaf into `children` leaves.
+        children = min(children, remaining + 1)
+        for _ in range(children):
+            parents[next_id] = node
+            queue.append(next_id)
+            next_id += 1
+        leaves += children - 1
+
+    # Roots that were never expanded are leaf items with no category; they
+    # must be registered explicitly since they appear in no parent edge.
+    return Taxonomy(parents, extra_roots=range(params.num_roots))

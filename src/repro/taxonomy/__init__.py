@@ -1,0 +1,41 @@
+"""Item taxonomy: the domain knowledge driving negative-rule mining.
+
+The paper assumes "a taxonomy on the items" — a forest whose leaves are the
+items that actually appear in transactions and whose internal nodes are
+categories (departments, categories, sub-categories...). Candidate negative
+itemsets are built from the *immediate children* and *siblings* of the items
+of large itemsets, so the :class:`~repro.taxonomy.tree.Taxonomy` class
+provides exactly those neighborhood queries, plus ancestor closure for
+generalized support counting, plus the small-item pruning of the Improved
+algorithm (Section 2.2.2).
+"""
+
+from .analysis import (
+    GranularityFinding,
+    TaxonomyProfile,
+    category_balance,
+    format_profile,
+    granularity_report,
+    profile,
+)
+from .builders import (
+    taxonomy_from_edges,
+    taxonomy_from_nested,
+    taxonomy_from_parents,
+)
+from .prune import restrict_to_items
+from .tree import Taxonomy
+
+__all__ = [
+    "Taxonomy",
+    "taxonomy_from_edges",
+    "taxonomy_from_nested",
+    "taxonomy_from_parents",
+    "restrict_to_items",
+    "TaxonomyProfile",
+    "GranularityFinding",
+    "profile",
+    "format_profile",
+    "granularity_report",
+    "category_balance",
+]

@@ -1,0 +1,173 @@
+"""Taxonomy quality diagnostics (paper Section 2.1.3).
+
+The paper argues that negative-rule quality depends on the taxonomy's
+*granularity*: fine taxonomies (few children per category, more levels)
+produce better expectations than coarse ones, because "as the number of
+children or siblings in a category increases, the relative support of an
+individual child or sibling decreases" and the expectation error grows.
+
+This module quantifies exactly those properties so users can judge a
+taxonomy before mining:
+
+* structural profile — node/leaf/category counts, depth histogram,
+  fan-out distribution;
+* :func:`granularity_report` — the paper's two warning signs, measured:
+  the expected relative support of a child (``1 / fanout``) per category,
+  and the candidate blow-up factor of Section 2.1.2;
+* :func:`category_balance` — how evenly transactions distribute over a
+  category's children (entropy-based), a direct check of the uniformity
+  assumption on real data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import TaxonomyError
+from .tree import Taxonomy
+
+
+@dataclass(frozen=True, slots=True)
+class TaxonomyProfile:
+    """Structural summary of a taxonomy."""
+
+    nodes: int
+    leaves: int
+    categories: int
+    roots: int
+    height: int
+    average_fanout: float
+    max_fanout: int
+    depth_histogram: dict[int, int] = field(hash=False)
+    fanout_histogram: dict[int, int] = field(hash=False)
+
+
+def profile(taxonomy: Taxonomy) -> TaxonomyProfile:
+    """Compute the structural profile of *taxonomy*."""
+    depth_histogram: dict[int, int] = {}
+    for node in taxonomy.nodes:
+        depth = taxonomy.depth(node)
+        depth_histogram[depth] = depth_histogram.get(depth, 0) + 1
+    fanout_histogram: dict[int, int] = {}
+    max_fanout = 0
+    for category in taxonomy.categories:
+        fanout = len(taxonomy.children(category))
+        fanout_histogram[fanout] = fanout_histogram.get(fanout, 0) + 1
+        max_fanout = max(max_fanout, fanout)
+    return TaxonomyProfile(
+        nodes=len(taxonomy),
+        leaves=len(taxonomy.leaves),
+        categories=len(taxonomy.categories),
+        roots=len(taxonomy.roots),
+        height=taxonomy.height,
+        average_fanout=taxonomy.fanout(),
+        max_fanout=max_fanout,
+        depth_histogram=dict(sorted(depth_histogram.items())),
+        fanout_histogram=dict(sorted(fanout_histogram.items())),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class GranularityFinding:
+    """One category flagged by the granularity check."""
+
+    category: int
+    fanout: int
+    expected_child_share: float
+
+
+def granularity_report(
+    taxonomy: Taxonomy, coarse_fanout: int = 20
+) -> list[GranularityFinding]:
+    """Categories whose fan-out endangers expectation quality.
+
+    Parameters
+    ----------
+    taxonomy:
+        The taxonomy to inspect.
+    coarse_fanout:
+        Categories with at least this many children are flagged — at
+        fan-out 100 "the relative support will drop to 1 %", the paper's
+        own example of a taxonomy too coarse to predict well.
+
+    Returns
+    -------
+    list of GranularityFinding, worst (highest fan-out) first.
+    """
+    if coarse_fanout < 2:
+        raise TaxonomyError(
+            f"coarse_fanout must be >= 2, got {coarse_fanout}"
+        )
+    findings = [
+        GranularityFinding(
+            category=category,
+            fanout=len(taxonomy.children(category)),
+            expected_child_share=1.0 / len(taxonomy.children(category)),
+        )
+        for category in taxonomy.categories
+        if len(taxonomy.children(category)) >= coarse_fanout
+    ]
+    findings.sort(key=lambda finding: -finding.fanout)
+    return findings
+
+
+def category_balance(
+    taxonomy: Taxonomy, item_counts: dict[int, int], category: int
+) -> float:
+    """Normalized entropy of a category's children in the data.
+
+    Returns a value in ``[0, 1]``: 1 means transactions spread perfectly
+    evenly over the children (the uniformity assumption holds exactly),
+    0 means a single child absorbs everything (expectations computed from
+    the category will be badly wrong for the rest).
+
+    Parameters
+    ----------
+    taxonomy:
+        The taxonomy.
+    item_counts:
+        Occurrence counts per item, e.g.
+        :meth:`repro.data.TransactionDatabase.item_counts`. Category
+        counts are derived by summing leaf descendants.
+    category:
+        The category to score; must have at least two children.
+    """
+    children = taxonomy.children(category)
+    if len(children) < 2:
+        raise TaxonomyError(
+            f"node {category} has fewer than 2 children; "
+            "balance is undefined"
+        )
+    weights = []
+    for child in children:
+        weight = sum(
+            item_counts.get(leaf, 0)
+            for leaf in taxonomy.leaf_descendants(child)
+        )
+        weights.append(weight)
+    total = sum(weights)
+    if total == 0:
+        return 1.0  # no data: vacuously balanced
+    entropy = 0.0
+    for weight in weights:
+        if weight:
+            share = weight / total
+            entropy -= share * math.log(share)
+    return entropy / math.log(len(children))
+
+
+def format_profile(taxonomy_profile: TaxonomyProfile) -> str:
+    """Render a profile as a short report block."""
+    lines = [
+        f"nodes={taxonomy_profile.nodes} "
+        f"leaves={taxonomy_profile.leaves} "
+        f"categories={taxonomy_profile.categories} "
+        f"roots={taxonomy_profile.roots}",
+        f"height={taxonomy_profile.height} "
+        f"avg_fanout={taxonomy_profile.average_fanout:.2f} "
+        f"max_fanout={taxonomy_profile.max_fanout}",
+        f"depth histogram : {taxonomy_profile.depth_histogram}",
+        f"fanout histogram: {taxonomy_profile.fanout_histogram}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Convenience constructors for :class:`~repro.taxonomy.tree.Taxonomy`.
+
+Three entry points cover the common sources of taxonomy data:
+
+* :func:`taxonomy_from_parents` — already have integer ids and a child ->
+  parent map (the internal representation).
+* :func:`taxonomy_from_edges` — a list of ``(parent_name, child_name)`` pairs,
+  e.g. parsed from a merchandising hierarchy export. Ids are assigned
+  automatically.
+* :func:`taxonomy_from_nested` — a nested ``dict`` literal, which reads
+  naturally in examples and tests::
+
+      taxonomy_from_nested({
+          "beverages": {
+              "soft drinks": ["Coke", "Pepsi"],
+              "bottled water": ["Evian", "Perrier"],
+          },
+      })
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from ..errors import TaxonomyError
+from .tree import Taxonomy
+
+Nested = Mapping[str, "Nested | Sequence[str]"]
+
+
+def taxonomy_from_parents(
+    parents: Mapping[int, int],
+    names: Mapping[int, str] | None = None,
+    extra_roots: Iterable[int] = (),
+) -> Taxonomy:
+    """Build a taxonomy from a child -> parent id map.
+
+    Thin wrapper kept for symmetry with the other builders.
+    """
+    return Taxonomy(parents, names=names, extra_roots=extra_roots)
+
+
+def taxonomy_from_edges(
+    edges: Iterable[tuple[str, str]],
+    isolated: Iterable[str] = (),
+) -> Taxonomy:
+    """Build a taxonomy from ``(parent_name, child_name)`` string pairs.
+
+    Node ids are assigned in first-appearance order starting at 0. Names
+    must be unique — the same string always denotes the same node.
+
+    Parameters
+    ----------
+    edges:
+        Parent/child name pairs. A name may appear as a parent in many
+        edges but as a child in at most one (single-parent forest).
+    isolated:
+        Names of items that belong to no category.
+    """
+    ids: dict[str, int] = {}
+
+    def intern_name(name: str) -> int:
+        if name not in ids:
+            ids[name] = len(ids)
+        return ids[name]
+
+    parents: dict[int, int] = {}
+    for parent_name, child_name in edges:
+        parent_id = intern_name(parent_name)
+        child_id = intern_name(child_name)
+        if child_id in parents and parents[child_id] != parent_id:
+            raise TaxonomyError(
+                f"node {child_name!r} has two parents: "
+                f"{child_name!r} is under both "
+                f"{parent_name!r} and another category"
+            )
+        parents[child_id] = parent_id
+
+    extra_roots = [intern_name(name) for name in isolated]
+    names = {node_id: name for name, node_id in ids.items()}
+    return Taxonomy(parents, names=names, extra_roots=extra_roots)
+
+
+def taxonomy_from_nested(tree: Nested) -> Taxonomy:
+    """Build a taxonomy from a nested mapping of category -> children.
+
+    Values may be nested mappings (sub-categories) or sequences of leaf
+    names. See the module docstring for an example.
+    """
+    edges: list[tuple[str, str]] = []
+
+    def walk(name: str, subtree: Nested | Sequence[str]) -> None:
+        if isinstance(subtree, Mapping):
+            for child_name, child_tree in subtree.items():
+                edges.append((name, child_name))
+                walk(child_name, child_tree)
+        else:
+            for leaf_name in subtree:
+                if not isinstance(leaf_name, str):
+                    raise TaxonomyError(
+                        f"leaf names must be strings, got {leaf_name!r}"
+                    )
+                edges.append((name, leaf_name))
+
+    if not isinstance(tree, Mapping):
+        raise TaxonomyError("nested taxonomy must be a mapping at top level")
+    for root_name, subtree in tree.items():
+        walk(root_name, subtree)
+    return taxonomy_from_edges(edges)

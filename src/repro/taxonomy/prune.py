@@ -1,0 +1,76 @@
+"""Taxonomy pruning: "delete all small 1-itemsets from the taxonomy".
+
+The Improved algorithm's first optimization (Section 2.2.2) shrinks the
+taxonomy to the nodes whose 1-itemset support meets MinSup before generating
+negative candidates. Because generalized support is monotone along the
+taxonomy (a category is supported by every transaction that supports any of
+its descendants), a small node can never have a large descendant — so
+removing every small node removes whole subtrees and the result is still a
+well-formed forest.
+
+The paper motivates this as "reducing the fanout and hence the candidates
+generated": candidate items are drawn from children/sibling lists, and after
+pruning those lists contain only items that could participate in a rule
+(both antecedent and consequent of a rule must be large).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import TaxonomyError
+from .tree import Taxonomy
+
+
+def restrict_to_items(taxonomy: Taxonomy, keep: Iterable[int]) -> Taxonomy:
+    """Return a copy of *taxonomy* containing only the nodes in *keep*.
+
+    Parameters
+    ----------
+    taxonomy:
+        The full taxonomy.
+    keep:
+        Node ids to retain — typically the large 1-itemsets. Ids not present
+        in the taxonomy raise :class:`TaxonomyError` (they indicate a
+        bookkeeping bug upstream).
+
+    Notes
+    -----
+    When support counting is consistent, *keep* is ancestor-closed and every
+    kept node keeps its original parent. Defensively, a kept node whose
+    parent was pruned is re-rooted (becomes a root), which preserves the
+    forest invariant even for inconsistent inputs.
+    """
+    keep_set = set(keep)
+    for node in keep_set:
+        if node not in taxonomy:
+            raise TaxonomyError(f"cannot keep unknown node {node}")
+
+    parents: dict[int, int] = {}
+    extra_roots: list[int] = []
+    names = taxonomy.names_map()
+    for node in keep_set:
+        node_parent = taxonomy.parent(node)
+        if node_parent is not None and node_parent in keep_set:
+            parents[node] = node_parent
+        else:
+            extra_roots.append(node)
+    kept_names = {node: names[node] for node in keep_set if node in names}
+    return Taxonomy(parents, names=kept_names, extra_roots=extra_roots)
+
+
+def prune_small_items(
+    taxonomy: Taxonomy, supports: dict[int, float], minsup: float
+) -> Taxonomy:
+    """Remove every node whose 1-itemset support is below *minsup*.
+
+    *supports* maps node id to fractional support; nodes absent from the
+    mapping are treated as support 0 (they never reached the counting phase,
+    which means they were already known small).
+    """
+    keep = [
+        node
+        for node in taxonomy.nodes
+        if supports.get(node, 0.0) >= minsup
+    ]
+    return restrict_to_items(taxonomy, keep)

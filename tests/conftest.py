@@ -1,0 +1,180 @@
+"""Shared fixtures: small hand-checked datasets used across the suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.database import TransactionDatabase
+from repro.mining.itemset_index import LargeItemsetIndex
+from repro.taxonomy.builders import taxonomy_from_nested
+
+
+@pytest.fixture
+def figure1_taxonomy():
+    """The taxonomy of paper Figure 1.
+
+    ::
+
+        A           F
+        |           |
+        B   C       G   H   I
+            |       |
+            D E     J K
+    """
+    return taxonomy_from_nested(
+        {
+            "A": {"B": [], "C": ["D", "E"]},
+            "F": {"G": ["J", "K"], "H": [], "I": []},
+        }
+    )
+
+
+@pytest.fixture
+def figure2_taxonomy():
+    """The retail taxonomy of paper Figure 2 (yogurt / water example)."""
+    return taxonomy_from_nested(
+        {
+            "Beverages": {
+                "Carbonated": [],
+                "NonCarbonated": {
+                    "Bottled juices": [],
+                    "Bottled water": ["Evian", "Perrier"],
+                },
+            },
+            "Desserts": {
+                "Ice creams": [],
+                "Frozen yogurt": ["Bryers", "Healthy Choice"],
+            },
+        }
+    )
+
+
+#: Table 1 of the paper, as absolute supports out of 100,000 transactions.
+TABLE1_TOTAL = 100_000
+TABLE1_SUPPORTS = {
+    "Bryers": 20_000,
+    "Healthy Choice": 10_000,
+    "Evian": 10_000,
+    "Perrier": 5_000,
+    "Frozen yogurt": 30_000,
+    "Bottled water": 20_000,
+}
+TABLE1_PAIR = ("Frozen yogurt", "Bottled water")
+TABLE1_PAIR_SUPPORT = 15_000
+
+#: Table 2 of the paper: actual supports measured for the candidates.
+TABLE2_ACTUAL = {
+    ("Bryers", "Evian"): 7_500,
+    ("Bryers", "Perrier"): 500,
+    ("Healthy Choice", "Evian"): 4_200,
+    ("Healthy Choice", "Perrier"): 2_500,
+}
+#: Table 2 of the paper: the expected supports *as published* (see
+#: DESIGN.md — these are inconsistent with the Case-1 formula applied to
+#: Table 1 and are reproduced verbatim only in the "as published" test).
+TABLE2_EXPECTED_PUBLISHED = {
+    ("Bryers", "Evian"): 6_000,
+    ("Bryers", "Perrier"): 4_000,
+    ("Healthy Choice", "Evian"): 3_000,
+    ("Healthy Choice", "Perrier"): 2_000,
+}
+
+
+@pytest.fixture
+def table1_index(figure2_taxonomy):
+    """A LargeItemsetIndex loaded with the paper's Table 1 supports."""
+    taxonomy = figure2_taxonomy
+    index = LargeItemsetIndex()
+    for name, count in TABLE1_SUPPORTS.items():
+        index.add((taxonomy.id_of(name),), count / TABLE1_TOTAL)
+    pair = tuple(
+        sorted(taxonomy.id_of(name) for name in TABLE1_PAIR)
+    )
+    index.add(pair, TABLE1_PAIR_SUPPORT / TABLE1_TOTAL)
+    # {Bryers, Evian} and {Healthy Choice, Evian} "will already be found
+    # to be large" (their actual supports exceed MinSup = 4,000).
+    for names, actual in TABLE2_ACTUAL.items():
+        if actual >= 4_000:
+            items = tuple(
+                sorted(taxonomy.id_of(name) for name in names)
+            )
+            index.add(items, actual / TABLE1_TOTAL)
+    return index
+
+
+@pytest.fixture
+def small_database():
+    """A deterministic 40-transaction database over 6 items."""
+    rows = [
+        [1, 2, 3],
+        [1, 2],
+        [2, 3],
+        [1, 3],
+        [4, 5],
+        [1, 2, 4],
+        [2, 3, 5],
+        [1, 2, 3, 4],
+        [6],
+        [1, 6],
+    ] * 4
+    return TransactionDatabase(rows)
+
+
+@pytest.fixture
+def random_database():
+    """A 300-transaction random database with a planted association."""
+    rng = random.Random(20_240_613)
+    items = list(range(1, 16))
+    rows = []
+    for _ in range(300):
+        row = set(rng.sample(items, rng.randint(1, 5)))
+        if rng.random() < 0.4:
+            row |= {1, 2}  # planted frequent pair
+        rows.append(row)
+    return TransactionDatabase(rows)
+
+
+@pytest.fixture
+def soft_drinks_taxonomy():
+    """Taxonomy for the Ruffles / Coke / Pepsi motivating example."""
+    return taxonomy_from_nested(
+        {
+            "beverages": {
+                "soft drinks": ["Coke", "Pepsi"],
+                "bottled water": ["Evian", "Perrier"],
+            },
+            "snacks": {"chips": ["Ruffles", "Lays"]},
+        }
+    )
+
+
+@pytest.fixture
+def soft_drinks_database(soft_drinks_taxonomy):
+    """2,000 transactions where Ruffles goes with Coke but never Pepsi."""
+    taxonomy = soft_drinks_taxonomy
+    coke, pepsi = taxonomy.id_of("Coke"), taxonomy.id_of("Pepsi")
+    ruffles, lays = taxonomy.id_of("Ruffles"), taxonomy.id_of("Lays")
+    evian = taxonomy.id_of("Evian")
+    rng = random.Random(11)
+    rows = []
+    for _ in range(2000):
+        row = set()
+        if rng.random() < 0.5:
+            row.add(ruffles)
+            if rng.random() < 0.8:
+                row.add(coke)
+            if rng.random() < 0.02:
+                row.add(pepsi)
+        else:
+            if rng.random() < 0.4:
+                row.add(pepsi)
+            if rng.random() < 0.3:
+                row.add(lays)
+        if rng.random() < 0.3:
+            row.add(evian)
+        if not row:
+            row.add(evian)
+        rows.append(row)
+    return TransactionDatabase(rows)

@@ -1,0 +1,131 @@
+"""Golden regression values for the worked-example database.
+
+Pins the exact numeric outputs of the full pipeline on the deterministic
+Table-1 rendition (see test_paper_example): any change to counting,
+expectation, dedup, thresholds or rule generation that shifts these
+numbers — even slightly — fails here first.
+"""
+
+import pytest
+
+from repro.core.api import mine_negative_rules
+from repro.data.database import TransactionDatabase
+from repro.taxonomy.builders import taxonomy_from_nested
+
+GROUPS = [
+    (("Bryers", "Evian"), 1200),
+    (("Bryers", "Perrier"), 50),
+    (("Bryers",), 750),
+    (("Healthy Choice", "Evian"), 420),
+    (("Healthy Choice", "Perrier"), 250),
+    (("Healthy Choice",), 330),
+    (("Evian",), 380),
+    (("Perrier",), 500),
+    (("Carbonated",), 6120),
+]
+
+
+@pytest.fixture(scope="module")
+def mined():
+    taxonomy = taxonomy_from_nested(
+        {
+            "Beverages": {
+                "Carbonated": [],
+                "NonCarbonated": {
+                    "Bottled juices": [],
+                    "Bottled water": ["Evian", "Perrier"],
+                },
+            },
+            "Desserts": {
+                "Ice creams": [],
+                "Frozen yogurt": ["Bryers", "Healthy Choice"],
+            },
+        }
+    )
+    rows = [
+        [taxonomy.id_of(name) for name in names]
+        for names, count in GROUPS
+        for _ in range(count)
+    ]
+    result = mine_negative_rules(
+        TransactionDatabase(rows), taxonomy, minsup=0.04, minri=0.5
+    )
+    return taxonomy, result
+
+
+class TestGoldenSupports:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("Bryers", 0.2),
+            ("Healthy Choice", 0.1),
+            ("Evian", 0.2),
+            ("Perrier", 0.08),
+            ("Frozen yogurt", 0.3),
+            ("Bottled water", 0.28),
+            ("Desserts", 0.3),
+        ],
+    )
+    def test_single_supports(self, mined, name, expected):
+        taxonomy, result = mined
+        assert result.large_itemsets.support(
+            (taxonomy.id_of(name),)
+        ) == pytest.approx(expected)
+
+    def test_category_pair_support(self, mined):
+        taxonomy, result = mined
+        pair = tuple(
+            sorted(
+                (
+                    taxonomy.id_of("Frozen yogurt"),
+                    taxonomy.id_of("Bottled water"),
+                )
+            )
+        )
+        assert result.large_itemsets.support(pair) == pytest.approx(0.192)
+
+
+class TestGoldenRule:
+    def test_perrier_bryers_rule_values(self, mined):
+        taxonomy, result = mined
+        perrier = taxonomy.id_of("Perrier")
+        bryers = taxonomy.id_of("Bryers")
+        rule = next(
+            r
+            for r in result.rules
+            if r.antecedent == (perrier,) and r.consequent == (bryers,)
+        )
+        # Case-3 path from {Bryers, Evian}: 0.12 * 0.08/0.20 = 0.048.
+        assert rule.expected_support == pytest.approx(0.048)
+        assert rule.actual_support == pytest.approx(0.005)
+        assert rule.antecedent_support == pytest.approx(0.08)
+        assert rule.consequent_support == pytest.approx(0.2)
+        assert rule.ri == pytest.approx((0.048 - 0.005) / 0.08)
+
+    def test_reverse_direction_absent(self, mined):
+        taxonomy, result = mined
+        perrier = taxonomy.id_of("Perrier")
+        bryers = taxonomy.id_of("Bryers")
+        assert not any(
+            r.antecedent == (bryers,) and r.consequent == (perrier,)
+            for r in result.rules
+        )
+
+    def test_negative_itemset_provenance(self, mined):
+        taxonomy, result = mined
+        perrier = taxonomy.id_of("Perrier")
+        bryers = taxonomy.id_of("Bryers")
+        evian = taxonomy.id_of("Evian")
+        pair = tuple(sorted((perrier, bryers)))
+        negative = next(
+            n for n in result.negative_itemsets if n.items == pair
+        )
+        assert negative.case == "siblings"
+        assert negative.source == tuple(sorted((bryers, evian)))
+
+    def test_total_counts_stable(self, mined):
+        _taxonomy, result = mined
+        assert result.stats.large_itemsets == 26
+        assert result.stats.candidates_generated == 7
+        assert result.stats.negative_itemsets == 7
+        assert len(result.rules) == 7

@@ -1,0 +1,287 @@
+"""Reproduction of the paper's worked example (Section 2.1.3, Tables 1-2).
+
+The example is reproduced at three levels of fidelity:
+
+1. **As published** — Table 2's expected supports are injected verbatim and
+   rule generation must output exactly the paper's single rule,
+   ``Perrier =/=> Bryers`` with RI = 0.7 (and reject the reverse direction,
+   RI = 0.175 < 0.5).
+2. **Formula-derived** — the paper's own Case-1 formula applied to Table 1
+   yields different expectations (2,500 for {Bryers, Perrier}, not 4,000);
+   the published numbers are consistent with sup(Evian) = 12,000 /
+   sup(Perrier) = 8,000 instead of Table 1's 10,000 / 5,000. Both variants
+   are checked; see DESIGN.md "Substitutions" for the analysis.
+3. **End-to-end** — a *consistent* transaction database in the spirit of
+   the example (Bryers buyers shun Perrier) is mined with the full
+   pipeline, which must rediscover Perrier =/=> Bryers organically.
+
+Note that Tables 1 and 2 are jointly unsatisfiable by any real database:
+|{B,E}| + |{HC,E}| - |E| forces at least 1,700 transactions containing
+Bryers, Healthy Choice and Evian together, while sup(Frozen yogurt) =
+30,000 = sup(B) + sup(HC) forces zero overlap between B and HC. Hence
+level 3 uses its own consistent supports.
+"""
+
+import random
+
+import pytest
+
+from repro.core.api import mine_negative_rules
+from repro.core.candidates import generate_negative_candidates
+from repro.core.negmining import NegativeItemset
+from repro.core.rulegen import generate_negative_rules
+from repro.data.database import TransactionDatabase
+
+from ..conftest import (
+    TABLE1_TOTAL,
+    TABLE2_ACTUAL,
+    TABLE2_EXPECTED_PUBLISHED,
+)
+
+MINSUP = 4_000 / TABLE1_TOTAL
+MINRI = 0.5
+
+
+class TestAsPublished:
+    """Level 1: Table 2's numbers verbatim through rule generation."""
+
+    def test_only_rule_is_perrier_not_bryers(
+        self, figure2_taxonomy, table1_index
+    ):
+        taxonomy = figure2_taxonomy
+        bryers = taxonomy.id_of("Bryers")
+        perrier = taxonomy.id_of("Perrier")
+        pair = tuple(sorted((bryers, perrier)))
+        negative = NegativeItemset(
+            items=pair,
+            expected_support=TABLE2_EXPECTED_PUBLISHED[
+                ("Bryers", "Perrier")
+            ] / TABLE1_TOTAL,
+            actual_support=TABLE2_ACTUAL[("Bryers", "Perrier")]
+            / TABLE1_TOTAL,
+            source=tuple(
+                sorted(
+                    (
+                        taxonomy.id_of("Frozen yogurt"),
+                        taxonomy.id_of("Bottled water"),
+                    )
+                )
+            ),
+            case="children",
+        )
+        rules = generate_negative_rules(
+            [negative], table1_index, MINRI
+        )
+        assert len(rules) == 1
+        rule = rules[0]
+        assert rule.antecedent == (perrier,)
+        assert rule.consequent == (bryers,)
+        assert rule.ri == pytest.approx(0.7)
+
+    def test_reverse_direction_fails_minri(
+        self, figure2_taxonomy, table1_index
+    ):
+        """Bryers =/=> Perrier has RI = 3,500/20,000 = 0.175 < 0.5."""
+        taxonomy = figure2_taxonomy
+        bryers = taxonomy.id_of("Bryers")
+        rules_all = generate_negative_rules(
+            [
+                NegativeItemset(
+                    items=tuple(
+                        sorted((bryers, taxonomy.id_of("Perrier")))
+                    ),
+                    expected_support=0.04,
+                    actual_support=0.005,
+                    source=(0, 1),
+                    case="children",
+                )
+            ],
+            table1_index,
+            0.1,  # permissive: both directions emitted
+        )
+        by_antecedent = {rule.antecedent: rule.ri for rule in rules_all}
+        assert by_antecedent[(bryers,)] == pytest.approx(0.175)
+
+    def test_other_candidates_not_negative(self):
+        """{B,E} and {HC,P} exceed or roughly meet expectations."""
+        for names in (("Bryers", "Evian"), ("Healthy Choice", "Perrier")):
+            expected = TABLE2_EXPECTED_PUBLISHED[names] / TABLE1_TOTAL
+            actual = TABLE2_ACTUAL[names] / TABLE1_TOTAL
+            deviation = expected - actual
+            assert deviation < MINSUP * MINRI
+
+
+class TestFormulaDerived:
+    """Level 2: the paper's formulas applied to Table 1's supports.
+
+    The implementation finds a generation path the paper's own trace
+    overlooks: once {Bryers, Evian} is itself a large itemset, Case 3
+    generates {Bryers, Perrier} from it with
+    E = 7,500 * (5,000/10,000) = 3,750 — larger than the Case-1 path from
+    {Frozen yogurt, Bottled water} (2,500), so the max-dedup rule of
+    Section 2.1.1 keeps 3,750. With that expectation the pipeline derives
+    the paper's exact rule (Perrier =/=> Bryers, and only it) from
+    Table 1's supports, with RI = 0.65 instead of the published 0.7.
+    """
+
+    def test_candidate_set(self, figure2_taxonomy, table1_index):
+        taxonomy = figure2_taxonomy
+        candidates = generate_negative_candidates(
+            table1_index, taxonomy, MINSUP, MINRI
+        )
+        bryers = taxonomy.id_of("Bryers")
+        perrier = taxonomy.id_of("Perrier")
+        healthy = taxonomy.id_of("Healthy Choice")
+        evian = taxonomy.id_of("Evian")
+        # {Bryers, Evian} and {Healthy Choice, Evian} are large itemsets
+        # (Table 2 actuals exceed MinSup), hence not candidates.
+        assert tuple(sorted((bryers, evian))) not in candidates
+        assert tuple(sorted((healthy, evian))) not in candidates
+        # {Bryers, Perrier}: max over the Case-1 path (2,500) and the
+        # Case-3 path from large {Bryers, Evian} (3,750).
+        pair = tuple(sorted((bryers, perrier)))
+        assert pair in candidates
+        assert candidates[pair].expected_support == pytest.approx(0.0375)
+        assert candidates[pair].source == tuple(
+            sorted((bryers, evian))
+        )
+        # {Healthy Choice, Perrier}: Case 1 gives 1,250 (< 2,000) but the
+        # Case-3 path from large {Healthy Choice, Evian} gives
+        # 4,200 * 0.5 = 2,100 >= 2,000 — a candidate, as in Table 2.
+        hc_pair = tuple(sorted((healthy, perrier)))
+        assert hc_pair in candidates
+        assert candidates[hc_pair].expected_support == pytest.approx(
+            0.021
+        )
+
+    def test_rule_derivation_from_table1(
+        self, figure2_taxonomy, table1_index
+    ):
+        """Counting Table 2's actuals against the formula expectations
+        yields exactly the paper's rule: Perrier =/=> Bryers."""
+        taxonomy = figure2_taxonomy
+        bryers = taxonomy.id_of("Bryers")
+        perrier = taxonomy.id_of("Perrier")
+        healthy = taxonomy.id_of("Healthy Choice")
+        candidates = generate_negative_candidates(
+            table1_index, taxonomy, MINSUP, MINRI
+        )
+        negatives = []
+        for names, actual in TABLE2_ACTUAL.items():
+            items = tuple(sorted(taxonomy.id_of(name) for name in names))
+            if items not in candidates:
+                continue
+            candidate = candidates[items]
+            deviation = (
+                candidate.expected_support - actual / TABLE1_TOTAL
+            )
+            if deviation >= MINSUP * MINRI - 1e-12:
+                negatives.append(
+                    NegativeItemset(
+                        items=items,
+                        expected_support=candidate.expected_support,
+                        actual_support=actual / TABLE1_TOTAL,
+                        source=candidate.source,
+                        case=candidate.case,
+                    )
+                )
+        # Only {Bryers, Perrier} deviates enough; {HC, Perrier} actually
+        # exceeds its expectation (2,500 > 2,100).
+        assert [negative.items for negative in negatives] == [
+            tuple(sorted((bryers, perrier)))
+        ]
+        rules = generate_negative_rules(negatives, table1_index, MINRI)
+        assert len(rules) == 1
+        rule = rules[0]
+        assert rule.antecedent == (perrier,)
+        assert rule.consequent == (bryers,)
+        assert rule.ri == pytest.approx((0.0375 - 0.005) / 0.05)
+        assert healthy not in rule.items
+
+
+class TestEndToEnd:
+    """Level 3: a consistent database mined through the whole pipeline."""
+
+    @pytest.fixture
+    def database(self, figure2_taxonomy):
+        """A *consistent* rendition of Table 1 over 10,000 transactions.
+
+        Exact group counts (brand supports: B = 2,000, HC = 1,000,
+        E = 2,000, P = 800):
+
+        ====================== =====
+        {Bryers, Evian}        1,200
+        {Bryers, Perrier}         50
+        {Bryers}                 750
+        {Healthy Choice, Evian}  420
+        {HC, Perrier}            250
+        {Healthy Choice}         330
+        {Evian}                  380
+        {Perrier}                500
+        {Carbonated} (filler)  6,120
+        ====================== =====
+        """
+        taxonomy = figure2_taxonomy
+        bryers = taxonomy.id_of("Bryers")
+        healthy = taxonomy.id_of("Healthy Choice")
+        evian = taxonomy.id_of("Evian")
+        perrier = taxonomy.id_of("Perrier")
+        filler = taxonomy.id_of("Carbonated")
+        groups = [
+            ([bryers, evian], 1200),
+            ([bryers, perrier], 50),
+            ([bryers], 750),
+            ([healthy, evian], 420),
+            ([healthy, perrier], 250),
+            ([healthy], 330),
+            ([evian], 380),
+            ([perrier], 500),
+            ([filler], 6120),
+        ]
+        rows = [row for row, count in groups for _ in range(count)]
+        return TransactionDatabase(rows)
+
+    def test_fixture_matches_intended_supports(
+        self, figure2_taxonomy, database
+    ):
+        taxonomy = figure2_taxonomy
+        counts = database.item_counts()
+        assert counts[taxonomy.id_of("Bryers")] == 2000
+        assert counts[taxonomy.id_of("Healthy Choice")] == 1000
+        assert counts[taxonomy.id_of("Evian")] == 2000
+        assert counts[taxonomy.id_of("Perrier")] == 800
+        assert len(database) == 10_000
+
+    def test_pipeline_rediscovers_the_rule(
+        self, figure2_taxonomy, database
+    ):
+        taxonomy = figure2_taxonomy
+        result = mine_negative_rules(
+            database, taxonomy, minsup=0.04, minri=0.5
+        )
+        perrier = taxonomy.id_of("Perrier")
+        bryers = taxonomy.id_of("Bryers")
+        pairs = {
+            (rule.antecedent, rule.consequent) for rule in result.rules
+        }
+        # As in the paper: the one and only brand-level rule.
+        assert ((perrier,), (bryers,)) in pairs
+        assert ((bryers,), (perrier,)) not in pairs
+        brand_rules = [
+            rule
+            for rule in result.rules
+            if set(rule.items)
+            <= {perrier, bryers, taxonomy.id_of("Evian"),
+                taxonomy.id_of("Healthy Choice")}
+        ]
+        assert len(brand_rules) == 1
+
+    def test_no_rule_against_evian(self, figure2_taxonomy, database):
+        """Evian pairs normally with both brands — no negative rule."""
+        taxonomy = figure2_taxonomy
+        result = mine_negative_rules(
+            database, taxonomy, minsup=0.04, minri=0.5
+        )
+        evian = taxonomy.id_of("Evian")
+        for rule in result.rules:
+            assert evian not in rule.items

@@ -1,0 +1,132 @@
+"""Property-based test: bound-pruned candidate generation vs exhaustive.
+
+The branch-and-bound enumeration inside
+:func:`repro.core.candidates.generate_negative_candidates` must produce
+exactly the same candidates (and expectations) as a naive exhaustive
+cross-product — the bound only skips candidates that the
+``MinSup × MinRI`` threshold rejects anyway.
+"""
+
+import random
+from itertools import combinations, product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import generate_negative_candidates
+from repro.itemset import replace_positions
+from repro.mining.generalized import contains_item_and_ancestor
+from repro.mining.itemset_index import LargeItemsetIndex
+from repro.taxonomy.builders import taxonomy_from_parents
+
+# Three roots with three children each; one grandchild layer under the
+# first child to exercise deeper ancestor checks.
+TAXONOMY = taxonomy_from_parents(
+    {
+        1: 100, 2: 100, 3: 100,
+        4: 101, 5: 101, 6: 101,
+        7: 102, 8: 102, 9: 102,
+        10: 1, 11: 1,
+    }
+)
+
+
+def exhaustive(index, taxonomy, minsup, minri):
+    """Reference implementation: full cross-product, no pruning."""
+    threshold = minsup * minri
+    out = {}
+    sources = [
+        items
+        for size in index.sizes
+        if size >= 2
+        for items in sorted(index.of_size(size))
+    ]
+    for source in sources:
+        if any(item not in taxonomy for item in source):
+            continue
+        if contains_item_and_ancestor(source, taxonomy):
+            continue
+        base = index.support(source)
+        size = len(source)
+        for case, relatives_of, proper_only in (
+            ("children", taxonomy.children, False),
+            ("siblings", taxonomy.siblings, True),
+        ):
+            max_positions = size - 1 if proper_only else size
+            for count in range(1, max_positions + 1):
+                for positions in combinations(range(size), count):
+                    pools = [
+                        [
+                            relative
+                            for relative in relatives_of(source[p])
+                            if index.is_large((relative,))
+                        ]
+                        for p in positions
+                    ]
+                    if any(not pool for pool in pools):
+                        continue
+                    for assignment in product(*pools):
+                        candidate = replace_positions(
+                            source, positions, assignment
+                        )
+                        if candidate is None or candidate in index:
+                            continue
+                        if contains_item_and_ancestor(
+                            candidate, taxonomy
+                        ):
+                            continue
+                        expectation = base
+                        for p, new in zip(positions, assignment):
+                            expectation *= index.support(
+                                (new,)
+                            ) / index.support((source[p],))
+                        if expectation < threshold:
+                            continue
+                        best = out.get(candidate)
+                        if best is None or expectation > best:
+                            out[candidate] = expectation
+    return out
+
+
+@st.composite
+def indexes(draw):
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    rng = random.Random(seed)
+    index = LargeItemsetIndex()
+    for root in (100, 101, 102):
+        root_support = rng.uniform(0.4, 0.9)
+        index.add((root,), root_support)
+        for child in TAXONOMY.children(root):
+            if rng.random() < 0.8:
+                index.add((child,), rng.uniform(0.05, root_support))
+    for grandchild in (10, 11):
+        if index.is_large((1,)) and rng.random() < 0.7:
+            index.add(
+                (grandchild,), rng.uniform(0.02, index.support((1,)))
+            )
+    nodes = [items[0] for items in index.of_size(1)]
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        first, second = rng.sample(nodes, 2) if len(nodes) >= 2 else (
+            nodes[0], nodes[0]
+        )
+        if first == second:
+            continue
+        pair = tuple(sorted((first, second)))
+        if contains_item_and_ancestor(pair, TAXONOMY):
+            continue
+        bound = min(index.support((first,)), index.support((second,)))
+        index.add(pair, rng.uniform(0.01, bound))
+    return index
+
+
+@settings(max_examples=80, deadline=None)
+@given(indexes(), st.sampled_from([0.02, 0.05, 0.1]),
+       st.sampled_from([0.3, 0.5, 0.8]))
+def test_pruned_generation_equals_exhaustive(index, minsup, minri):
+    optimized = generate_negative_candidates(
+        index, TAXONOMY, minsup, minri
+    )
+    reference = exhaustive(index, TAXONOMY, minsup, minri)
+    assert set(optimized) == set(reference)
+    for items, candidate in optimized.items():
+        assert abs(candidate.expected_support - reference[items]) < 1e-9

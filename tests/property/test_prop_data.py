@@ -1,0 +1,88 @@
+"""Property-based tests for the data layer (IO round-trips, filedb)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.database import TransactionDatabase
+from repro.data.filedb import FileBackedDatabase
+from repro.data.io import (
+    load_basket_file,
+    load_taxonomy_file,
+    save_basket_file,
+    save_taxonomy_file,
+)
+from repro.mining.apriori import find_large_itemsets
+from repro.taxonomy.tree import Taxonomy
+
+databases = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=500), min_size=1, max_size=10
+    ),
+    min_size=1,
+    max_size=50,
+).map(TransactionDatabase)
+
+
+@settings(max_examples=40, deadline=None)
+@given(databases)
+def test_basket_round_trip(tmp_path_factory, database):
+    path = tmp_path_factory.mktemp("baskets") / "data.basket"
+    save_basket_file(database, path)
+    assert list(load_basket_file(path)) == list(database)
+
+
+@settings(max_examples=40, deadline=None)
+@given(databases)
+def test_filedb_streams_identical_rows(tmp_path_factory, database):
+    path = tmp_path_factory.mktemp("filedb") / "data.basket"
+    save_basket_file(database, path)
+    from_disk = FileBackedDatabase(path)
+    assert list(from_disk.scan()) == list(database)
+    assert len(from_disk) == len(database)
+    assert from_disk.items == database.items
+    assert abs(
+        from_disk.average_length() - database.average_length()
+    ) < 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(databases, st.sampled_from([0.2, 0.5]))
+def test_mining_identical_through_filedb(
+    tmp_path_factory, database, minsup
+):
+    path = tmp_path_factory.mktemp("mine") / "data.basket"
+    save_basket_file(database, path)
+    from_disk = FileBackedDatabase(path)
+    assert find_large_itemsets(from_disk, minsup) == find_large_itemsets(
+        database, minsup
+    )
+
+
+@st.composite
+def taxonomies(draw):
+    size = draw(st.integers(min_value=1, max_value=25))
+    parents = {}
+    for node in range(1, size):
+        if draw(st.booleans()):
+            parents[node] = draw(
+                st.integers(min_value=0, max_value=node - 1)
+            )
+    names = {
+        node: f"node-{node}"
+        for node in range(size)
+        if draw(st.booleans())
+    }
+    roots = [node for node in range(size) if node not in parents]
+    return Taxonomy(parents, names=names, extra_roots=roots)
+
+
+@settings(max_examples=40, deadline=None)
+@given(taxonomies())
+def test_taxonomy_round_trip(tmp_path_factory, taxonomy):
+    path = tmp_path_factory.mktemp("tax") / "taxonomy.tsv"
+    save_taxonomy_file(taxonomy, path)
+    loaded = load_taxonomy_file(path)
+    assert loaded.nodes == taxonomy.nodes
+    assert loaded.parent_map() == taxonomy.parent_map()
+    assert loaded.leaves == taxonomy.leaves
+    assert loaded.names_map() == taxonomy.names_map()

@@ -1,0 +1,72 @@
+"""Property-based tests for itemset primitives."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.itemset import (
+    difference,
+    is_canonical,
+    is_subset,
+    itemset,
+    proper_nonempty_subsets,
+    union,
+)
+
+items_lists = st.lists(st.integers(min_value=0, max_value=200), max_size=12)
+canonical = items_lists.map(itemset)
+small_canonical = st.lists(
+    st.integers(min_value=0, max_value=30), min_size=1, max_size=6
+).map(itemset).filter(lambda s: len(s) >= 1)
+
+
+@given(items_lists)
+def test_itemset_is_canonical(raw):
+    assert is_canonical(itemset(raw))
+
+
+@given(items_lists)
+def test_itemset_idempotent(raw):
+    once = itemset(raw)
+    assert itemset(once) == once
+
+
+@given(canonical, canonical)
+def test_union_matches_set_semantics(left, right):
+    assert union(left, right) == itemset(set(left) | set(right))
+
+
+@given(canonical, canonical)
+def test_union_commutative(left, right):
+    assert union(left, right) == union(right, left)
+
+
+@given(canonical, canonical)
+def test_difference_matches_set_semantics(left, right):
+    assert difference(left, right) == itemset(set(left) - set(right))
+
+
+@given(canonical, canonical)
+def test_is_subset_matches_set_semantics(left, right):
+    assert is_subset(left, right) == (set(left) <= set(right))
+
+
+@given(canonical)
+def test_self_subset(items):
+    assert is_subset(items, items)
+
+
+@given(small_canonical)
+def test_proper_subsets_count(items):
+    subsets = proper_nonempty_subsets(items)
+    assert len(subsets) == 2 ** len(items) - 2
+    assert len(set(subsets)) == len(subsets)
+    for subset in subsets:
+        assert is_subset(subset, items)
+        assert subset != items
+        assert subset != ()
+
+
+@given(canonical, canonical)
+def test_union_difference_round_trip(left, right):
+    merged = union(left, right)
+    assert union(difference(merged, right), right) == merged

@@ -1,0 +1,122 @@
+"""Property-based tests: Figure 4's rule generator vs a brute oracle."""
+
+import random
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.negmining import NegativeItemset
+from repro.core.rulegen import generate_negative_rules
+from repro.itemset import itemset
+from repro.mining.itemset_index import LargeItemsetIndex
+
+
+@st.composite
+def scenarios(draw):
+    """A random negative itemset + a *realistic* index of its subsets.
+
+    Real large-itemset indexes are downward closed (every subset of a
+    large itemset is large) with monotone supports (subsets are at least
+    as frequent); both properties are what justifies Figure 4's pruning,
+    so the strategy enforces them: per-item frequency factors define
+    multiplicative (hence monotone) supports, and largeness is drawn as a
+    random downward-closed family.
+    """
+    size = draw(st.integers(min_value=2, max_value=5))
+    items = itemset(range(1, size + 1))
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    rng = random.Random(seed)
+    factor = {item: rng.uniform(0.3, 0.95) for item in items}
+    index = LargeItemsetIndex()
+    large: set = set()
+    for subset_size in range(1, size):
+        for subset in combinations(items, subset_size):
+            sub_subsets_large = all(
+                sub in large
+                for sub in combinations(subset, subset_size - 1)
+                if sub
+            )
+            if sub_subsets_large and rng.random() < 0.85:
+                support = 1.0
+                for item in subset:
+                    support *= factor[item]
+                index.add(subset, support)
+                large.add(subset)
+    expected = rng.uniform(0.01, 0.5)
+    actual = rng.uniform(0.0, expected)
+    negative = NegativeItemset(
+        items=items,
+        expected_support=expected,
+        actual_support=actual,
+        source=items,
+        case="children",
+    )
+    minri = draw(st.sampled_from([0.1, 0.3, 0.6]))
+    return negative, index, minri
+
+
+def oracle_rules(negative, index, minri):
+    """Every split meeting the paper's three rule conditions."""
+    items = negative.items
+    found = set()
+    for consequent_size in range(1, len(items)):
+        for consequent in combinations(items, consequent_size):
+            antecedent = tuple(
+                item for item in items if item not in consequent
+            )
+            if not index.is_large(consequent):
+                continue
+            if not index.is_large(antecedent):
+                continue
+            ri = (
+                negative.expected_support - negative.actual_support
+            ) / index.support(antecedent)
+            if ri >= minri:
+                found.add((antecedent, consequent))
+    return found
+
+
+@settings(max_examples=120, deadline=None)
+@given(scenarios())
+def test_exhaustive_mode_matches_oracle(scenario):
+    negative, index, minri = scenario
+    rules = generate_negative_rules(
+        [negative], index, minri, prune_small_antecedents=False
+    )
+    produced = {(rule.antecedent, rule.consequent) for rule in rules}
+    assert produced == oracle_rules(negative, index, minri)
+
+
+@settings(max_examples=120, deadline=None)
+@given(scenarios())
+def test_figure4_pruning_is_sound(scenario):
+    """Figure 4's pruned output is always a subset of the oracle with
+    correct RI values (it may skip rules hidden behind a small
+    antecedent, which is the documented pruning trade-off)."""
+    negative, index, minri = scenario
+    rules = generate_negative_rules(
+        [negative], index, minri, prune_small_antecedents=True
+    )
+    valid = oracle_rules(negative, index, minri)
+    for rule in rules:
+        assert (rule.antecedent, rule.consequent) in valid
+        expected_ri = (
+            negative.expected_support - negative.actual_support
+        ) / index.support(rule.antecedent)
+        assert abs(rule.ri - expected_ri) < 1e-12
+
+
+@settings(max_examples=120, deadline=None)
+@given(scenarios())
+def test_single_item_consequents_never_lost(scenario):
+    """The pruning only affects multi-item consequents: every oracle rule
+    with a 1-item consequent must appear even in pruned mode."""
+    negative, index, minri = scenario
+    rules = generate_negative_rules(
+        [negative], index, minri, prune_small_antecedents=True
+    )
+    produced = {(rule.antecedent, rule.consequent) for rule in rules}
+    for antecedent, consequent in oracle_rules(negative, index, minri):
+        if len(consequent) == 1:
+            assert (antecedent, consequent) in produced

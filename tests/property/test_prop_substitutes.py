@@ -1,0 +1,146 @@
+"""Property-based tests for substitute-knowledge candidate generation."""
+
+import random
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.substitutes import (
+    SubstituteGroups,
+    generate_substitute_candidates,
+    merge_candidate_sets,
+)
+from repro.mining.itemset_index import LargeItemsetIndex
+
+ITEMS = list(range(1, 13))
+
+
+@st.composite
+def scenarios(draw):
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    rng = random.Random(seed)
+    index = LargeItemsetIndex()
+    large_items = [
+        item for item in ITEMS if rng.random() < 0.7
+    ] or [ITEMS[0]]
+    for item in large_items:
+        index.add((item,), rng.uniform(0.05, 0.8))
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        if len(large_items) < 2:
+            break
+        first, second = rng.sample(large_items, 2)
+        pair = tuple(sorted((first, second)))
+        bound = min(index.support((first,)), index.support((second,)))
+        index.add(pair, rng.uniform(0.01, bound))
+    group_count = draw(st.integers(min_value=1, max_value=3))
+    groups = []
+    for _ in range(group_count):
+        size = rng.randint(2, 4)
+        groups.append(rng.sample(ITEMS, size))
+    return index, SubstituteGroups(groups)
+
+
+@settings(max_examples=80, deadline=None)
+@given(scenarios(), st.sampled_from([0.02, 0.05]),
+       st.sampled_from([0.3, 0.6]))
+def test_candidate_invariants(scenario, minsup, minri):
+    index, substitutes = scenario
+    candidates = generate_substitute_candidates(
+        index, substitutes, minsup, minri
+    )
+    for items, candidate in candidates.items():
+        # Not an existing large itemset; canonical; source size kept.
+        assert items not in index
+        assert items == tuple(sorted(set(items)))
+        assert len(items) == len(candidate.source)
+        assert candidate.case == "substitutes"
+        # Every member is a large 1-itemset.
+        assert all(index.is_large((item,)) for item in items)
+        # Expectation threshold respected.
+        assert candidate.expected_support >= minsup * minri - 1e-12
+        # Exactly one item was replaced (max_replacements default 1) and
+        # the new item is a declared substitute of the replaced one.
+        replaced_new = set(items) - set(candidate.source)
+        replaced_old = set(candidate.source) - set(items)
+        assert len(replaced_new) == 1 and len(replaced_old) == 1
+        new_item = next(iter(replaced_new))
+        old_item = next(iter(replaced_old))
+        assert new_item in substitutes.substitutes_of(old_item)
+        # Expectation reproducible from the recorded source.
+        rebuilt = index.support(candidate.source) * (
+            index.support((new_item,)) / index.support((old_item,))
+        )
+        assert abs(candidate.expected_support - rebuilt) < 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(scenarios(), st.sampled_from([0.02, 0.05]))
+def test_merge_keeps_max_expectation(scenario, minsup):
+    index, substitutes = scenario
+    first = generate_substitute_candidates(
+        index, substitutes, minsup, 0.3
+    )
+    second = generate_substitute_candidates(
+        index, substitutes, minsup, 0.6
+    )
+    merged = merge_candidate_sets(first, second)
+    assert set(merged) == set(first) | set(second)
+    for items, candidate in merged.items():
+        expectations = [
+            source[items].expected_support
+            for source in (first, second)
+            if items in source
+        ]
+        assert candidate.expected_support == max(expectations)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenarios(), st.integers(min_value=1, max_value=3))
+def test_replacement_cap_monotone(scenario, cap):
+    """Raising max_replacements can only add candidates."""
+    index, substitutes = scenario
+    smaller = generate_substitute_candidates(
+        index, substitutes, 0.02, 0.3, max_replacements=cap
+    )
+    larger = generate_substitute_candidates(
+        index, substitutes, 0.02, 0.3, max_replacements=cap + 1
+    )
+    assert set(smaller) <= set(larger)
+
+
+def test_oracle_equivalence_small():
+    """Exhaustive check on one fixed scenario."""
+    index = LargeItemsetIndex(
+        {
+            (1,): 0.5, (2,): 0.4, (3,): 0.3, (4,): 0.6,
+            (1, 4): 0.3, (2, 3): 0.2,
+        }
+    )
+    substitutes = SubstituteGroups([[1, 2], [3, 4]])
+    candidates = generate_substitute_candidates(
+        index, substitutes, 0.05, 0.5
+    )
+    expected = {}
+    for source in ((1, 4), (2, 3)):
+        base = index.support(source)
+        for position, item in enumerate(source):
+            for partner in substitutes.substitutes_of(item):
+                new_items = list(source)
+                new_items[position] = partner
+                candidate = tuple(sorted(set(new_items)))
+                if len(candidate) != 2 or candidate in index:
+                    continue
+                value = base * (
+                    index.support((partner,)) / index.support((item,))
+                )
+                if value >= 0.025:
+                    expected[candidate] = max(
+                        expected.get(candidate, 0.0), value
+                    )
+    assert {
+        items: candidate.expected_support
+        for items, candidate in candidates.items()
+    } == dict(
+        (items, value) for items, value in expected.items()
+    )

@@ -1,0 +1,98 @@
+"""Property-based tests for taxonomy invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.taxonomy.prune import restrict_to_items
+from repro.taxonomy.tree import Taxonomy
+
+
+@st.composite
+def taxonomies(draw):
+    """Random forests built by attaching each node to an earlier one."""
+    size = draw(st.integers(min_value=1, max_value=30))
+    parents = {}
+    for node in range(1, size):
+        if draw(st.booleans()):
+            parents[node] = draw(
+                st.integers(min_value=0, max_value=node - 1)
+            )
+    roots = [node for node in range(size) if node not in parents]
+    return Taxonomy(parents, extra_roots=roots)
+
+
+@settings(max_examples=60, deadline=None)
+@given(taxonomies())
+def test_leaves_and_categories_partition_nodes(taxonomy):
+    leaves = taxonomy.leaves
+    categories = taxonomy.categories
+    assert leaves | categories == set(taxonomy.nodes)
+    assert not leaves & categories
+
+
+@settings(max_examples=60, deadline=None)
+@given(taxonomies())
+def test_parent_child_consistency(taxonomy):
+    for node in taxonomy.nodes:
+        for child in taxonomy.children(node):
+            assert taxonomy.parent(child) == node
+        parent = taxonomy.parent(node)
+        if parent is not None:
+            assert node in taxonomy.children(parent)
+
+
+@settings(max_examples=60, deadline=None)
+@given(taxonomies())
+def test_sibling_symmetry(taxonomy):
+    for node in taxonomy.nodes:
+        for sibling in taxonomy.siblings(node):
+            assert node in taxonomy.siblings(sibling)
+            assert taxonomy.parent(sibling) == taxonomy.parent(node)
+
+
+@settings(max_examples=60, deadline=None)
+@given(taxonomies())
+def test_ancestor_chain_matches_depth(taxonomy):
+    for node in taxonomy.nodes:
+        chain = taxonomy.ancestors(node)
+        assert len(chain) == taxonomy.depth(node)
+        # Chain is nearest-first and strictly ascending in depth terms.
+        for position, ancestor in enumerate(chain):
+            assert taxonomy.depth(ancestor) == taxonomy.depth(node) - (
+                position + 1
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(taxonomies())
+def test_closure_is_idempotent_and_monotone(taxonomy):
+    nodes = list(taxonomy.nodes)
+    closed = taxonomy.ancestor_closure(nodes[: max(1, len(nodes) // 2)])
+    assert taxonomy.ancestor_closure(closed) == closed
+
+
+@settings(max_examples=60, deadline=None)
+@given(taxonomies(), st.data())
+def test_restrict_preserves_relations_among_kept(taxonomy, data):
+    keep = data.draw(
+        st.sets(st.sampled_from(list(taxonomy.nodes)))
+        if taxonomy.nodes
+        else st.just(set())
+    )
+    pruned = restrict_to_items(taxonomy, keep)
+    assert set(pruned.nodes) == set(keep)
+    for node in keep:
+        parent = taxonomy.parent(node)
+        if parent in keep:
+            assert pruned.parent(node) == parent
+        else:
+            assert pruned.parent(node) is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(taxonomies())
+def test_leaf_descendants_are_leaves_below(taxonomy):
+    for node in taxonomy.nodes:
+        for leaf in taxonomy.leaf_descendants(node):
+            assert taxonomy.is_leaf(leaf)
+            assert leaf == node or taxonomy.is_ancestor(node, leaf)

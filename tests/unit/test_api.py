@@ -1,0 +1,127 @@
+"""Unit tests for the high-level mine_negative_rules façade."""
+
+import pytest
+
+from repro.core.api import (
+    MiningConfig,
+    NegativeMiningResult,
+    mine_negative_rules,
+)
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigError
+
+
+class TestMiningConfig:
+    def test_defaults_valid(self):
+        config = MiningConfig()
+        assert config.miner == "improved"
+        assert config.algorithm == "cumulate"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("minsup", 0.0),
+            ("minri", 1.5),
+            ("miner", "other"),
+            ("algorithm", "other"),
+            ("engine", "other"),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            MiningConfig(**{field: value})
+
+
+class TestMineNegativeRules:
+    def test_accepts_raw_transactions(self, soft_drinks_taxonomy):
+        taxonomy = soft_drinks_taxonomy
+        coke, pepsi = taxonomy.id_of("Coke"), taxonomy.id_of("Pepsi")
+        rows = [[coke]] * 50 + [[pepsi]] * 50
+        result = mine_negative_rules(rows, taxonomy, minsup=0.2, minri=0.2)
+        assert isinstance(result, NegativeMiningResult)
+
+    def test_accepts_database(self, soft_drinks_taxonomy,
+                              soft_drinks_database):
+        result = mine_negative_rules(
+            soft_drinks_database, soft_drinks_taxonomy,
+            minsup=0.05, minri=0.4,
+        )
+        assert result.rules
+
+    def test_finds_motivating_rule(self, soft_drinks_taxonomy,
+                                   soft_drinks_database):
+        """Paper Example 1: Ruffles goes with Coke, hence not with Pepsi."""
+        taxonomy = soft_drinks_taxonomy
+        result = mine_negative_rules(
+            soft_drinks_database, taxonomy, minsup=0.05, minri=0.4,
+        )
+        pepsi = taxonomy.id_of("Pepsi")
+        ruffles = taxonomy.id_of("Ruffles")
+        pairs = {(rule.antecedent, rule.consequent) for rule in result.rules}
+        assert ((pepsi,), (ruffles,)) in pairs
+
+    def test_rule_sides_meet_minsup(self, soft_drinks_taxonomy,
+                                    soft_drinks_database):
+        result = mine_negative_rules(
+            soft_drinks_database, soft_drinks_taxonomy,
+            minsup=0.05, minri=0.4,
+        )
+        for rule in result.rules:
+            assert rule.antecedent_support >= 0.05
+            assert rule.consequent_support >= 0.05
+
+    def test_rules_meet_minri(self, soft_drinks_taxonomy,
+                              soft_drinks_database):
+        result = mine_negative_rules(
+            soft_drinks_database, soft_drinks_taxonomy,
+            minsup=0.05, minri=0.4,
+        )
+        assert all(rule.ri >= 0.4 for rule in result.rules)
+
+    def test_config_object_with_overrides(self, soft_drinks_taxonomy,
+                                          soft_drinks_database):
+        config = MiningConfig(minsup=0.5, minri=0.9, engine="index")
+        result = mine_negative_rules(
+            soft_drinks_database,
+            soft_drinks_taxonomy,
+            minsup=0.05,
+            config=config,
+        )
+        assert result.config.minsup == 0.05   # override wins
+        assert result.config.minri == 0.9     # from config
+        assert result.config.engine == "index"
+
+    def test_naive_and_improved_agree(self, soft_drinks_taxonomy,
+                                      soft_drinks_database):
+        improved = mine_negative_rules(
+            soft_drinks_database, soft_drinks_taxonomy,
+            minsup=0.05, minri=0.4, miner="improved",
+        )
+        naive = mine_negative_rules(
+            soft_drinks_database, soft_drinks_taxonomy,
+            minsup=0.05, minri=0.4, miner="naive",
+        )
+        improved_rules = {
+            (rule.antecedent, rule.consequent) for rule in improved.rules
+        }
+        naive_rules = {
+            (rule.antecedent, rule.consequent) for rule in naive.rules
+        }
+        assert improved_rules == naive_rules
+
+    def test_summary_mentions_rules(self, soft_drinks_taxonomy,
+                                    soft_drinks_database):
+        result = mine_negative_rules(
+            soft_drinks_database, soft_drinks_taxonomy,
+            minsup=0.05, minri=0.4,
+        )
+        text = result.summary(soft_drinks_taxonomy, limit=2)
+        assert "rules" in text
+        assert "=/=>" in text
+
+    def test_invalid_override_rejected(self, soft_drinks_taxonomy):
+        database = TransactionDatabase([[0]])
+        with pytest.raises(ConfigError):
+            mine_negative_rules(
+                database, soft_drinks_taxonomy, minsup=2.0
+            )

@@ -1,0 +1,139 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.io import (
+    load_basket_file,
+    load_taxonomy_file,
+    save_basket_file,
+    save_taxonomy_file,
+)
+from repro.data.database import TransactionDatabase
+from repro.taxonomy.builders import taxonomy_from_nested
+
+
+@pytest.fixture
+def dataset_files(tmp_path):
+    """A tiny on-disk dataset with a planted negative association."""
+    taxonomy = taxonomy_from_nested(
+        {"drinks": {"soda": ["cola", "lemonade"], "water": ["still"]}}
+    )
+    cola = taxonomy.id_of("cola")
+    lemonade = taxonomy.id_of("lemonade")
+    still = taxonomy.id_of("still")
+    rows = [[cola, still]] * 40 + [[lemonade]] * 40 + [[cola]] * 20
+    baskets = tmp_path / "data.basket"
+    tax_path = tmp_path / "tax.tsv"
+    save_basket_file(TransactionDatabase(rows), baskets)
+    save_taxonomy_file(taxonomy, tax_path)
+    return str(baskets), str(tax_path)
+
+
+class TestGenerate:
+    def test_writes_both_files(self, tmp_path, capsys):
+        baskets = tmp_path / "out.basket"
+        taxonomy = tmp_path / "out.tsv"
+        code = main(
+            [
+                "generate",
+                "--preset", "short",
+                "--scale", "0.01",
+                "--transactions", "50",
+                "--seed", "3",
+                "--baskets", str(baskets),
+                "--taxonomy", str(taxonomy),
+            ]
+        )
+        assert code == 0
+        assert len(load_basket_file(baskets)) == 50
+        assert len(load_taxonomy_file(taxonomy)) > 0
+        assert "wrote 50 transactions" in capsys.readouterr().out
+
+    def test_tall_preset(self, tmp_path):
+        code = main(
+            [
+                "generate",
+                "--preset", "tall",
+                "--scale", "0.01",
+                "--transactions", "20",
+                "--baskets", str(tmp_path / "b"),
+                "--taxonomy", str(tmp_path / "t"),
+            ]
+        )
+        assert code == 0
+
+
+class TestMine:
+    def test_prints_rules(self, dataset_files, capsys):
+        baskets, taxonomy = dataset_files
+        code = main(
+            [
+                "mine",
+                "--baskets", baskets,
+                "--taxonomy", taxonomy,
+                "--minsup", "0.2",
+                "--minri", "0.3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rules" in out
+
+    def test_naive_miner_flag(self, dataset_files, capsys):
+        baskets, taxonomy = dataset_files
+        code = main(
+            [
+                "mine",
+                "--baskets", baskets,
+                "--taxonomy", taxonomy,
+                "--minsup", "0.2",
+                "--minri", "0.3",
+                "--miner", "naive",
+            ]
+        )
+        assert code == 0
+
+    def test_config_error_exits_2(self, dataset_files, capsys):
+        baskets, taxonomy = dataset_files
+        code = main(
+            [
+                "mine",
+                "--baskets", baskets,
+                "--taxonomy", taxonomy,
+                "--minsup", "2.0",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPositive:
+    def test_prints_positive_rules(self, dataset_files, capsys):
+        baskets, taxonomy = dataset_files
+        code = main(
+            [
+                "positive",
+                "--baskets", baskets,
+                "--taxonomy", taxonomy,
+                "--minsup", "0.2",
+                "--minconf", "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "large itemsets" in out
+        assert "=>" in out
+
+
+class TestInspect:
+    def test_prints_statistics(self, dataset_files, capsys):
+        baskets, taxonomy = dataset_files
+        code = main(
+            ["inspect", "--baskets", baskets, "--taxonomy", taxonomy]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TransactionDatabase" in out
+        assert "Taxonomy" in out
+        assert "covered" in out

@@ -1,0 +1,100 @@
+"""Unit tests for the analyze subcommand and the --explain flag."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.database import TransactionDatabase
+from repro.data.io import save_basket_file, save_taxonomy_file
+from repro.taxonomy.builders import taxonomy_from_nested
+
+
+@pytest.fixture
+def dataset_files(tmp_path):
+    taxonomy = taxonomy_from_nested(
+        {
+            "drinks": {
+                "soda": ["cola", "lemonade"],
+                "water": ["still", "sparkling"],
+            }
+        }
+    )
+    cola = taxonomy.id_of("cola")
+    lemonade = taxonomy.id_of("lemonade")
+    still = taxonomy.id_of("still")
+    rows = (
+        [[cola, still]] * 40
+        + [[lemonade]] * 40
+        + [[cola]] * 15
+        + [[taxonomy.id_of("sparkling")]] * 5
+    )
+    baskets = tmp_path / "d.basket"
+    tax = tmp_path / "d.tax"
+    save_basket_file(TransactionDatabase(rows), baskets)
+    save_taxonomy_file(taxonomy, tax)
+    return str(baskets), str(tax)
+
+
+class TestAnalyze:
+    def test_prints_profile(self, dataset_files, capsys):
+        baskets, taxonomy = dataset_files
+        code = main(
+            ["analyze", "--baskets", baskets, "--taxonomy", taxonomy]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg_fanout" in out
+        assert "depth histogram" in out
+
+    def test_balance_section(self, dataset_files, capsys):
+        baskets, taxonomy = dataset_files
+        main(["analyze", "--baskets", baskets, "--taxonomy", taxonomy])
+        out = capsys.readouterr().out
+        assert "least balanced categories" in out
+
+    def test_coarse_fanout_flag(self, dataset_files, capsys):
+        baskets, taxonomy = dataset_files
+        code = main(
+            [
+                "analyze",
+                "--baskets", baskets,
+                "--taxonomy", taxonomy,
+                "--coarse-fanout", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coarse categories" in out
+
+
+class TestMineExplain:
+    def test_explain_prints_derivations(self, dataset_files, capsys):
+        baskets, taxonomy = dataset_files
+        code = main(
+            [
+                "mine",
+                "--baskets", baskets,
+                "--taxonomy", taxonomy,
+                "--minsup", "0.1",
+                "--minri", "0.3",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        if "=/=>" in out:  # rules found: derivations must follow
+            assert "E[sup]" in out
+            assert "RI =" in out
+
+    def test_sibling_cap_flag_accepted(self, dataset_files, capsys):
+        baskets, taxonomy = dataset_files
+        code = main(
+            [
+                "mine",
+                "--baskets", baskets,
+                "--taxonomy", taxonomy,
+                "--minsup", "0.1",
+                "--minri", "0.3",
+                "--max-sibling-replacements", "1",
+            ]
+        )
+        assert code == 0

@@ -1,0 +1,105 @@
+"""Unit tests for the cluster/itemset consumer-choice model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GenerationError
+from repro.synthetic.clusters import (
+    build_cluster_model,
+    leaf_parent_categories,
+)
+from repro.synthetic.params import GeneratorParams
+from repro.taxonomy.builders import taxonomy_from_parents
+from repro.synthetic.taxonomy_gen import generate_taxonomy
+
+
+@pytest.fixture
+def params():
+    return GeneratorParams(
+        num_items=300,
+        num_roots=5,
+        fanout=5.0,
+        num_clusters=40,
+        avg_cluster_size=3.0,
+        avg_itemset_size=4.0,
+        avg_itemsets_per_cluster=2.0,
+    )
+
+
+@pytest.fixture
+def taxonomy(params):
+    return generate_taxonomy(params, np.random.default_rng(0))
+
+
+class TestLeafParentCategories:
+    def test_all_children_are_leaves(self, taxonomy):
+        for category in leaf_parent_categories(taxonomy):
+            assert all(
+                taxonomy.is_leaf(child)
+                for child in taxonomy.children(category)
+            )
+
+    def test_hand_built_example(self):
+        # 0 -> (1, 2); 2 -> (3, 4): only 2 is a leaf-parent.
+        taxonomy = taxonomy_from_parents({1: 0, 2: 0, 3: 2, 4: 2})
+        assert leaf_parent_categories(taxonomy) == [2]
+
+
+class TestBuildClusterModel:
+    @pytest.fixture
+    def model(self, taxonomy, params):
+        return build_cluster_model(
+            taxonomy, params, np.random.default_rng(1)
+        )
+
+    def test_cluster_count(self, model, params):
+        assert len(model.clusters) == params.num_clusters
+
+    def test_cluster_weights_normalized(self, model):
+        assert sum(model.cluster_weights) == pytest.approx(1.0)
+        assert all(weight > 0 for weight in model.cluster_weights)
+
+    def test_itemset_weights_normalized(self, model):
+        for cluster in model.clusters:
+            assert sum(cluster.itemset_weights) == pytest.approx(1.0)
+
+    def test_cluster_members_are_leaf_parents(self, model, taxonomy):
+        eligible = set(leaf_parent_categories(taxonomy))
+        for cluster in model.clusters:
+            assert set(cluster.categories) <= eligible
+
+    def test_itemsets_drawn_from_cluster_children(self, model, taxonomy):
+        for cluster in model.clusters:
+            pool = {
+                child
+                for category in cluster.categories
+                for child in taxonomy.children(category)
+            }
+            for items in cluster.itemsets:
+                assert set(items) <= pool
+
+    def test_itemsets_are_leaf_items(self, model, taxonomy):
+        for cluster in model.clusters:
+            for items in cluster.itemsets:
+                assert all(taxonomy.is_leaf(item) for item in items)
+
+    def test_corruption_levels_clamped(self, model):
+        for cluster in model.clusters:
+            assert all(
+                0.0 <= level <= 1.0 for level in cluster.corruption_levels
+            )
+            assert len(cluster.corruption_levels) == len(cluster.itemsets)
+
+    def test_deterministic_with_seed(self, taxonomy, params):
+        first = build_cluster_model(
+            taxonomy, params, np.random.default_rng(9)
+        )
+        second = build_cluster_model(
+            taxonomy, params, np.random.default_rng(9)
+        )
+        assert first == second
+
+    def test_no_leaf_parents_raises(self, params):
+        flat = taxonomy_from_parents({}, extra_roots=range(20))
+        with pytest.raises(GenerationError, match="no categories"):
+            build_cluster_model(flat, params, np.random.default_rng(0))

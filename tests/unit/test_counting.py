@@ -1,0 +1,75 @@
+"""Unit tests for the pluggable counting engines."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mining.counting import ENGINES, count_supports
+from repro.taxonomy.builders import taxonomy_from_parents
+
+ROWS = [(1, 2, 3), (2, 3), (1, 3), (3,), (1, 2)]
+CANDIDATES = [(1,), (2, 3), (1, 2, 3), (4,), (1, 3)]
+EXPECTED = {(1,): 3, (2, 3): 2, (1, 2, 3): 1, (4,): 0, (1, 3): 2}
+
+
+class TestEnginesAgree:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_counts(self, engine):
+        assert count_supports(ROWS, CANDIDATES, engine=engine) == EXPECTED
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_empty_candidates(self, engine):
+        assert count_supports(ROWS, [], engine=engine) == {}
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown counting engine"):
+            count_supports(ROWS, CANDIDATES, engine="quantum")
+
+
+class TestGeneralizedCounting:
+    @pytest.fixture
+    def taxonomy(self):
+        # 0 -> (1, 2); 10 -> (3,); isolated 4.
+        return taxonomy_from_parents({1: 0, 2: 0, 3: 10}, extra_roots=[4])
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_category_counts_cover_descendants(self, taxonomy, engine):
+        rows = [(1,), (2,), (3,), (1, 3)]
+        counts = count_supports(
+            rows, [(0,), (10,), (0, 10)], taxonomy=taxonomy, engine=engine
+        )
+        assert counts == {(0,): 3, (10,): 2, (0, 10): 1}
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_leaf_candidates_unchanged_by_extension(self, taxonomy, engine):
+        rows = [(1,), (1, 2)]
+        counts = count_supports(
+            rows, [(1,), (1, 2)], taxonomy=taxonomy, engine=engine
+        )
+        assert counts == {(1,): 2, (1, 2): 1}
+
+    def test_restriction_does_not_change_counts(self, taxonomy):
+        rows = [(1, 3), (2, 4), (1, 2, 3)]
+        candidates = [(0,), (0, 10)]
+        plain = count_supports(rows, candidates, taxonomy=taxonomy)
+        restricted = count_supports(
+            rows,
+            candidates,
+            taxonomy=taxonomy,
+            restrict_to_candidate_items=True,
+        )
+        assert plain == restricted
+
+    def test_mixed_level_candidate(self, taxonomy):
+        # {leaf 1, category 10} matched through ancestor extension.
+        rows = [(1, 3), (1,), (3,)]
+        counts = count_supports(rows, [(1, 10)], taxonomy=taxonomy)
+        assert counts == {(1, 10): 1}
+
+
+class TestMixedSizeCandidates:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_sizes_one_to_three_in_one_call(self, engine):
+        counts = count_supports(
+            ROWS, [(3,), (1, 2), (1, 2, 3)], engine=engine
+        )
+        assert counts == {(3,): 4, (1, 2): 2, (1, 2, 3): 1}

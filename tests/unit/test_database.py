@@ -1,0 +1,84 @@
+"""Unit tests for the transaction database substrate."""
+
+import pytest
+
+from repro.data.database import TransactionDatabase
+from repro.errors import DatabaseError
+
+
+class TestConstruction:
+    def test_canonicalizes_rows(self):
+        database = TransactionDatabase([[3, 1, 1, 2]])
+        assert database.transaction(0) == (1, 2, 3)
+
+    def test_rejects_empty_transaction(self):
+        with pytest.raises(DatabaseError):
+            TransactionDatabase([[1], []])
+
+    def test_rejects_empty_database(self):
+        with pytest.raises(DatabaseError):
+            TransactionDatabase([])
+
+    def test_len(self):
+        assert len(TransactionDatabase([[1], [2], [3]])) == 3
+
+    def test_accepts_sets_and_tuples(self):
+        database = TransactionDatabase([{2, 1}, (4, 3)])
+        assert database.transaction(1) == (3, 4)
+
+
+class TestScanAccounting:
+    def test_scan_counts_passes(self):
+        database = TransactionDatabase([[1], [2]])
+        assert database.scans == 0
+        list(database.scan())
+        list(database.scan())
+        assert database.scans == 2
+
+    def test_plain_iteration_is_free(self):
+        database = TransactionDatabase([[1], [2]])
+        list(database)
+        assert database.scans == 0
+
+    def test_reset(self):
+        database = TransactionDatabase([[1]])
+        list(database.scan())
+        database.reset_scans()
+        assert database.scans == 0
+
+    def test_scan_yields_all_rows(self):
+        database = TransactionDatabase([[1, 2], [3]])
+        assert list(database.scan()) == [(1, 2), (3,)]
+
+
+class TestStatistics:
+    @pytest.fixture
+    def database(self):
+        return TransactionDatabase([[1, 2], [2, 3], [2]])
+
+    def test_items(self, database):
+        assert database.items == {1, 2, 3}
+
+    def test_item_counts(self, database):
+        assert database.item_counts() == {1: 1, 2: 3, 3: 1}
+
+    def test_item_counts_not_a_pass(self, database):
+        database.item_counts()
+        assert database.scans == 0
+
+    def test_average_length(self, database):
+        assert database.average_length() == pytest.approx(5 / 3)
+
+    def test_absolute_and_fraction(self, database):
+        assert database.absolute(0.5) == pytest.approx(1.5)
+        assert database.fraction(3) == pytest.approx(1.0)
+
+    def test_tid_lookup(self, database):
+        assert database.transaction(1) == (2, 3)
+
+    def test_unknown_tid_raises(self, database):
+        with pytest.raises(DatabaseError):
+            database.transaction(99)
+
+    def test_repr(self, database):
+        assert "transactions=3" in repr(database)

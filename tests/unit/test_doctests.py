@@ -1,0 +1,45 @@
+"""Run the doctest examples embedded in public docstrings.
+
+Keeps every ``>>>`` example in the API documentation executable and
+correct — documentation that drifts from the code fails the suite.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.api
+import repro.core.substitutes
+import repro.itemset
+import repro.measures.information
+import repro.mining.apriori
+import repro.taxonomy.builders
+
+MODULES = [
+    repro.itemset,
+    repro.mining.apriori,
+    repro.core.api,
+    repro.core.substitutes,
+    repro.measures.information,
+    repro.taxonomy.builders,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[module.__name__ for module in MODULES]
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module.__name__}"
+    )
+
+
+def test_at_least_some_examples_exist():
+    """Guard against silently losing all examples (e.g. a refactor that
+    strips docstrings): the suite must actually be testing something."""
+    total = sum(
+        doctest.testmod(module, verbose=False).attempted
+        for module in MODULES
+    )
+    assert total >= 5

@@ -1,0 +1,65 @@
+"""Unit tests for the analytic candidate-count estimate (Sec 2.1.2)."""
+
+import pytest
+
+from repro.core.estimate import (
+    estimate_candidates_per_itemset,
+    estimate_total_candidates,
+)
+from repro.errors import ConfigError
+
+
+class TestPerItemsetEstimate:
+    def test_pair_formula(self):
+        # k=2: C(2,1)f + C(2,2)f^2 + 2(f-1).
+        fanout = 3.0
+        expected = 2 * 3 + 9 + 2 * 2
+        assert estimate_candidates_per_itemset(2, fanout) == pytest.approx(
+            expected
+        )
+
+    def test_k1(self):
+        assert estimate_candidates_per_itemset(1, 4.0) == pytest.approx(
+            4 + 3
+        )
+
+    def test_grows_with_fanout(self):
+        small = estimate_candidates_per_itemset(3, 3.0)
+        large = estimate_candidates_per_itemset(3, 9.0)
+        assert large > small
+
+    def test_exponential_in_size(self):
+        values = [
+            estimate_candidates_per_itemset(k, 5.0) for k in range(1, 6)
+        ]
+        ratios = [b / a for a, b in zip(values, values[1:])]
+        # Each extra position multiplies the children term by ~f.
+        assert all(ratio > 2.0 for ratio in ratios)
+
+    def test_fanout_one_gives_no_siblings(self):
+        # f=1: each position has one child and no siblings.
+        assert estimate_candidates_per_itemset(2, 1.0) == pytest.approx(
+            2 + 1
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            estimate_candidates_per_itemset(0, 3.0)
+        with pytest.raises(ConfigError):
+            estimate_candidates_per_itemset(2, 0.5)
+
+
+class TestTotalEstimate:
+    def test_weighted_sum(self):
+        sizes = {2: 10, 3: 4}
+        total = estimate_total_candidates(sizes, 3.0)
+        assert total == pytest.approx(
+            10 * estimate_candidates_per_itemset(2, 3.0)
+            + 4 * estimate_candidates_per_itemset(3, 3.0)
+        )
+
+    def test_singletons_ignored(self):
+        assert estimate_total_candidates({1: 100}, 3.0) == 0.0
+
+    def test_empty(self):
+        assert estimate_total_candidates({}, 3.0) == 0.0

@@ -1,0 +1,57 @@
+"""Unit tests for expected-support computation (Cases 1-3)."""
+
+import pytest
+
+from repro.core.expectation import expected_support
+from repro.errors import ConfigError
+
+
+class TestExpectedSupport:
+    def test_no_replacements_is_identity(self):
+        assert expected_support(0.15, []) == pytest.approx(0.15)
+
+    def test_case1_both_children_replaced(self):
+        # E[sup(DJ)] = sup(CG) * sup(D)/sup(C) * sup(J)/sup(G)
+        value = expected_support(0.15, [(0.05, 0.2), (0.1, 0.4)])
+        assert value == pytest.approx(0.15 * (0.05 / 0.2) * (0.1 / 0.4))
+
+    def test_case2_single_child_replaced(self):
+        # E[sup(CJ)] = sup(CG) * sup(J)/sup(G)
+        value = expected_support(0.15, [(0.1, 0.4)])
+        assert value == pytest.approx(0.0375)
+
+    def test_case3_sibling_replaced(self):
+        # E[sup(CH)] = sup(CG) * sup(H)/sup(G)
+        value = expected_support(0.2, [(0.3, 0.4)])
+        assert value == pytest.approx(0.15)
+
+    def test_order_of_replacements_irrelevant(self):
+        pairs = [(0.1, 0.2), (0.3, 0.5), (0.2, 0.4)]
+        assert expected_support(0.5, pairs) == pytest.approx(
+            expected_support(0.5, list(reversed(pairs)))
+        )
+
+    def test_equal_ratio_keeps_base(self):
+        assert expected_support(0.3, [(0.2, 0.2)]) == pytest.approx(0.3)
+
+    def test_zero_new_support_gives_zero(self):
+        assert expected_support(0.3, [(0.0, 0.5)]) == 0.0
+
+    def test_formula_applied_to_table1_supports(self):
+        # The Case-1 formula on Table 1 of the paper (fractions of 100k):
+        # E[{Bryers, Perrier}] = 0.15 * (0.2/0.3) * (0.05/0.2) = 0.025 —
+        # i.e. 2,500, not the published 4,000 (see DESIGN.md).
+        value = expected_support(0.15, [(0.2, 0.3), (0.05, 0.2)])
+        assert value == pytest.approx(0.025)
+
+    def test_zero_old_support_rejected(self):
+        with pytest.raises(ConfigError, match="replaced-item"):
+            expected_support(0.3, [(0.2, 0.0)])
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ConfigError):
+            expected_support(-0.1, [])
+
+    def test_negative_new_support_rejected(self):
+        with pytest.raises(ConfigError):
+            expected_support(0.1, [(-0.2, 0.5)])

@@ -1,0 +1,126 @@
+"""Unit tests for rule/derivation explanations."""
+
+import pytest
+
+from repro.core.api import mine_negative_rules
+from repro.core.explain import (
+    derive,
+    explain_result_rule,
+    explain_rule,
+    format_derivation,
+)
+from repro.data.database import TransactionDatabase
+
+
+@pytest.fixture
+def mined(figure2_taxonomy):
+    """The consistent Table-1 database mined end to end."""
+    taxonomy = figure2_taxonomy
+    bryers = taxonomy.id_of("Bryers")
+    healthy = taxonomy.id_of("Healthy Choice")
+    evian = taxonomy.id_of("Evian")
+    perrier = taxonomy.id_of("Perrier")
+    filler = taxonomy.id_of("Carbonated")
+    groups = [
+        ([bryers, evian], 1200),
+        ([bryers, perrier], 50),
+        ([bryers], 750),
+        ([healthy, evian], 420),
+        ([healthy, perrier], 250),
+        ([healthy], 330),
+        ([evian], 380),
+        ([perrier], 500),
+        ([filler], 6120),
+    ]
+    rows = [row for row, count in groups for _ in range(count)]
+    database = TransactionDatabase(rows)
+    result = mine_negative_rules(
+        database, taxonomy, minsup=0.04, minri=0.5
+    )
+    return taxonomy, result
+
+
+class TestDerive:
+    def test_reconstructs_expectation(self, mined):
+        taxonomy, result = mined
+        bryers = taxonomy.id_of("Bryers")
+        perrier = taxonomy.id_of("Perrier")
+        pair = tuple(sorted((bryers, perrier)))
+        negative = next(
+            n for n in result.negative_itemsets if n.items == pair
+        )
+        derivation = derive(negative, result.large_itemsets, taxonomy)
+        rebuilt = derivation.base_support
+        for replacement in derivation.replacements:
+            rebuilt *= replacement.ratio
+        assert rebuilt == pytest.approx(negative.expected_support)
+
+    def test_replacement_partners_are_relatives(self, mined):
+        taxonomy, result = mined
+        for negative in result.negative_itemsets:
+            derivation = derive(negative, result.large_itemsets, taxonomy)
+            for replacement in derivation.replacements:
+                new, old = replacement.new_item, replacement.source_item
+                related = (
+                    taxonomy.parent(new) == old
+                    or taxonomy.parent(new) == taxonomy.parent(old)
+                )
+                assert related
+
+
+class TestFormatting:
+    def test_derivation_text_shows_formula(self, mined):
+        taxonomy, result = mined
+        negative = result.negative_itemsets[0]
+        derivation = derive(negative, result.large_itemsets, taxonomy)
+        text = format_derivation(derivation, taxonomy)
+        assert "E[sup] =" in text
+        assert "derived from large itemset" in text
+        assert f"{negative.actual_support:.4f}" in text
+
+    def test_rule_explanation_shows_ri(self, mined):
+        taxonomy, result = mined
+        rule = result.rules[0]
+        negative = next(
+            n for n in result.negative_itemsets if n.items == rule.items
+        )
+        text = explain_rule(
+            rule, negative, result.large_itemsets, taxonomy
+        )
+        assert "RI =" in text
+        assert f"{rule.ri:.3f}" in text
+        assert "=/=>" in text
+
+    def test_explain_result_rule_lookup(self, mined):
+        taxonomy, result = mined
+        rule = result.rules[-1]
+        text = explain_result_rule(
+            rule, result.negative_itemsets, result.large_itemsets,
+            taxonomy,
+        )
+        assert "negative itemset" in text
+
+    def test_explain_unknown_rule_raises(self, mined):
+        taxonomy, result = mined
+        rule = result.rules[0]
+        with pytest.raises(KeyError):
+            explain_result_rule(
+                rule, [], result.large_itemsets, taxonomy
+            )
+
+    def test_paper_style_perrier_explanation(self, mined):
+        """The flagship rule's explanation reads like Section 2.1.3."""
+        taxonomy, result = mined
+        perrier = taxonomy.id_of("Perrier")
+        bryers = taxonomy.id_of("Bryers")
+        rule = next(
+            r
+            for r in result.rules
+            if r.antecedent == (perrier,) and r.consequent == (bryers,)
+        )
+        text = explain_result_rule(
+            rule, result.negative_itemsets, result.large_itemsets,
+            taxonomy,
+        )
+        assert "Perrier" in text and "Bryers" in text
+        assert "case:" in text

@@ -1,0 +1,113 @@
+"""Unit tests for the disk-backed streaming database."""
+
+import pytest
+
+from repro.core.api import mine_negative_rules
+from repro.data.database import TransactionDatabase
+from repro.data.filedb import FileBackedDatabase
+from repro.data.io import save_basket_file
+from repro.errors import DatabaseError
+from repro.mining.apriori import find_large_itemsets
+from repro.taxonomy.builders import taxonomy_from_nested
+
+
+@pytest.fixture
+def basket_path(tmp_path):
+    database = TransactionDatabase(
+        [[1, 2, 3], [1, 2], [2, 3], [4], [1, 2, 3, 4]]
+    )
+    path = tmp_path / "data.basket"
+    save_basket_file(database, path)
+    return path
+
+
+class TestFileBackedDatabase:
+    def test_rows_match_file(self, basket_path):
+        database = FileBackedDatabase(basket_path)
+        assert list(database) == [
+            (1, 2, 3), (1, 2), (2, 3), (4,), (1, 2, 3, 4)
+        ]
+
+    def test_len_and_stats(self, basket_path):
+        database = FileBackedDatabase(basket_path)
+        assert len(database) == 5
+        assert database.items == {1, 2, 3, 4}
+        assert database.average_length() == pytest.approx(12 / 5)
+
+    def test_scan_counting(self, basket_path):
+        database = FileBackedDatabase(basket_path)
+        assert database.scans == 0  # validation read not counted
+        list(database.scan())
+        list(database.scan())
+        assert database.scans == 2
+        database.reset_scans()
+        assert database.scans == 0
+
+    def test_each_scan_rereads_the_file(self, basket_path):
+        database = FileBackedDatabase(basket_path)
+        first = list(database.scan())
+        # Mutate the file between passes: the next scan must see it.
+        with open(basket_path, "a", encoding="utf-8") as handle:
+            handle.write("7 8\n")
+        second = list(database.scan())
+        assert len(second) == len(first) + 1
+
+    def test_absolute_and_fraction(self, basket_path):
+        database = FileBackedDatabase(basket_path)
+        assert database.absolute(0.4) == pytest.approx(2.0)
+        assert database.fraction(2) == pytest.approx(0.4)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatabaseError, match="cannot open"):
+            FileBackedDatabase(tmp_path / "nope.basket")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.basket"
+        path.write_text("# nothing\n")
+        with pytest.raises(DatabaseError, match="no transactions"):
+            FileBackedDatabase(path)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.basket"
+        path.write_text("1 2\nx\n")
+        with pytest.raises(DatabaseError, match="malformed"):
+            FileBackedDatabase(path)
+
+    def test_repr(self, basket_path):
+        assert "transactions=5" in repr(FileBackedDatabase(basket_path))
+
+
+class TestMinersOnFileBackedData:
+    def test_apriori_matches_in_memory(self, basket_path):
+        in_memory = TransactionDatabase(
+            [[1, 2, 3], [1, 2], [2, 3], [4], [1, 2, 3, 4]]
+        )
+        from_disk = FileBackedDatabase(basket_path)
+        assert find_large_itemsets(from_disk, 0.4) == find_large_itemsets(
+            in_memory, 0.4
+        )
+
+    def test_full_pipeline_streams_from_disk(self, tmp_path):
+        taxonomy = taxonomy_from_nested(
+            {"drinks": {"soda": ["cola", "lemonade"], "water": ["still"]}}
+        )
+        cola = taxonomy.id_of("cola")
+        lemonade = taxonomy.id_of("lemonade")
+        still = taxonomy.id_of("still")
+        rows = [[cola, still]] * 40 + [[lemonade]] * 40 + [[cola]] * 20
+        path = tmp_path / "pipe.basket"
+        save_basket_file(TransactionDatabase(rows), path)
+
+        from_disk = FileBackedDatabase(path)
+        result = mine_negative_rules(
+            from_disk, taxonomy, minsup=0.2, minri=0.3
+        )
+        reference = mine_negative_rules(
+            TransactionDatabase(rows), taxonomy, minsup=0.2, minri=0.3
+        )
+        assert {
+            (rule.antecedent, rule.consequent) for rule in result.rules
+        } == {
+            (rule.antecedent, rule.consequent) for rule in reference.rules
+        }
+        assert from_disk.scans == result.stats.data_passes

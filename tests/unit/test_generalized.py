@@ -1,0 +1,188 @@
+"""Unit tests for generalized mining (Basic / Cumulate / EstMerge)."""
+
+import random
+
+import pytest
+
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigError
+from repro.mining.generalized import (
+    contains_item_and_ancestor,
+    extend_database,
+    iter_generalized_levels,
+    mine_generalized,
+)
+from repro.taxonomy.builders import taxonomy_from_parents
+
+
+@pytest.fixture
+def taxonomy():
+    """clothes(0) -> outerwear(1) -> jackets(3), ski pants(4);
+    clothes(0) -> shirts(2); footwear(5) -> shoes(6), boots(7)."""
+    return taxonomy_from_parents(
+        {1: 0, 2: 0, 3: 1, 4: 1, 6: 5, 7: 5}
+    )
+
+
+@pytest.fixture
+def database():
+    """The worked example of the Srikant-Agrawal generalized-rules paper."""
+    return TransactionDatabase(
+        [
+            [2, 3],       # shirt, jacket
+            [3],          # jacket
+            [4],          # ski pants
+            [6],          # shoes
+            [7],          # boots
+            [3, 7],       # jacket, boots
+        ]
+    )
+
+
+class TestSupportSemantics:
+    def test_category_accumulates_descendants(self, taxonomy, database):
+        index = mine_generalized(database, taxonomy, minsup=1 / 6)
+        # outerwear = jackets(3x) + ski pants(1x) = 4 transactions.
+        assert index.support((1,)) == pytest.approx(4 / 6)
+        # clothes = union of outerwear/shirt transactions; the shirt
+        # co-occurs with a jacket, so still 4 distinct transactions.
+        assert index.support((0,)) == pytest.approx(4 / 6)
+        # footwear = shoes + boots = 3 transactions.
+        assert index.support((5,)) == pytest.approx(3 / 6)
+
+    def test_cross_level_itemset(self, taxonomy, database):
+        index = mine_generalized(database, taxonomy, minsup=1 / 6)
+        # {outerwear, footwear}: only transaction [jacket, boots].
+        assert index.support((1, 5)) == pytest.approx(1 / 6)
+
+    def test_cumulate_prunes_item_with_ancestor(self, taxonomy, database):
+        index = mine_generalized(database, taxonomy, minsup=1 / 6,
+                                 algorithm="cumulate")
+        assert (1, 3) not in index  # jackets with its ancestor outerwear
+
+    def test_basic_keeps_item_with_ancestor(self, taxonomy, database):
+        index = mine_generalized(database, taxonomy, minsup=1 / 6,
+                                 algorithm="basic")
+        assert (1, 3) in index
+        assert index.support((1, 3)) == index.support((3,))
+
+    def test_minsup_filters(self, taxonomy, database):
+        index = mine_generalized(database, taxonomy, minsup=0.5)
+        assert (1,) in index   # outerwear 4/6
+        assert (6,) not in index  # shoes 1/6
+
+
+class TestAlgorithmEquivalence:
+    @pytest.fixture
+    def random_setup(self):
+        rng = random.Random(5)
+        taxonomy = taxonomy_from_parents(
+            {child: (child - 1) // 3 for child in range(1, 40)}
+        )
+        leaves = sorted(taxonomy.leaves)
+        rows = [
+            rng.sample(leaves, rng.randint(1, 6)) for _ in range(300)
+        ]
+        return taxonomy, TransactionDatabase(rows)
+
+    def test_basic_superset_of_cumulate(self, random_setup):
+        taxonomy, database = random_setup
+        basic = mine_generalized(database, taxonomy, 0.05,
+                                 algorithm="basic")
+        cumulate = mine_generalized(database, taxonomy, 0.05,
+                                    algorithm="cumulate")
+        for items, support in cumulate.items():
+            assert basic.support(items) == pytest.approx(support)
+        # Anything extra in basic must be an item+ancestor combination.
+        extras = [
+            items for items, _ in basic.items() if items not in cumulate
+        ]
+        assert all(
+            contains_item_and_ancestor(items, taxonomy) for items in extras
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_estmerge_equals_cumulate(self, random_setup, seed):
+        taxonomy, database = random_setup
+        cumulate = mine_generalized(database, taxonomy, 0.05,
+                                    algorithm="cumulate")
+        estmerge = mine_generalized(
+            database,
+            taxonomy,
+            0.05,
+            algorithm="estmerge",
+            rng=random.Random(seed),
+        )
+        assert estmerge == cumulate
+
+    def test_engines_equivalent(self, random_setup):
+        taxonomy, database = random_setup
+        results = [
+            mine_generalized(database, taxonomy, 0.05, engine=engine)
+            for engine in ("bitmap", "hashtree", "index", "brute")
+        ]
+        assert all(result == results[0] for result in results)
+
+
+class TestIterLevels:
+    def test_levels_partition_the_index(self, taxonomy, database):
+        levels = list(
+            iter_generalized_levels(database, taxonomy, 1 / 6)
+        )
+        merged = {
+            items: support
+            for level in levels
+            for items, support in level.items()
+        }
+        index = mine_generalized(database, taxonomy, 1 / 6)
+        assert merged == dict(index.items())
+
+    def test_level_k_contains_size_k(self, taxonomy, database):
+        for number, level in enumerate(
+            iter_generalized_levels(database, taxonomy, 1 / 6), start=1
+        ):
+            assert all(len(items) == number for items in level)
+
+    def test_one_pass_per_level(self, taxonomy, database):
+        levels = list(iter_generalized_levels(database, taxonomy, 1 / 6))
+        assert database.scans >= len(levels)
+
+
+class TestExtendDatabase:
+    def test_rows_gain_ancestors(self, taxonomy):
+        database = TransactionDatabase([[3], [6, 7]])
+        extended = extend_database(database, taxonomy)
+        assert extended.transaction(0) == (0, 1, 3)
+        assert extended.transaction(1) == (5, 6, 7)
+
+    def test_counts_one_pass(self, taxonomy):
+        database = TransactionDatabase([[3]])
+        extend_database(database, taxonomy)
+        assert database.scans == 1
+
+
+class TestValidation:
+    def test_unknown_algorithm(self, taxonomy, database):
+        with pytest.raises(ConfigError, match="unknown algorithm"):
+            mine_generalized(database, taxonomy, 0.5, algorithm="magic")
+
+    def test_bad_minsup(self, taxonomy, database):
+        with pytest.raises(ConfigError):
+            mine_generalized(database, taxonomy, 0.0)
+
+    def test_bad_estimation_slack(self, taxonomy, database):
+        with pytest.raises(ConfigError, match="estimation_slack"):
+            mine_generalized(
+                database, taxonomy, 0.5, algorithm="estmerge",
+                estimation_slack=0.0,
+            )
+
+    def test_max_size_respected(self, taxonomy, database):
+        index = mine_generalized(database, taxonomy, 1 / 6, max_size=1)
+        assert index.max_size == 1
+
+    def test_contains_item_and_ancestor(self, taxonomy):
+        assert contains_item_and_ancestor((0, 3), taxonomy)
+        assert contains_item_and_ancestor((1, 3), taxonomy)
+        assert not contains_item_and_ancestor((3, 4), taxonomy)
+        assert not contains_item_and_ancestor((3, 6), taxonomy)

@@ -1,0 +1,93 @@
+"""Unit tests for synthetic transaction emission."""
+
+import numpy as np
+import pytest
+
+from repro.synthetic.generator import generate_dataset, generate_transactions
+from repro.synthetic.params import GeneratorParams
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    params = GeneratorParams(
+        num_transactions=400,
+        num_items=300,
+        num_roots=5,
+        num_clusters=30,
+        fanout=5.0,
+        avg_transaction_size=8.0,
+    )
+    return generate_dataset(params, seed=123)
+
+
+class TestGenerateDataset:
+    def test_transaction_count(self, dataset):
+        assert len(dataset.database) == 400
+
+    def test_transactions_contain_only_leaves(self, dataset):
+        leaves = dataset.taxonomy.leaves
+        for row in dataset.database:
+            assert all(item in leaves for item in row)
+
+    def test_average_length_near_parameter(self, dataset):
+        # Itemset assignment overshoots the Poisson target slightly
+        # (the last itemset is added whole), so allow generous slack.
+        average = dataset.database.average_length()
+        assert 4.0 <= average <= 16.0
+
+    def test_deterministic_with_seed(self, dataset):
+        again = generate_dataset(dataset.params, seed=123)
+        assert list(again.database) == list(dataset.database)
+        assert again.taxonomy.parent_map() == dataset.taxonomy.parent_map()
+
+    def test_different_seed_differs(self, dataset):
+        other = generate_dataset(dataset.params, seed=124)
+        assert list(other.database) != list(dataset.database)
+
+    def test_provenance_recorded(self, dataset):
+        assert dataset.seed == 123
+        assert dataset.params.num_transactions == 400
+
+
+class TestGenerateTransactions:
+    def test_rows_come_from_model_itemsets(self, dataset):
+        model_items = {
+            item
+            for cluster in dataset.model.clusters
+            for items in cluster.itemsets
+            for item in items
+        }
+        for row in dataset.database:
+            assert set(row) <= model_items
+
+    def test_respects_num_transactions(self, dataset):
+        params = GeneratorParams(
+            num_transactions=37,
+            num_items=300,
+            num_roots=5,
+            num_clusters=30,
+            fanout=5.0,
+        )
+        database = generate_transactions(
+            dataset.model, params, np.random.default_rng(1)
+        )
+        assert len(database) == 37
+
+    def test_no_empty_transactions(self, dataset):
+        assert all(len(row) >= 1 for row in dataset.database)
+
+
+class TestStatisticalShape:
+    def test_popular_clusters_dominate(self, dataset):
+        """Exponential weights: some itemsets occur far more than others."""
+        counts = dataset.database.item_counts()
+        values = sorted(counts.values(), reverse=True)
+        top_share = sum(values[:20]) / sum(values)
+        assert top_share > 0.3
+
+    def test_mining_finds_positive_structure(self, dataset):
+        """Cluster itemsets should surface as frequent pairs."""
+        from repro.mining.apriori import find_large_itemsets
+
+        index = find_large_itemsets(dataset.database, 0.03, max_size=2)
+        assert index.of_size(2)

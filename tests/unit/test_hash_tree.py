@@ -1,0 +1,105 @@
+"""Unit tests for the Apriori hash tree."""
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mining.hash_tree import HashTree
+
+
+def brute_counts(candidates, transactions):
+    counts = {candidate: 0 for candidate in candidates}
+    for row in transactions:
+        row_set = set(row)
+        for candidate in candidates:
+            if set(candidate) <= row_set:
+                counts[candidate] += 1
+    return counts
+
+
+class TestConstruction:
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            HashTree([(1, 2), (1, 2, 3)])
+
+    def test_empty_candidate_rejected(self):
+        with pytest.raises(ConfigError):
+            HashTree([()])
+
+    def test_duplicates_collapse(self):
+        tree = HashTree([(1, 2), (1, 2)])
+        assert len(tree) == 1
+
+    def test_bad_branching_rejected(self):
+        with pytest.raises(ConfigError):
+            HashTree([(1,)], branching=1)
+
+    def test_bad_leaf_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            HashTree([(1,)], leaf_capacity=0)
+
+    def test_candidate_size_property(self):
+        assert HashTree([(3, 4, 5)]).candidate_size == 3
+        assert HashTree([]).candidate_size == 0
+
+
+class TestCounting:
+    def test_simple_match(self):
+        tree = HashTree([(1, 2), (2, 3)])
+        tree.add_transaction((1, 2, 3))
+        assert tree.counts() == {(1, 2): 1, (2, 3): 1}
+
+    def test_no_match(self):
+        tree = HashTree([(1, 5)])
+        tree.add_transaction((1, 2, 3))
+        assert tree.counts() == {(1, 5): 0}
+
+    def test_short_transaction_skipped(self):
+        tree = HashTree([(1, 2, 3)])
+        tree.add_transaction((1, 2))
+        assert tree.counts() == {(1, 2, 3): 0}
+
+    def test_no_double_count_on_collisions(self):
+        # Items 1 and 9 collide mod 8; the same leaf is reachable twice.
+        tree = HashTree([(1, 9)], branching=8, leaf_capacity=1)
+        tree.add_transaction((1, 9, 17))
+        assert tree.counts() == {(1, 9): 1}
+
+    def test_count_all(self):
+        tree = HashTree([(1, 2)])
+        counts = tree.count_all([(1, 2), (1, 2, 3), (2, 3)])
+        assert counts == {(1, 2): 2}
+
+    def test_splitting_preserves_counts(self):
+        # Force deep splits with tiny leaves and verify against brute force.
+        candidates = list(combinations(range(10), 3))
+        transactions = [
+            tuple(sorted(random.Random(i).sample(range(10), 6)))
+            for i in range(50)
+        ]
+        tree = HashTree(candidates, branching=4, leaf_capacity=2)
+        assert tree.count_all(transactions) == brute_counts(
+            candidates, transactions
+        )
+
+    def test_matches_brute_force_on_random_data(self):
+        rng = random.Random(99)
+        universe = range(30)
+        candidates = {
+            tuple(sorted(rng.sample(universe, 4))) for _ in range(80)
+        }
+        transactions = [
+            tuple(sorted(rng.sample(universe, rng.randint(4, 12))))
+            for _ in range(120)
+        ]
+        tree = HashTree(candidates)
+        assert tree.count_all(transactions) == brute_counts(
+            candidates, transactions
+        )
+
+    def test_single_item_candidates(self):
+        tree = HashTree([(1,), (2,), (3,)])
+        tree.add_transaction((1, 3))
+        assert tree.counts() == {(1,): 1, (2,): 0, (3,): 1}

@@ -1,0 +1,82 @@
+"""Unit tests for the information-theoretic measures."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.measures.information import (
+    expected_itemset_support,
+    surprise_bits,
+)
+
+
+class TestSurpriseBits:
+    def test_zero_when_matching_expectation(self):
+        assert surprise_bits(0.3, 0.3) == pytest.approx(0.0)
+
+    def test_grows_with_deviation(self):
+        small = surprise_bits(0.3, 0.25)
+        large = surprise_bits(0.3, 0.05)
+        assert large > small > 0.0
+
+    def test_symmetric_in_direction_of_surprise(self):
+        below = surprise_bits(0.3, 0.1)
+        above = surprise_bits(0.3, 0.5)
+        assert below > 0.0 and above > 0.0
+
+    def test_paper_intro_example_is_informative(self):
+        """An item expected in 1,000 of 10M transactions but observed in
+        500,000 'significantly deviates from our earlier expectation'."""
+        expected = 1_000 / 10_000_000
+        actual = 500_000 / 10_000_000
+        assert surprise_bits(expected, actual) > 0.2
+
+    def test_tiny_expectation_tiny_actual_uninteresting(self):
+        """The paper's negative case: expected pair support 1e-8, actual
+        0 — 'the deviation from expectation is extremely small'."""
+        assert surprise_bits(1e-8, 0.0) < 1e-6
+
+    def test_impossible_observation_is_infinite(self):
+        assert surprise_bits(0.0, 0.5) == math.inf
+
+    def test_certain_expectation_violated_is_infinite(self):
+        assert surprise_bits(1.0, 0.5) == math.inf
+
+    def test_boundary_matches_are_zero(self):
+        assert surprise_bits(0.0, 0.0) == 0.0
+        assert surprise_bits(1.0, 1.0) == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            surprise_bits(bad, 0.5)
+        with pytest.raises(ConfigError):
+            surprise_bits(0.5, bad)
+
+
+class TestExpectedItemsetSupport:
+    def test_paper_intro_numbers(self):
+        assert expected_itemset_support(1, 50_000, 5.0) == pytest.approx(
+            1e-4
+        )
+        assert expected_itemset_support(2, 50_000, 5.0) == pytest.approx(
+            1e-8
+        )
+
+    def test_monotone_decreasing_in_size(self):
+        values = [
+            expected_itemset_support(k, 1000, 10.0) for k in range(1, 5)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_clamped_to_one(self):
+        assert expected_itemset_support(1, 2, 10.0) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            expected_itemset_support(0, 100, 5.0)
+        with pytest.raises(ConfigError):
+            expected_itemset_support(2, 0, 5.0)
+        with pytest.raises(ConfigError):
+            expected_itemset_support(2, 100, 0.0)

@@ -1,0 +1,88 @@
+"""Unit tests for basket / taxonomy file IO."""
+
+import pytest
+
+from repro.data.database import TransactionDatabase
+from repro.data.io import (
+    load_basket_file,
+    load_taxonomy_file,
+    save_basket_file,
+    save_taxonomy_file,
+)
+from repro.errors import DatabaseError, TaxonomyError
+from repro.taxonomy.tree import Taxonomy
+
+
+class TestBasketFiles:
+    def test_round_trip(self, tmp_path):
+        original = TransactionDatabase([[1, 2, 3], [4], [2, 9]])
+        path = tmp_path / "data.basket"
+        save_basket_file(original, path)
+        loaded = load_basket_file(path)
+        assert list(loaded) == list(original)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "data.basket"
+        path.write_text("# header\n\n1 2\n# mid\n3\n")
+        loaded = load_basket_file(path)
+        assert list(loaded) == [(1, 2), (3,)]
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.basket"
+        path.write_text("1 2\nx y\n")
+        with pytest.raises(DatabaseError, match="bad.basket:2"):
+            load_basket_file(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.basket"
+        path.write_text("# nothing here\n")
+        with pytest.raises(DatabaseError, match="no transactions"):
+            load_basket_file(path)
+
+
+class TestTaxonomyFiles:
+    def test_round_trip(self, tmp_path):
+        original = Taxonomy(
+            {1: 0, 2: 0, 3: 2},
+            names={0: "root", 3: "leaf"},
+            extra_roots=[9],
+        )
+        path = tmp_path / "tax.tsv"
+        save_taxonomy_file(original, path)
+        loaded = load_taxonomy_file(path)
+        assert loaded.parent_map() == original.parent_map()
+        assert loaded.nodes == original.nodes
+        assert loaded.name_of(0) == "root"
+        assert loaded.name_of(3) == "leaf"
+
+    def test_isolated_root_round_trip(self, tmp_path):
+        original = Taxonomy({}, extra_roots=[5])
+        path = tmp_path / "tax.tsv"
+        save_taxonomy_file(original, path)
+        loaded = load_taxonomy_file(path)
+        assert 5 in loaded
+        assert loaded.parent(5) is None
+
+    def test_wrong_field_count_rejected(self, tmp_path):
+        path = tmp_path / "tax.tsv"
+        path.write_text("1\t0\textra\ttoomuch\n")
+        with pytest.raises(TaxonomyError, match="2 or 3"):
+            load_taxonomy_file(path)
+
+    def test_malformed_child_rejected(self, tmp_path):
+        path = tmp_path / "tax.tsv"
+        path.write_text("abc\t0\n")
+        with pytest.raises(TaxonomyError, match="malformed child"):
+            load_taxonomy_file(path)
+
+    def test_malformed_parent_rejected(self, tmp_path):
+        path = tmp_path / "tax.tsv"
+        path.write_text("1\tzzz\n")
+        with pytest.raises(TaxonomyError, match="malformed parent"):
+            load_taxonomy_file(path)
+
+    def test_names_with_spaces_survive(self, tmp_path):
+        original = Taxonomy({1: 0}, names={1: "frozen yogurt"})
+        path = tmp_path / "tax.tsv"
+        save_taxonomy_file(original, path)
+        assert load_taxonomy_file(path).name_of(1) == "frozen yogurt"

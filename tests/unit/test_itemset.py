@@ -1,0 +1,137 @@
+"""Unit tests for canonical itemset operations."""
+
+import pytest
+
+from repro.itemset import (
+    difference,
+    is_canonical,
+    is_subset,
+    itemset,
+    proper_nonempty_subsets,
+    replace_positions,
+    subsets_of_size,
+    union,
+)
+
+
+class TestItemsetConstruction:
+    def test_sorts_items(self):
+        assert itemset([3, 1, 2]) == (1, 2, 3)
+
+    def test_removes_duplicates(self):
+        assert itemset([2, 2, 1, 1]) == (1, 2)
+
+    def test_empty(self):
+        assert itemset([]) == ()
+
+    def test_accepts_any_iterable(self):
+        assert itemset(iter({5, 3})) == (3, 5)
+
+
+class TestIsCanonical:
+    def test_sorted_unique_is_canonical(self):
+        assert is_canonical((1, 2, 3))
+
+    def test_unsorted_is_not(self):
+        assert not is_canonical((2, 1))
+
+    def test_duplicates_are_not(self):
+        assert not is_canonical((1, 1, 2))
+
+    def test_empty_and_singleton(self):
+        assert is_canonical(())
+        assert is_canonical((7,))
+
+
+class TestUnion:
+    def test_disjoint(self):
+        assert union((1, 3), (2, 4)) == (1, 2, 3, 4)
+
+    def test_overlapping(self):
+        assert union((1, 2, 3), (2, 3, 4)) == (1, 2, 3, 4)
+
+    def test_identical(self):
+        assert union((1, 2), (1, 2)) == (1, 2)
+
+    def test_with_empty(self):
+        assert union((), (1, 2)) == (1, 2)
+        assert union((1, 2), ()) == (1, 2)
+
+    def test_one_side_exhausts_first(self):
+        assert union((1,), (2, 3, 4)) == (1, 2, 3, 4)
+        assert union((5, 6), (1,)) == (1, 5, 6)
+
+
+class TestDifference:
+    def test_removes_members(self):
+        assert difference((1, 2, 3), (2,)) == (1, 3)
+
+    def test_disjoint_returns_first(self):
+        assert difference((1, 2), (3, 4)) == (1, 2)
+
+    def test_full_overlap(self):
+        assert difference((1, 2), (1, 2)) == ()
+
+
+class TestIsSubset:
+    def test_true_subset(self):
+        assert is_subset((2, 4), (1, 2, 3, 4))
+
+    def test_equal_sets(self):
+        assert is_subset((1, 2), (1, 2))
+
+    def test_missing_item(self):
+        assert not is_subset((2, 5), (1, 2, 3, 4))
+
+    def test_longer_than_superset(self):
+        assert not is_subset((1, 2, 3), (1, 2))
+
+    def test_empty_subset_of_anything(self):
+        assert is_subset((), (1,))
+        assert is_subset((), ())
+
+    def test_first_item_beyond_superset(self):
+        assert not is_subset((9,), (1, 2, 3))
+
+
+class TestSubsetsOfSize:
+    def test_pairs(self):
+        assert subsets_of_size((1, 2, 3), 2) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_full_size(self):
+        assert subsets_of_size((1, 2), 2) == [(1, 2)]
+
+    def test_oversize_is_empty(self):
+        assert subsets_of_size((1, 2), 3) == []
+
+
+class TestProperNonemptySubsets:
+    def test_pair(self):
+        assert proper_nonempty_subsets((1, 2)) == [(1,), (2,)]
+
+    def test_count_for_triple(self):
+        assert len(proper_nonempty_subsets((1, 2, 3))) == 6
+
+    def test_singleton_has_none(self):
+        assert proper_nonempty_subsets((1,)) == []
+
+
+class TestReplacePositions:
+    def test_single_replacement(self):
+        assert replace_positions((1, 5, 9), (1,), (7,)) == (1, 7, 9)
+
+    def test_result_is_resorted(self):
+        assert replace_positions((1, 5, 9), (0,), (20,)) == (5, 9, 20)
+
+    def test_multiple_positions(self):
+        assert replace_positions((1, 5, 9), (0, 2), (2, 8)) == (2, 5, 8)
+
+    def test_collision_returns_none(self):
+        # Replacing 5 with 9 collides with the existing 9.
+        assert replace_positions((1, 5, 9), (1,), (9,)) is None
+
+    @pytest.mark.parametrize("positions,news", [((0,), (3,)), ((1,), (0,))])
+    def test_replacement_stays_canonical(self, positions, news):
+        result = replace_positions((1, 5), positions, news)
+        assert result is not None
+        assert is_canonical(result)

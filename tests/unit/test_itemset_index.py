@@ -1,0 +1,96 @@
+"""Unit tests for the large-itemset hash table."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mining.itemset_index import LargeItemsetIndex
+
+
+class TestMutation:
+    def test_add_canonicalizes(self):
+        index = LargeItemsetIndex()
+        index.add([3, 1], 0.5)
+        assert (1, 3) in index
+
+    def test_add_overwrites_support(self):
+        index = LargeItemsetIndex()
+        index.add((1,), 0.5)
+        index.add((1,), 0.7)
+        assert index.support((1,)) == 0.7
+        assert len(index) == 1
+
+    def test_empty_itemset_rejected(self):
+        with pytest.raises(ConfigError):
+            LargeItemsetIndex().add((), 0.5)
+
+    @pytest.mark.parametrize("support", [-0.1, 1.1])
+    def test_bad_support_rejected(self, support):
+        with pytest.raises(ConfigError):
+            LargeItemsetIndex().add((1,), support)
+
+    def test_init_from_mapping(self):
+        index = LargeItemsetIndex({(1,): 0.5, (1, 2): 0.3})
+        assert len(index) == 2
+
+    def test_merge(self):
+        first = LargeItemsetIndex({(1,): 0.5})
+        second = LargeItemsetIndex({(2,): 0.4, (1,): 0.6})
+        first.merge(second)
+        assert first.support((1,)) == 0.6
+        assert first.support((2,)) == 0.4
+
+
+class TestLookup:
+    @pytest.fixture
+    def index(self):
+        return LargeItemsetIndex(
+            {(1,): 0.9, (2,): 0.8, (1, 2): 0.7, (1, 2, 3): 0.2}
+        )
+
+    def test_is_large(self, index):
+        assert index.is_large((1, 2))
+        assert not index.is_large((2, 3))
+
+    def test_support_raises_on_missing(self, index):
+        with pytest.raises(KeyError):
+            index.support((9,))
+
+    def test_support_or_none(self, index):
+        assert index.support_or_none((1,)) == 0.9
+        assert index.support_or_none((9,)) is None
+
+    def test_of_size(self, index):
+        assert index.of_size(1) == {(1,), (2,)}
+        assert index.of_size(2) == {(1, 2)}
+        assert index.of_size(5) == frozenset()
+
+    def test_sizes_and_max_size(self, index):
+        assert index.sizes == (1, 2, 3)
+        assert index.max_size == 3
+
+    def test_empty_index(self):
+        empty = LargeItemsetIndex()
+        assert empty.max_size == 0
+        assert empty.sizes == ()
+        assert len(empty) == 0
+
+    def test_items_deterministic_order(self, index):
+        keys = [items for items, _ in index.items()]
+        assert keys == sorted(keys)
+
+    def test_iter(self, index):
+        assert list(index) == sorted(
+            [(1,), (2,), (1, 2), (1, 2, 3)]
+        )
+
+    def test_equality(self, index):
+        clone = LargeItemsetIndex(dict(index.items()))
+        assert clone == index
+        clone.add((9,), 0.1)
+        assert clone != index
+
+    def test_equality_other_type(self, index):
+        assert index != "not an index"
+
+    def test_repr(self, index):
+        assert "total=4" in repr(index)

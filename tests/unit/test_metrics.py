@@ -1,0 +1,103 @@
+"""Unit tests for classical interestingness measures."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.measures.metrics import (
+    chi_square,
+    confidence,
+    conviction,
+    leverage,
+    lift,
+    negative_confidence,
+)
+
+
+class TestConfidence:
+    def test_value(self):
+        assert confidence(0.4, 0.3) == pytest.approx(0.75)
+
+    def test_negative_confidence_complements(self):
+        assert negative_confidence(0.4, 0.3) == pytest.approx(0.25)
+
+    def test_zero_antecedent_rejected(self):
+        with pytest.raises(ConfigError):
+            confidence(0.0, 0.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            confidence(1.2, 0.3)
+
+
+class TestLift:
+    def test_independence_is_one(self):
+        assert lift(0.5, 0.4, 0.2) == pytest.approx(1.0)
+
+    def test_positive_association_above_one(self):
+        assert lift(0.5, 0.4, 0.3) > 1.0
+
+    def test_negative_association_below_one(self):
+        assert lift(0.5, 0.4, 0.05) < 1.0
+
+    def test_zero_side_rejected(self):
+        with pytest.raises(ConfigError):
+            lift(0.0, 0.4, 0.0)
+
+    def test_impossible_joint_rejected(self):
+        with pytest.raises(ConfigError):
+            lift(0.3, 0.4, 0.35)
+
+
+class TestLeverage:
+    def test_independence_is_zero(self):
+        assert leverage(0.5, 0.4, 0.2) == pytest.approx(0.0)
+
+    def test_sign_tracks_association(self):
+        assert leverage(0.5, 0.4, 0.3) > 0.0
+        assert leverage(0.5, 0.4, 0.1) < 0.0
+
+    def test_bounded_by_quarter(self):
+        assert abs(leverage(0.5, 0.5, 0.5)) <= 0.25 + 1e-12
+
+
+class TestConviction:
+    def test_independence_is_one(self):
+        assert conviction(0.5, 0.4, 0.2) == pytest.approx(1.0)
+
+    def test_perfect_implication_is_infinite(self):
+        assert conviction(0.3, 0.5, 0.3) == math.inf
+
+    def test_negative_association_below_one(self):
+        assert conviction(0.5, 0.4, 0.05) < 1.0
+
+    def test_zero_antecedent_rejected(self):
+        with pytest.raises(ConfigError):
+            conviction(0.0, 0.4, 0.0)
+
+
+class TestChiSquare:
+    def test_independence_is_zero(self):
+        assert chi_square(0.5, 0.4, 0.2, 1000) == pytest.approx(0.0)
+
+    def test_perfect_correlation_is_n(self):
+        # X == Y on every transaction: statistic equals |D|.
+        assert chi_square(0.5, 0.5, 0.5, 200) == pytest.approx(200.0)
+
+    def test_scale_linearity(self):
+        small = chi_square(0.5, 0.4, 0.3, 100)
+        large = chi_square(0.5, 0.4, 0.3, 1000)
+        assert large == pytest.approx(10 * small)
+
+    def test_degenerate_marginal_returns_zero(self):
+        assert chi_square(1.0, 0.4, 0.4, 100) == 0.0
+
+    def test_bad_transaction_count_rejected(self):
+        with pytest.raises(ConfigError):
+            chi_square(0.5, 0.4, 0.2, 0)
+
+    def test_symmetry(self):
+        assert chi_square(0.5, 0.3, 0.2, 500) == pytest.approx(
+            chi_square(0.3, 0.5, 0.2, 500)
+        )

@@ -1,0 +1,210 @@
+"""Unit tests for the Naive and Improved negative-itemset miners."""
+
+import pytest
+
+from repro.core.negmining import (
+    ImprovedNegativeMiner,
+    NaiveNegativeMiner,
+    NegativeItemset,
+)
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigError
+from repro.taxonomy.builders import taxonomy_from_nested
+
+
+@pytest.fixture
+def taxonomy():
+    return taxonomy_from_nested(
+        {
+            "drinks": {
+                "soda": ["cola", "lemonade"],
+                "water": ["still", "sparkling"],
+            },
+            "snacks": {"chips": ["salted", "paprika"]},
+        }
+    )
+
+
+@pytest.fixture
+def database(taxonomy):
+    """cola pairs with salted chips; lemonade never does."""
+    cola = taxonomy.id_of("cola")
+    lemonade = taxonomy.id_of("lemonade")
+    salted = taxonomy.id_of("salted")
+    still = taxonomy.id_of("still")
+    rows = (
+        [[cola, salted]] * 30
+        + [[cola, still]] * 10
+        + [[lemonade, still]] * 25
+        + [[lemonade]] * 5
+        + [[salted]] * 20
+        + [[still]] * 10
+    )
+    return TransactionDatabase(rows)
+
+
+class TestImprovedMiner:
+    def test_finds_planted_negative(self, database, taxonomy):
+        output = ImprovedNegativeMiner(
+            database, taxonomy, minsup=0.1, minri=0.3
+        ).mine()
+        lemonade = taxonomy.id_of("lemonade")
+        salted = taxonomy.id_of("salted")
+        found = {negative.items for negative in output.negatives}
+        assert tuple(sorted((lemonade, salted))) in found
+
+    def test_negatives_meet_deviation_threshold(self, database, taxonomy):
+        output = ImprovedNegativeMiner(
+            database, taxonomy, minsup=0.1, minri=0.3
+        ).mine()
+        for negative in output.negatives:
+            assert negative.deviation >= 0.1 * 0.3 - 1e-12
+
+    def test_negatives_sorted_by_deviation(self, database, taxonomy):
+        output = ImprovedNegativeMiner(
+            database, taxonomy, minsup=0.1, minri=0.3
+        ).mine()
+        deviations = [negative.deviation for negative in output.negatives]
+        assert deviations == sorted(deviations, reverse=True)
+
+    def test_pass_budget_is_levels_plus_one(self, database, taxonomy):
+        output = ImprovedNegativeMiner(
+            database, taxonomy, minsup=0.1, minri=0.3
+        ).mine()
+        levels = output.large_itemsets.max_size
+        # n or n+1 positive passes (a last empty level may be probed)
+        # plus exactly one negative counting pass.
+        assert levels + 1 <= output.stats.data_passes <= levels + 2
+        assert output.stats.counting_batches == 1
+
+    def test_batched_counting_equivalent(self, database, taxonomy):
+        whole = ImprovedNegativeMiner(
+            database, taxonomy, minsup=0.1, minri=0.3
+        ).mine()
+        database.reset_scans()
+        batched = ImprovedNegativeMiner(
+            database,
+            taxonomy,
+            minsup=0.1,
+            minri=0.3,
+            max_candidates_in_memory=2,
+        ).mine()
+        assert [n.items for n in batched.negatives] == [
+            n.items for n in whole.negatives
+        ]
+        assert batched.stats.counting_batches > 1
+        assert batched.stats.data_passes > whole.stats.data_passes
+
+    def test_pruning_toggle_does_not_change_output(self, database, taxonomy):
+        pruned = ImprovedNegativeMiner(
+            database, taxonomy, 0.1, 0.3, prune_taxonomy=True
+        ).mine()
+        unpruned = ImprovedNegativeMiner(
+            database, taxonomy, 0.1, 0.3, prune_taxonomy=False
+        ).mine()
+        assert {n.items for n in pruned.negatives} == {
+            n.items for n in unpruned.negatives
+        }
+
+    def test_stats_candidate_accounting(self, database, taxonomy):
+        output = ImprovedNegativeMiner(
+            database, taxonomy, 0.1, 0.3
+        ).mine()
+        assert output.stats.candidates_generated == len(output.candidates)
+        assert output.stats.negative_itemsets == len(output.negatives)
+        assert sum(output.stats.candidates_by_size.values()) == len(
+            output.candidates
+        )
+
+    def test_invalid_thresholds_rejected(self, database, taxonomy):
+        with pytest.raises(ConfigError):
+            ImprovedNegativeMiner(database, taxonomy, 0.0, 0.5)
+        with pytest.raises(ConfigError):
+            ImprovedNegativeMiner(database, taxonomy, 0.1, 2.0)
+        with pytest.raises(ConfigError):
+            ImprovedNegativeMiner(
+                database, taxonomy, 0.1, 0.5, max_candidates_in_memory=0
+            )
+
+
+class TestNaiveMiner:
+    def test_matches_improved_output(self, database, taxonomy):
+        improved = ImprovedNegativeMiner(
+            database, taxonomy, 0.1, 0.3
+        ).mine()
+        database.reset_scans()
+        naive = NaiveNegativeMiner(database, taxonomy, 0.1, 0.3).mine()
+        assert {n.items for n in naive.negatives} == {
+            n.items for n in improved.negatives
+        }
+        assert dict(naive.large_itemsets.items()) == dict(
+            improved.large_itemsets.items()
+        )
+
+    def test_makes_more_passes_than_improved(self, database, taxonomy):
+        improved = ImprovedNegativeMiner(
+            database, taxonomy, 0.1, 0.3
+        ).mine()
+        database.reset_scans()
+        naive = NaiveNegativeMiner(database, taxonomy, 0.1, 0.3).mine()
+        levels = naive.large_itemsets.max_size
+        # With only 2 levels the schedules tie; Naive can never be cheaper.
+        assert naive.stats.data_passes >= improved.stats.data_passes
+        # Roughly 2 per level: n level passes + (n-1) candidate passes.
+        assert naive.stats.data_passes >= 2 * levels - 1
+
+    def test_expected_supports_match_improved(self, database, taxonomy):
+        improved = ImprovedNegativeMiner(
+            database, taxonomy, 0.1, 0.3
+        ).mine()
+        naive = NaiveNegativeMiner(database, taxonomy, 0.1, 0.3).mine()
+        improved_map = {
+            n.items: n.expected_support for n in improved.negatives
+        }
+        for negative in naive.negatives:
+            assert negative.expected_support == pytest.approx(
+                improved_map[negative.items]
+            )
+
+
+class TestFigure3Literal:
+    def test_literal_predicate_differs(self, taxonomy):
+        # An itemset with low absolute support but low expectation too:
+        # the literal predicate admits it, the deviation predicate does
+        # not necessarily — build a case where the two disagree.
+        cola = taxonomy.id_of("cola")
+        lemonade = taxonomy.id_of("lemonade")
+        salted = taxonomy.id_of("salted")
+        paprika = taxonomy.id_of("paprika")
+        rows = (
+            [[cola, salted]] * 45
+            + [[lemonade, paprika]] * 45
+            + [[cola, paprika]] * 5
+            + [[lemonade, salted]] * 5
+        )
+        database = TransactionDatabase(rows)
+        deviation = ImprovedNegativeMiner(
+            database, taxonomy, 0.2, 0.5, figure3_literal=False
+        ).mine()
+        database.reset_scans()
+        literal = ImprovedNegativeMiner(
+            database, taxonomy, 0.2, 0.5, figure3_literal=True
+        ).mine()
+        literal_items = {n.items for n in literal.negatives}
+        for negative in literal.negatives:
+            assert negative.actual_support < 0.2 * 0.5
+        # Both find the planted anti-pairs.
+        assert (min(cola, paprika), max(cola, paprika)) in literal_items
+        assert deviation.negatives  # deviation predicate finds some too
+
+
+class TestNegativeItemsetType:
+    def test_deviation_property(self):
+        negative = NegativeItemset(
+            items=(1, 2),
+            expected_support=0.3,
+            actual_support=0.1,
+            source=(5, 6),
+            case="children",
+        )
+        assert negative.deviation == pytest.approx(0.2)

@@ -1,0 +1,69 @@
+"""Unit tests for the Partition algorithm (VLDB 1995 substrate)."""
+
+import pytest
+
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigError
+from repro.mining.apriori import find_large_itemsets
+from repro.mining.partition import find_large_itemsets_partition
+
+
+class TestPartition:
+    def test_matches_apriori_on_small_example(self, small_database):
+        apriori = find_large_itemsets(small_database, 0.2)
+        small_database.reset_scans()
+        partition = find_large_itemsets_partition(
+            small_database, 0.2, partitions=3
+        )
+        assert partition == apriori
+
+    @pytest.mark.parametrize("partitions", [1, 2, 7, 100])
+    def test_matches_apriori_any_partitioning(
+        self, random_database, partitions
+    ):
+        apriori = find_large_itemsets(random_database, 0.1)
+        random_database.reset_scans()
+        partition = find_large_itemsets_partition(
+            random_database, 0.1, partitions=partitions
+        )
+        assert partition == apriori
+
+    def test_exactly_two_passes(self, random_database):
+        random_database.reset_scans()
+        find_large_itemsets_partition(random_database, 0.1, partitions=4)
+        assert random_database.scans == 2
+
+    def test_more_partitions_than_rows(self):
+        database = TransactionDatabase([[1, 2], [1, 2], [1]])
+        index = find_large_itemsets_partition(database, 0.5, partitions=50)
+        assert index.support((1, 2)) == pytest.approx(2 / 3)
+
+    def test_nothing_large(self):
+        database = TransactionDatabase([[i] for i in range(20)])
+        index = find_large_itemsets_partition(database, 0.5)
+        assert len(index) == 0
+
+    def test_max_size_cap(self, random_database):
+        index = find_large_itemsets_partition(
+            random_database, 0.05, max_size=2
+        )
+        assert index.max_size <= 2
+
+    def test_locally_large_globally_small_is_dropped(self):
+        # Item 9 is dense in the first half, absent in the second.
+        rows = [[9, 1]] * 10 + [[1]] * 30
+        database = TransactionDatabase(rows)
+        index = find_large_itemsets_partition(database, 0.5, partitions=2)
+        assert (1,) in index
+        assert (9,) not in index
+
+    @pytest.mark.parametrize("partitions", [0, -1])
+    def test_bad_partitions_rejected(self, random_database, partitions):
+        with pytest.raises(ConfigError):
+            find_large_itemsets_partition(
+                random_database, 0.1, partitions=partitions
+            )
+
+    def test_bad_minsup_rejected(self, random_database):
+        with pytest.raises(ConfigError):
+            find_large_itemsets_partition(random_database, 2.0)

@@ -1,0 +1,97 @@
+"""Unit tests for positive rule generation (ap-genrules)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mining.itemset_index import LargeItemsetIndex
+from repro.mining.rules import AssociationRule, generate_rules
+
+
+@pytest.fixture
+def index():
+    """Supports engineered so {1,2} => confident, {2} => {1} is not."""
+    return LargeItemsetIndex(
+        {
+            (1,): 0.4,
+            (2,): 0.8,
+            (3,): 0.5,
+            (1, 2): 0.35,
+            (2, 3): 0.4,
+            (1, 3): 0.3,
+            (1, 2, 3): 0.25,
+        }
+    )
+
+
+class TestGenerateRules:
+    def test_confidences_correct(self, index):
+        rules = {
+            (rule.antecedent, rule.consequent): rule
+            for rule in generate_rules(index, 0.01)
+        }
+        rule = rules[((1,), (2,))]
+        assert rule.confidence == pytest.approx(0.35 / 0.4)
+        assert rule.support == pytest.approx(0.35)
+
+    def test_minconf_filters(self, index):
+        rules = generate_rules(index, 0.8)
+        pairs = {(rule.antecedent, rule.consequent) for rule in rules}
+        assert ((1,), (2,)) in pairs      # 0.875
+        assert ((2,), (1,)) not in pairs  # 0.4375
+
+    def test_multi_item_consequents_generated(self, index):
+        rules = generate_rules(index, 0.5)
+        pairs = {(rule.antecedent, rule.consequent) for rule in rules}
+        # {1} => {2, 3}: 0.25 / 0.4 = 0.625.
+        assert ((1,), (2, 3)) in pairs
+
+    def test_consequent_pruning_is_sound(self, index):
+        # Exhaustive check: every qualifying rule is present.
+        rules = generate_rules(index, 0.3)
+        pairs = {(rule.antecedent, rule.consequent) for rule in rules}
+        for items, support in index.items():
+            if len(items) < 2:
+                continue
+            for drop_mask in range(1, 2 ** len(items) - 1):
+                consequent = tuple(
+                    item
+                    for position, item in enumerate(items)
+                    if drop_mask & (1 << position)
+                )
+                antecedent = tuple(
+                    item for item in items if item not in consequent
+                )
+                confidence = support / index.support(antecedent)
+                if confidence >= 0.3:
+                    assert (antecedent, consequent) in pairs
+                else:
+                    assert (antecedent, consequent) not in pairs
+
+    def test_sorted_by_confidence(self, index):
+        rules = generate_rules(index, 0.01)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_empty_index_no_rules(self):
+        assert generate_rules(LargeItemsetIndex(), 0.5) == []
+
+    def test_singletons_only_no_rules(self):
+        index = LargeItemsetIndex({(1,): 0.5, (2,): 0.5})
+        assert generate_rules(index, 0.1) == []
+
+    @pytest.mark.parametrize("minconf", [0.0, 1.5])
+    def test_bad_minconf_rejected(self, index, minconf):
+        with pytest.raises(ConfigError):
+            generate_rules(index, minconf)
+
+
+class TestAssociationRule:
+    def test_format_plain(self):
+        rule = AssociationRule((1,), (2,), 0.4, 0.8)
+        assert rule.format() == "{1} => {2} (sup=0.4000, conf=0.8000)"
+
+    def test_format_with_names(self):
+        rule = AssociationRule((1,), (2,), 0.4, 0.8)
+        names = {1: "bread", 2: "milk"}
+        text = rule.format(lambda item: names[item])
+        assert text.startswith("{bread} => {milk}")

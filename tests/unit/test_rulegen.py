@@ -1,0 +1,170 @@
+"""Unit tests for negative rule generation (Figure 4)."""
+
+import pytest
+
+from repro.core.negmining import NegativeItemset
+from repro.core.rulegen import NegativeRule, generate_negative_rules
+from repro.errors import ConfigError
+from repro.mining.itemset_index import LargeItemsetIndex
+
+
+def negative(items, expected, actual, source=(99, 100)):
+    return NegativeItemset(
+        items=items,
+        expected_support=expected,
+        actual_support=actual,
+        source=source,
+        case="children",
+    )
+
+
+class TestPairRules:
+    @pytest.fixture
+    def index(self):
+        return LargeItemsetIndex({(1,): 0.05, (2,): 0.20})
+
+    def test_direction_asymmetry(self, index):
+        # The paper's Perrier =/=> Bryers example: the small-support side
+        # makes the better antecedent.
+        rules = generate_negative_rules(
+            [negative((1, 2), expected=0.04, actual=0.005)], index, 0.5
+        )
+        assert len(rules) == 1
+        rule = rules[0]
+        assert rule.antecedent == (1,)
+        assert rule.consequent == (2,)
+        assert rule.ri == pytest.approx((0.04 - 0.005) / 0.05)
+
+    def test_both_directions_when_ri_allows(self, index):
+        rules = generate_negative_rules(
+            [negative((1, 2), expected=0.04, actual=0.005)], index, 0.1
+        )
+        pairs = {(rule.antecedent, rule.consequent) for rule in rules}
+        assert pairs == {((1,), (2,)), ((2,), (1,))}
+
+    def test_small_side_blocks_rule(self):
+        index = LargeItemsetIndex({(1,): 0.05})  # 2 is not large
+        rules = generate_negative_rules(
+            [negative((1, 2), 0.04, 0.0)], index, 0.1
+        )
+        assert rules == []
+
+    def test_rule_metadata(self, index):
+        rules = generate_negative_rules(
+            [negative((1, 2), 0.04, 0.005)], index, 0.5
+        )
+        rule = rules[0]
+        assert rule.expected_support == 0.04
+        assert rule.actual_support == 0.005
+        assert rule.antecedent_support == 0.05
+        assert rule.consequent_support == 0.20
+        assert rule.items == (1, 2)
+
+
+class TestLargerItemsets:
+    @pytest.fixture
+    def index(self):
+        return LargeItemsetIndex(
+            {
+                (1,): 0.2,
+                (2,): 0.2,
+                (3,): 0.2,
+                (1, 2): 0.1,
+                (1, 3): 0.1,
+                (2, 3): 0.1,
+            }
+        )
+
+    def test_all_splits_considered(self, index):
+        rules = generate_negative_rules(
+            [negative((1, 2, 3), expected=0.09, actual=0.0)], index, 0.05
+        )
+        pairs = {(rule.antecedent, rule.consequent) for rule in rules}
+        assert ((1, 2), (3,)) in pairs
+        assert ((1,), (2, 3)) in pairs
+        assert len(pairs) == 6  # 3 single-consequent + 3 two-consequent
+
+    def test_ri_uses_antecedent_support(self, index):
+        rules = generate_negative_rules(
+            [negative((1, 2, 3), 0.09, 0.0)], index, 0.05
+        )
+        by_split = {
+            (rule.antecedent, rule.consequent): rule.ri for rule in rules
+        }
+        assert by_split[((1, 2), (3,))] == pytest.approx(0.09 / 0.1)
+        assert by_split[((1,), (2, 3))] == pytest.approx(0.09 / 0.2)
+
+    def test_failed_ri_prunes_superset_consequents(self, index):
+        # minri chosen so single consequents pass but doubles fail:
+        # single: 0.09/0.1 = 0.9 ; double: 0.09/0.2 = 0.45.
+        rules = generate_negative_rules(
+            [negative((1, 2, 3), 0.09, 0.0)], index, 0.5
+        )
+        assert all(len(rule.consequent) == 1 for rule in rules)
+
+    def test_small_antecedent_pruning_toggle(self):
+        # {2, 3} (antecedent of consequent {1}) is NOT large, but the
+        # sub-antecedent {3} (for consequent {1, 2}) IS — exhaustive mode
+        # must find the ((3,), (1, 2)) rule that Figure 4's pruning loses.
+        index = LargeItemsetIndex(
+            {
+                (1,): 0.3,
+                (2,): 0.3,
+                (3,): 0.3,
+                (1, 2): 0.1,
+                (1, 3): 0.1,
+            }
+        )
+        pruned = generate_negative_rules(
+            [negative((1, 2, 3), 0.09, 0.0)], index, 0.05,
+            prune_small_antecedents=True,
+        )
+        exhaustive = generate_negative_rules(
+            [negative((1, 2, 3), 0.09, 0.0)], index, 0.05,
+            prune_small_antecedents=False,
+        )
+        pruned_pairs = {(r.antecedent, r.consequent) for r in pruned}
+        exhaustive_pairs = {(r.antecedent, r.consequent) for r in exhaustive}
+        assert ((3,), (1, 2)) not in pruned_pairs
+        assert ((3,), (1, 2)) in exhaustive_pairs
+        assert pruned_pairs <= exhaustive_pairs
+
+
+class TestOrderingAndValidation:
+    def test_rules_sorted_by_ri(self):
+        index = LargeItemsetIndex({(1,): 0.1, (2,): 0.4, (3,): 0.2,
+                                   (4,): 0.2, (3, 4): 0.15})
+        rules = generate_negative_rules(
+            [
+                negative((1, 2), 0.05, 0.0),
+                negative((3, 4), 0.18, 0.15),
+            ],
+            index,
+            0.01,
+        )
+        ri_values = [rule.ri for rule in rules]
+        assert ri_values == sorted(ri_values, reverse=True)
+
+    def test_empty_negatives(self):
+        assert generate_negative_rules([], LargeItemsetIndex(), 0.5) == []
+
+    def test_bad_minri(self):
+        with pytest.raises(ConfigError):
+            generate_negative_rules([], LargeItemsetIndex(), 0.0)
+
+    def test_format_plain_and_named(self, figure2_taxonomy):
+        taxonomy = figure2_taxonomy
+        perrier = taxonomy.id_of("Perrier")
+        bryers = taxonomy.id_of("Bryers")
+        rule = NegativeRule(
+            antecedent=(perrier,),
+            consequent=(bryers,),
+            ri=0.7,
+            expected_support=0.04,
+            actual_support=0.005,
+            antecedent_support=0.05,
+            consequent_support=0.2,
+        )
+        assert "=/=>" in rule.format()
+        named = rule.format(taxonomy)
+        assert "Perrier" in named and "Bryers" in named

@@ -1,0 +1,48 @@
+"""Unit tests for database sampling (EstMerge substrate)."""
+
+import random
+
+import pytest
+
+from repro.data.database import TransactionDatabase
+from repro.data.sampling import sample_database
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def database():
+    return TransactionDatabase([[i] for i in range(200)])
+
+
+class TestSampleDatabase:
+    def test_sample_size_tracks_fraction(self, database):
+        sample = sample_database(database, 0.5, rng=random.Random(1))
+        assert 60 <= len(sample) <= 140  # loose binomial bounds
+
+    def test_sample_rows_come_from_source(self, database):
+        sample = sample_database(database, 0.3, rng=random.Random(2))
+        source_rows = set(database)
+        assert all(row in source_rows for row in sample)
+
+    def test_full_fraction_keeps_everything(self, database):
+        sample = sample_database(database, 1.0, rng=random.Random(3))
+        assert len(sample) == len(database)
+
+    def test_sampling_counts_a_pass(self, database):
+        sample_database(database, 0.5, rng=random.Random(4))
+        assert database.scans == 1
+
+    def test_deterministic_with_seed(self, database):
+        first = sample_database(database, 0.4, rng=random.Random(7))
+        second = sample_database(database, 0.4, rng=random.Random(7))
+        assert list(first) == list(second)
+
+    def test_never_empty(self):
+        tiny = TransactionDatabase([[1], [2]])
+        sample = sample_database(tiny, 0.001, rng=random.Random(0))
+        assert len(sample) >= 1
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_invalid_fraction_rejected(self, database, fraction):
+        with pytest.raises(ConfigError):
+            sample_database(database, fraction)

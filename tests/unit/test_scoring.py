@@ -1,0 +1,88 @@
+"""Unit tests for the rule-scoring convenience layer."""
+
+import pytest
+
+from repro.core.rulegen import NegativeRule
+from repro.measures.scoring import (
+    RuleScores,
+    score_negative_rule,
+    score_positive_rule,
+)
+from repro.mining.rules import AssociationRule
+
+
+@pytest.fixture
+def negative_rule():
+    return NegativeRule(
+        antecedent=(1,),
+        consequent=(2,),
+        ri=0.7,
+        expected_support=0.04,
+        actual_support=0.005,
+        antecedent_support=0.05,
+        consequent_support=0.20,
+    )
+
+
+class TestScoreNegativeRule:
+    def test_negative_correlation_signature(self, negative_rule):
+        scores = score_negative_rule(negative_rule, transactions=10_000)
+        assert scores.lift < 1.0
+        assert scores.leverage < 0.0
+        assert scores.conviction < 1.0
+        assert scores.negative_confidence > 0.8
+
+    def test_confidence_values(self, negative_rule):
+        scores = score_negative_rule(negative_rule, transactions=10_000)
+        assert scores.confidence == pytest.approx(0.005 / 0.05)
+        assert scores.negative_confidence == pytest.approx(
+            1 - 0.005 / 0.05
+        )
+
+    def test_chi_square_positive(self, negative_rule):
+        scores = score_negative_rule(negative_rule, transactions=10_000)
+        assert scores.chi_square > 0.0
+
+    def test_as_dict_round_trip(self, negative_rule):
+        scores = score_negative_rule(negative_rule, transactions=100)
+        payload = scores.as_dict()
+        assert set(payload) == {
+            "confidence",
+            "negative_confidence",
+            "lift",
+            "leverage",
+            "conviction",
+            "chi_square",
+        }
+        assert payload["lift"] == scores.lift
+
+
+class TestScorePositiveRule:
+    def test_recovers_antecedent_support(self):
+        rule = AssociationRule(
+            antecedent=(1,), consequent=(2,), support=0.3, confidence=0.75
+        )
+        scores = score_positive_rule(
+            rule, consequent_support=0.5, transactions=1000
+        )
+        # antecedent support = 0.3 / 0.75 = 0.4; lift = 0.3/(0.4*0.5).
+        assert scores.lift == pytest.approx(1.5)
+        assert scores.confidence == pytest.approx(0.75)
+
+    def test_positive_correlation_signature(self):
+        rule = AssociationRule(
+            antecedent=(1,), consequent=(2,), support=0.3, confidence=0.9
+        )
+        scores = score_positive_rule(
+            rule, consequent_support=0.4, transactions=1000
+        )
+        assert scores.lift > 1.0
+        assert scores.leverage > 0.0
+        assert scores.conviction > 1.0
+
+
+class TestRuleScoresType:
+    def test_frozen(self):
+        scores = RuleScores(0.5, 0.5, 1.0, 0.0, 1.0, 0.0)
+        with pytest.raises(AttributeError):
+            scores.lift = 2.0

@@ -1,0 +1,145 @@
+"""Unit tests for substitute-item knowledge (future-work extension)."""
+
+import pytest
+
+from repro.core.candidates import NegativeCandidate
+from repro.core.substitutes import (
+    SubstituteGroups,
+    generate_substitute_candidates,
+    merge_candidate_sets,
+)
+from repro.errors import ConfigError
+from repro.mining.itemset_index import LargeItemsetIndex
+
+
+class TestSubstituteGroups:
+    def test_partners_within_group(self):
+        groups = SubstituteGroups([[1, 2, 3]])
+        assert groups.substitutes_of(1) == (2, 3)
+        assert groups.substitutes_of(3) == (1, 2)
+
+    def test_union_across_groups(self):
+        groups = SubstituteGroups([[1, 2], [2, 9]])
+        assert groups.substitutes_of(2) == (1, 9)
+
+    def test_unknown_item_has_no_partners(self):
+        groups = SubstituteGroups([[1, 2]])
+        assert groups.substitutes_of(42) == ()
+
+    def test_items_property(self):
+        groups = SubstituteGroups([[1, 2], [5, 6]])
+        assert groups.items == {1, 2, 5, 6}
+        assert len(groups) == 4
+
+    def test_duplicates_in_group_collapse(self):
+        groups = SubstituteGroups([[1, 1, 2]])
+        assert groups.substitutes_of(1) == (2,)
+
+    def test_singleton_group_rejected(self):
+        with pytest.raises(ConfigError):
+            SubstituteGroups([[1]])
+        with pytest.raises(ConfigError):
+            SubstituteGroups([[2, 2]])
+
+
+class TestGenerateSubstituteCandidates:
+    @pytest.fixture
+    def index(self):
+        # Items: 1 (butter), 2 (margarine, substitute of 1), 3 (bread).
+        return LargeItemsetIndex(
+            {
+                (1,): 0.4,
+                (2,): 0.2,
+                (3,): 0.5,
+                (1, 3): 0.3,
+            }
+        )
+
+    @pytest.fixture
+    def substitutes(self):
+        return SubstituteGroups([[1, 2]])
+
+    def test_case3_style_expectation(self, index, substitutes):
+        candidates = generate_substitute_candidates(
+            index, substitutes, minsup=0.05, minri=0.5
+        )
+        assert (2, 3) in candidates
+        candidate = candidates[(2, 3)]
+        # E[sup(2,3)] = sup(1,3) * sup(2)/sup(1).
+        assert candidate.expected_support == pytest.approx(
+            0.3 * (0.2 / 0.4)
+        )
+        assert candidate.source == (1, 3)
+        assert candidate.case == "substitutes"
+
+    def test_existing_large_itemset_excluded(self, index, substitutes):
+        index.add((2, 3), 0.2)
+        candidates = generate_substitute_candidates(
+            index, substitutes, minsup=0.05, minri=0.5
+        )
+        assert (2, 3) not in candidates
+
+    def test_small_partner_excluded(self, substitutes):
+        index = LargeItemsetIndex({(1,): 0.4, (3,): 0.5, (1, 3): 0.3})
+        # 2 is not a large 1-itemset.
+        candidates = generate_substitute_candidates(
+            index, substitutes, minsup=0.05, minri=0.5
+        )
+        assert candidates == {}
+
+    def test_expectation_threshold(self, index, substitutes):
+        candidates = generate_substitute_candidates(
+            index, substitutes, minsup=0.5, minri=0.5
+        )
+        # Threshold 0.25 > 0.15 expectation.
+        assert (2, 3) not in candidates
+
+    def test_keeps_at_least_one_original(self, substitutes):
+        # Large itemset {1, 2} of mutual substitutes: replacing either
+        # item with the other collapses to a duplicate, and replacing
+        # both is forbidden (limit = size - 1), so nothing is generated.
+        index = LargeItemsetIndex({(1,): 0.4, (2,): 0.2, (1, 2): 0.1})
+        candidates = generate_substitute_candidates(
+            index, substitutes, minsup=0.05, minri=0.5
+        )
+        assert candidates == {}
+
+    def test_bad_max_replacements(self, index, substitutes):
+        with pytest.raises(ConfigError):
+            generate_substitute_candidates(
+                index, substitutes, 0.05, 0.5, max_replacements=0
+            )
+
+
+class TestMergeCandidateSets:
+    def make(self, items, expectation, case="children"):
+        return NegativeCandidate(
+            items=items,
+            expected_support=expectation,
+            source=(9, 10),
+            case=case,
+        )
+
+    def test_max_expectation_wins(self):
+        low = {(1, 2): self.make((1, 2), 0.1)}
+        high = {(1, 2): self.make((1, 2), 0.3, case="substitutes")}
+        merged = merge_candidate_sets(low, high)
+        assert merged[(1, 2)].expected_support == 0.3
+        assert merged[(1, 2)].case == "substitutes"
+
+    def test_order_independent(self):
+        low = {(1, 2): self.make((1, 2), 0.1)}
+        high = {(1, 2): self.make((1, 2), 0.3)}
+        assert merge_candidate_sets(low, high) == merge_candidate_sets(
+            high, low
+        )
+
+    def test_disjoint_union(self):
+        first = {(1, 2): self.make((1, 2), 0.1)}
+        second = {(3, 4): self.make((3, 4), 0.2)}
+        merged = merge_candidate_sets(first, second)
+        assert set(merged) == {(1, 2), (3, 4)}
+
+    def test_empty(self):
+        assert merge_candidate_sets() == {}
+        assert merge_candidate_sets({}, {}) == {}

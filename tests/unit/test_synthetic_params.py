@@ -1,0 +1,73 @@
+"""Unit tests for the generator parameter presets (paper Tables 3-4)."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.synthetic.params import SHORT, TALL, GeneratorParams
+
+
+class TestPresets:
+    def test_table4_shared_values(self):
+        for preset in (SHORT, TALL):
+            assert preset.num_transactions == 50_000
+            assert preset.avg_cluster_size == 5.0
+            assert preset.avg_itemset_size == 5.0
+            assert preset.avg_itemsets_per_cluster == 3.0
+            assert preset.num_clusters == 2_000
+            assert preset.num_items == 8_000
+
+    def test_fanouts_differ(self):
+        assert SHORT.fanout == 9.0
+        assert TALL.fanout == 3.0
+
+    def test_corruption_defaults(self):
+        assert SHORT.corruption_mean == 0.5
+        assert SHORT.corruption_variance == 0.1
+
+
+class TestScaling:
+    def test_scaled_extensive_quantities(self):
+        scaled = SHORT.scaled(0.1)
+        assert scaled.num_transactions == 5_000
+        assert scaled.num_items == 800
+        assert scaled.num_clusters == 200
+        assert scaled.num_roots == 25
+
+    def test_scaled_keeps_shape_parameters(self):
+        scaled = TALL.scaled(0.1)
+        assert scaled.fanout == TALL.fanout
+        assert scaled.avg_transaction_size == TALL.avg_transaction_size
+        assert scaled.avg_itemset_size == TALL.avg_itemset_size
+
+    def test_scaled_floors(self):
+        tiny = SHORT.scaled(0.0001)
+        assert tiny.num_transactions >= 1
+        assert tiny.num_items >= 10
+        assert tiny.num_roots >= 1
+
+    @pytest.mark.parametrize("factor", [0.0, -0.5, 1.1])
+    def test_bad_factor_rejected(self, factor):
+        with pytest.raises(GenerationError):
+            SHORT.scaled(factor)
+
+
+class TestValidation:
+    def test_nonpositive_average_rejected(self):
+        with pytest.raises(GenerationError):
+            GeneratorParams(avg_transaction_size=0)
+
+    def test_fanout_below_one_rejected(self):
+        with pytest.raises(GenerationError):
+            GeneratorParams(fanout=0.5)
+
+    def test_roots_beyond_items_rejected(self):
+        with pytest.raises(GenerationError):
+            GeneratorParams(num_items=10, num_roots=20)
+
+    def test_bad_corruption_mean_rejected(self):
+        with pytest.raises(GenerationError):
+            GeneratorParams(corruption_mean=1.5)
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(GenerationError):
+            GeneratorParams(corruption_variance=-0.1)

@@ -1,0 +1,96 @@
+"""Unit tests for taxonomy diagnostics."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.analysis import (
+    category_balance,
+    format_profile,
+    granularity_report,
+    profile,
+)
+from repro.taxonomy.builders import taxonomy_from_parents
+
+
+@pytest.fixture
+def taxonomy():
+    """root 0 -> (1, 2); 2 -> leaves 3..6; isolated 99."""
+    return taxonomy_from_parents(
+        {1: 0, 2: 0, 3: 2, 4: 2, 5: 2, 6: 2}, extra_roots=[99]
+    )
+
+
+class TestProfile:
+    def test_counts(self, taxonomy):
+        result = profile(taxonomy)
+        assert result.nodes == 8
+        assert result.leaves == 6  # 1, 3, 4, 5, 6, 99
+        assert result.categories == 2
+        assert result.roots == 2
+        assert result.height == 2
+
+    def test_fanout_statistics(self, taxonomy):
+        result = profile(taxonomy)
+        assert result.average_fanout == pytest.approx(3.0)  # (2 + 4) / 2
+        assert result.max_fanout == 4
+        assert result.fanout_histogram == {2: 1, 4: 1}
+
+    def test_depth_histogram(self, taxonomy):
+        result = profile(taxonomy)
+        assert result.depth_histogram == {0: 2, 1: 2, 2: 4}
+
+    def test_format(self, taxonomy):
+        text = format_profile(profile(taxonomy))
+        assert "avg_fanout=3.00" in text
+        assert "depth histogram" in text
+
+
+class TestGranularityReport:
+    def test_flags_coarse_categories(self, taxonomy):
+        findings = granularity_report(taxonomy, coarse_fanout=3)
+        assert [finding.category for finding in findings] == [2]
+        assert findings[0].fanout == 4
+        assert findings[0].expected_child_share == pytest.approx(0.25)
+
+    def test_fine_taxonomy_is_clean(self, taxonomy):
+        assert granularity_report(taxonomy, coarse_fanout=10) == []
+
+    def test_sorted_worst_first(self):
+        wide = taxonomy_from_parents(
+            {child: 0 for child in range(1, 6)}
+            | {child: 10 for child in range(11, 14)}
+        )
+        findings = granularity_report(wide, coarse_fanout=2)
+        fanouts = [finding.fanout for finding in findings]
+        assert fanouts == sorted(fanouts, reverse=True)
+
+    def test_invalid_threshold(self, taxonomy):
+        with pytest.raises(TaxonomyError):
+            granularity_report(taxonomy, coarse_fanout=1)
+
+
+class TestCategoryBalance:
+    def test_uniform_is_one(self, taxonomy):
+        counts = {3: 10, 4: 10, 5: 10, 6: 10}
+        assert category_balance(taxonomy, counts, 2) == pytest.approx(1.0)
+
+    def test_skewed_is_low(self, taxonomy):
+        counts = {3: 1000, 4: 1, 5: 1, 6: 1}
+        assert category_balance(taxonomy, counts, 2) < 0.2
+
+    def test_single_dominant_child_approaches_zero(self, taxonomy):
+        counts = {3: 1000, 4: 0, 5: 0, 6: 0}
+        assert category_balance(taxonomy, counts, 2) == pytest.approx(0.0)
+
+    def test_counts_aggregate_through_subcategories(self, taxonomy):
+        # Category 0's children are 1 (leaf) and 2 (category); 2's weight
+        # is the sum of its leaves.
+        counts = {1: 40, 3: 10, 4: 10, 5: 10, 6: 10}
+        assert category_balance(taxonomy, counts, 0) == pytest.approx(1.0)
+
+    def test_no_data_is_vacuously_balanced(self, taxonomy):
+        assert category_balance(taxonomy, {}, 2) == 1.0
+
+    def test_leaf_rejected(self, taxonomy):
+        with pytest.raises(TaxonomyError):
+            category_balance(taxonomy, {}, 3)

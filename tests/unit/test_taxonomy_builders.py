@@ -1,0 +1,103 @@
+"""Unit tests for taxonomy convenience constructors."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.builders import (
+    taxonomy_from_edges,
+    taxonomy_from_nested,
+    taxonomy_from_parents,
+)
+
+
+class TestFromParents:
+    def test_basic(self):
+        taxonomy = taxonomy_from_parents({1: 0, 2: 0})
+        assert taxonomy.children(0) == (1, 2)
+
+    def test_names_and_extra_roots(self):
+        taxonomy = taxonomy_from_parents(
+            {1: 0}, names={0: "top"}, extra_roots=[9]
+        )
+        assert taxonomy.name_of(0) == "top"
+        assert 9 in taxonomy
+
+
+class TestFromEdges:
+    def test_ids_in_first_appearance_order(self):
+        taxonomy = taxonomy_from_edges(
+            [("food", "fruit"), ("fruit", "apple")]
+        )
+        assert taxonomy.id_of("food") == 0
+        assert taxonomy.id_of("fruit") == 1
+        assert taxonomy.id_of("apple") == 2
+
+    def test_structure(self):
+        taxonomy = taxonomy_from_edges(
+            [("food", "fruit"), ("food", "dairy"), ("fruit", "apple")]
+        )
+        fruit = taxonomy.id_of("fruit")
+        assert taxonomy.parent(fruit) == taxonomy.id_of("food")
+        assert taxonomy.id_of("apple") in taxonomy.leaves
+
+    def test_repeated_edge_is_idempotent(self):
+        taxonomy = taxonomy_from_edges(
+            [("food", "fruit"), ("food", "fruit")]
+        )
+        assert len(taxonomy) == 2
+
+    def test_two_parents_rejected(self):
+        with pytest.raises(TaxonomyError):
+            taxonomy_from_edges([("a", "c"), ("b", "c")])
+
+    def test_isolated_items(self):
+        taxonomy = taxonomy_from_edges(
+            [("food", "fruit")], isolated=["misc"]
+        )
+        misc = taxonomy.id_of("misc")
+        assert misc in taxonomy.leaves
+        assert taxonomy.parent(misc) is None
+
+    def test_names_attached(self):
+        taxonomy = taxonomy_from_edges([("food", "fruit")])
+        assert taxonomy.name_of(taxonomy.id_of("fruit")) == "fruit"
+
+
+class TestFromNested:
+    def test_mixed_nesting(self):
+        taxonomy = taxonomy_from_nested(
+            {
+                "store": {
+                    "drinks": ["coke", "water"],
+                    "food": {"fruit": ["apple"]},
+                }
+            }
+        )
+        drinks = taxonomy.id_of("drinks")
+        assert taxonomy.parent(drinks) == taxonomy.id_of("store")
+        assert taxonomy.id_of("apple") in taxonomy.leaves
+        assert taxonomy.depth(taxonomy.id_of("apple")) == 3
+
+    def test_empty_sequence_makes_leaf_category(self):
+        taxonomy = taxonomy_from_nested({"store": {"misc": []}})
+        misc = taxonomy.id_of("misc")
+        assert taxonomy.is_leaf(misc)
+
+    def test_multiple_roots(self):
+        taxonomy = taxonomy_from_nested(
+            {"a": ["x"], "b": ["y"]}
+        )
+        assert len(taxonomy.roots) == 2
+
+    def test_non_string_leaf_rejected(self):
+        with pytest.raises(TaxonomyError):
+            taxonomy_from_nested({"store": [1, 2]})
+
+    def test_non_mapping_top_level_rejected(self):
+        with pytest.raises(TaxonomyError):
+            taxonomy_from_nested(["store"])
+
+    def test_same_name_reused_across_branches_rejected(self):
+        # "x" would need two parents.
+        with pytest.raises(TaxonomyError):
+            taxonomy_from_nested({"a": ["x"], "b": ["x"]})

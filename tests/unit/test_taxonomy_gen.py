@@ -1,0 +1,65 @@
+"""Unit tests for random taxonomy generation."""
+
+import numpy as np
+import pytest
+
+from repro.synthetic.params import GeneratorParams
+from repro.synthetic.taxonomy_gen import generate_taxonomy
+
+
+def params(**overrides):
+    base = dict(num_items=500, num_roots=10, fanout=5.0)
+    base.update(overrides)
+    return GeneratorParams(**base)
+
+
+class TestGenerateTaxonomy:
+    def test_leaf_count_hits_target(self):
+        taxonomy = generate_taxonomy(params(), np.random.default_rng(0))
+        assert len(taxonomy.leaves) == 500
+
+    def test_root_count(self):
+        taxonomy = generate_taxonomy(params(), np.random.default_rng(0))
+        assert len(taxonomy.roots) == 10
+
+    def test_deterministic_with_seed(self):
+        first = generate_taxonomy(params(), np.random.default_rng(7))
+        second = generate_taxonomy(params(), np.random.default_rng(7))
+        assert first.parent_map() == second.parent_map()
+
+    def test_different_seeds_differ(self):
+        first = generate_taxonomy(params(), np.random.default_rng(1))
+        second = generate_taxonomy(params(), np.random.default_rng(2))
+        assert first.parent_map() != second.parent_map()
+
+    def test_small_fanout_is_taller(self):
+        wide = generate_taxonomy(
+            params(fanout=9.0), np.random.default_rng(3)
+        )
+        narrow = generate_taxonomy(
+            params(fanout=3.0), np.random.default_rng(3)
+        )
+        assert narrow.height > wide.height
+
+    def test_average_fanout_tracks_parameter(self):
+        taxonomy = generate_taxonomy(
+            params(num_items=2000, fanout=6.0), np.random.default_rng(4)
+        )
+        assert taxonomy.fanout() == pytest.approx(6.0, rel=0.25)
+
+    def test_roots_exceeding_budget_stay_leaves(self):
+        taxonomy = generate_taxonomy(
+            GeneratorParams(num_items=10, num_roots=10, fanout=4.0),
+            np.random.default_rng(5),
+        )
+        assert len(taxonomy.leaves) == 10
+        assert len(taxonomy.categories) == 0
+
+    def test_categories_have_at_least_two_children(self):
+        taxonomy = generate_taxonomy(params(), np.random.default_rng(6))
+        near_full = [
+            category
+            for category in taxonomy.categories
+            if len(taxonomy.children(category)) < 2
+        ]
+        assert near_full == []

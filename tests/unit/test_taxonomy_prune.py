@@ -1,0 +1,70 @@
+"""Unit tests for small-item taxonomy pruning (Improved algorithm opt. 1)."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.builders import taxonomy_from_parents
+from repro.taxonomy.prune import prune_small_items, restrict_to_items
+
+
+@pytest.fixture
+def taxonomy():
+    """0 -> (1, 2); 2 -> (3, 4, 5)."""
+    return taxonomy_from_parents(
+        {1: 0, 2: 0, 3: 2, 4: 2, 5: 2}, names={3: "three"}
+    )
+
+
+class TestRestrictToItems:
+    def test_keeps_structure_of_kept_nodes(self, taxonomy):
+        pruned = restrict_to_items(taxonomy, [0, 2, 3, 4])
+        assert pruned.children(2) == (3, 4)
+        assert pruned.parent(2) == 0
+        assert 5 not in pruned
+        assert 1 not in pruned
+
+    def test_sibling_lists_shrink(self, taxonomy):
+        pruned = restrict_to_items(taxonomy, [0, 2, 3, 4])
+        assert pruned.siblings(3) == (4,)
+        assert taxonomy.siblings(3) == (4, 5)
+
+    def test_orphaned_node_becomes_root(self, taxonomy):
+        # 3 kept but its parent 2 dropped: re-rooted defensively.
+        pruned = restrict_to_items(taxonomy, [0, 3])
+        assert pruned.parent(3) is None
+        assert 3 in pruned.roots
+
+    def test_unknown_keep_id_raises(self, taxonomy):
+        with pytest.raises(TaxonomyError):
+            restrict_to_items(taxonomy, [1234])
+
+    def test_names_preserved(self, taxonomy):
+        pruned = restrict_to_items(taxonomy, [0, 2, 3])
+        assert pruned.name_of(3) == "three"
+
+    def test_empty_keep_gives_empty_taxonomy(self, taxonomy):
+        pruned = restrict_to_items(taxonomy, [])
+        assert len(pruned) == 0
+
+    def test_full_keep_is_identity(self, taxonomy):
+        pruned = restrict_to_items(taxonomy, taxonomy.nodes)
+        assert pruned.nodes == taxonomy.nodes
+        assert pruned.leaves == taxonomy.leaves
+
+
+class TestPruneSmallItems:
+    def test_removes_below_threshold(self, taxonomy):
+        supports = {0: 0.9, 1: 0.05, 2: 0.8, 3: 0.5, 4: 0.3, 5: 0.01}
+        pruned = prune_small_items(taxonomy, supports, minsup=0.1)
+        assert set(pruned.nodes) == {0, 2, 3, 4}
+
+    def test_missing_support_treated_as_zero(self, taxonomy):
+        pruned = prune_small_items(taxonomy, {0: 1.0}, minsup=0.1)
+        assert set(pruned.nodes) == {0}
+
+    def test_threshold_is_inclusive(self, taxonomy):
+        pruned = prune_small_items(
+            taxonomy, {0: 0.1, 1: 0.0999}, minsup=0.1
+        )
+        assert 0 in pruned
+        assert 1 not in pruned

@@ -1,0 +1,170 @@
+"""Unit tests for the Taxonomy forest."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.tree import Taxonomy
+
+
+@pytest.fixture
+def forest():
+    """Two trees: 0 -> (1, 2), 2 -> (3, 4); 10 -> (11,); isolated 99."""
+    return Taxonomy(
+        {1: 0, 2: 0, 3: 2, 4: 2, 11: 10},
+        names={0: "root-a", 2: "mid", 3: "leaf-3"},
+        extra_roots=[99],
+    )
+
+
+class TestStructure:
+    def test_roots(self, forest):
+        assert forest.roots == (0, 10, 99)
+
+    def test_leaves(self, forest):
+        assert forest.leaves == {1, 3, 4, 11, 99}
+
+    def test_categories(self, forest):
+        assert forest.categories == {0, 2, 10}
+
+    def test_len_counts_all_nodes(self, forest):
+        assert len(forest) == 8
+
+    def test_contains(self, forest):
+        assert 3 in forest
+        assert 50 not in forest
+
+    def test_nodes_sorted(self, forest):
+        assert forest.nodes == (0, 1, 2, 3, 4, 10, 11, 99)
+
+    def test_iteration_order(self, forest):
+        assert list(forest) == list(forest.nodes)
+
+
+class TestRelationships:
+    def test_parent(self, forest):
+        assert forest.parent(3) == 2
+        assert forest.parent(0) is None
+
+    def test_children_sorted(self, forest):
+        assert forest.children(0) == (1, 2)
+        assert forest.children(2) == (3, 4)
+
+    def test_children_of_leaf_empty(self, forest):
+        assert forest.children(4) == ()
+
+    def test_siblings(self, forest):
+        assert forest.siblings(3) == (4,)
+        assert forest.siblings(1) == (2,)
+
+    def test_siblings_of_root_empty(self, forest):
+        assert forest.siblings(0) == ()
+        assert forest.siblings(99) == ()
+
+    def test_ancestors_nearest_first(self, forest):
+        assert forest.ancestors(3) == (2, 0)
+        assert forest.ancestors(0) == ()
+
+    def test_is_ancestor(self, forest):
+        assert forest.is_ancestor(0, 3)
+        assert forest.is_ancestor(2, 4)
+        assert not forest.is_ancestor(3, 0)
+        assert not forest.is_ancestor(10, 3)
+
+    def test_depth_and_height(self, forest):
+        assert forest.depth(0) == 0
+        assert forest.depth(3) == 2
+        assert forest.height == 2
+
+    def test_descendants(self, forest):
+        assert forest.descendants(0) == (1, 2, 3, 4)
+        assert forest.descendants(4) == ()
+
+    def test_leaf_descendants_of_category(self, forest):
+        assert forest.leaf_descendants(0) == (1, 3, 4)
+
+    def test_leaf_descendants_of_leaf_is_itself(self, forest):
+        assert forest.leaf_descendants(99) == (99,)
+
+    def test_is_leaf(self, forest):
+        assert forest.is_leaf(99)
+        assert not forest.is_leaf(2)
+
+    def test_fanout(self, forest):
+        # Internal nodes 0 (2 children), 2 (2), 10 (1) -> 5/3.
+        assert forest.fanout() == pytest.approx(5 / 3)
+
+    def test_unknown_node_raises(self, forest):
+        with pytest.raises(TaxonomyError):
+            forest.parent(1234)
+        with pytest.raises(TaxonomyError):
+            forest.children(1234)
+
+
+class TestAncestorClosure:
+    def test_closure_adds_all_ancestors(self, forest):
+        assert forest.ancestor_closure([3]) == {3, 2, 0}
+
+    def test_closure_of_multiple_items(self, forest):
+        assert forest.ancestor_closure([3, 11]) == {3, 2, 0, 11, 10}
+
+    def test_closure_of_root_is_itself(self, forest):
+        assert forest.ancestor_closure([99]) == {99}
+
+    def test_closure_unknown_item_raises(self, forest):
+        with pytest.raises(TaxonomyError):
+            forest.ancestor_closure([1234])
+
+
+class TestNames:
+    def test_name_of_named_node(self, forest):
+        assert forest.name_of(0) == "root-a"
+
+    def test_name_of_unnamed_node_falls_back(self, forest):
+        assert forest.name_of(4) == "item:4"
+
+    def test_id_of(self, forest):
+        assert forest.id_of("mid") == 2
+
+    def test_id_of_unknown_raises(self, forest):
+        with pytest.raises(TaxonomyError):
+            forest.id_of("nope")
+
+    def test_format_itemset(self, forest):
+        assert forest.format_itemset([3, 4]) == "{leaf-3, item:4}"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy({1: 0}, names={0: "x", 1: "x"})
+
+
+class TestValidation:
+    def test_self_parent_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy({1: 1})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy({1: 2, 2: 3, 3: 1})
+
+    def test_two_node_cycle_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy({1: 2, 2: 1})
+
+    def test_empty_taxonomy_allowed(self):
+        empty = Taxonomy({})
+        assert len(empty) == 0
+        assert empty.height == 0
+
+    def test_exports_round_trip(self, forest):
+        rebuilt = Taxonomy(
+            forest.parent_map(),
+            names=forest.names_map(),
+            extra_roots=[99],
+        )
+        assert rebuilt.nodes == forest.nodes
+        assert rebuilt.leaves == forest.leaves
+
+    def test_repr_mentions_counts(self, forest):
+        text = repr(forest)
+        assert "nodes=8" in text
+        assert "leaves=5" in text

@@ -1,0 +1,58 @@
+"""Unit tests for internal validation and timing helpers."""
+
+import pytest
+
+from repro._util import (
+    Stopwatch,
+    check_fraction,
+    check_nonnegative,
+    check_positive,
+)
+from repro.errors import ConfigError
+
+
+class TestValidators:
+    def test_fraction_accepts_boundary(self):
+        assert check_fraction(1.0, "x") == 1.0
+        assert check_fraction(0.001, "x") == 0.001
+
+    @pytest.mark.parametrize("value", [0.0, -0.2, 1.0001])
+    def test_fraction_rejects(self, value):
+        with pytest.raises(ConfigError, match="x must be"):
+            check_fraction(value, "x")
+
+    def test_positive(self):
+        assert check_positive(1, "n") == 1
+        with pytest.raises(ConfigError):
+            check_positive(0, "n")
+
+    def test_nonnegative(self):
+        assert check_nonnegative(0.0, "n") == 0.0
+        with pytest.raises(ConfigError):
+            check_nonnegative(-1e-9, "n")
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure():
+            pass
+        with watch.measure():
+            pass
+        assert watch.elapsed >= 0.0
+        assert len(watch.laps) == 2
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch.measure():
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert watch.laps == []
+
+    def test_records_lap_on_exception(self):
+        watch = Stopwatch()
+        with pytest.raises(ValueError):
+            with watch.measure():
+                raise ValueError("boom")
+        assert len(watch.laps) == 1
