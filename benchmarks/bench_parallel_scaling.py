@@ -1,0 +1,112 @@
+"""P1 — Parallel scaling: sharded counting vs serial, n_jobs in {2, 4}.
+
+Times one generalized counting pass (the pipeline's inner loop) serially
+and sharded across worker processes, asserts all variants return
+identical counts, and emits a JSON record of the measured wall times.
+On a single-core box the parallel variants mostly measure process
+start-up + shard transport overhead; on multi-core hardware they show
+the speedup. Either way the counts must be bit-identical.
+
+Run directly::
+
+    python -m benchmarks.bench_parallel_scaling
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core.candidates import generate_negative_candidates
+from repro.mining.counting import count_supports
+from repro.mining.generalized import mine_generalized
+from repro.parallel.engine import ParallelStats, parallel_count_supports
+
+from .common import MINRI, dataset, support_sweep
+
+MINSUP = support_sweep()[0]
+JOB_COUNTS = (1, 2, 4)
+
+
+def _setup(kind="short"):
+    data = dataset(kind)
+    index = mine_generalized(data.database, data.taxonomy, MINSUP)
+    candidates = sorted(
+        generate_negative_candidates(index, data.taxonomy, MINSUP, MINRI)
+    )
+    return data, candidates
+
+
+def _count(data, candidates, n_jobs, stats=None):
+    if n_jobs == 1:
+        return count_supports(
+            data.database.scan(),
+            candidates,
+            taxonomy=data.taxonomy,
+            engine="bitmap",
+            restrict_to_candidate_items=True,
+        )
+    return parallel_count_supports(
+        data.database.scan(),
+        candidates,
+        taxonomy=data.taxonomy,
+        restrict_to_candidate_items=True,
+        n_jobs=n_jobs,
+        stats=stats,
+    )
+
+
+@pytest.mark.parametrize("n_jobs", JOB_COUNTS)
+def test_parallel_scaling(benchmark, n_jobs):
+    data, candidates = _setup()
+    serial = _count(data, candidates, 1)
+
+    counts = benchmark.pedantic(
+        lambda: _count(data, candidates, n_jobs), rounds=1, iterations=1
+    )
+    assert counts == serial
+    benchmark.extra_info.update(
+        candidates=len(candidates), transactions=len(data.database)
+    )
+
+
+def main() -> None:
+    data, candidates = _setup()
+    print(
+        f"=== P1: parallel counting scaling over {len(candidates)} "
+        f"candidates, |D|={len(data.database)} ==="
+    )
+    record = {
+        "bench": "parallel_scaling",
+        "minsup": MINSUP,
+        "transactions": len(data.database),
+        "candidates": len(candidates),
+        "runs": [],
+    }
+    reference = None
+    for n_jobs in JOB_COUNTS:
+        stats = ParallelStats()
+        started = time.perf_counter()
+        counts = _count(data, candidates, n_jobs, stats=stats)
+        elapsed = time.perf_counter() - started
+        agrees = reference is None or counts == reference
+        reference = reference or counts
+        record["runs"].append(
+            {
+                "n_jobs": n_jobs,
+                "seconds": round(elapsed, 4),
+                "shards": stats.shards,
+                "workers_launched": stats.workers_launched,
+                "agrees": agrees,
+            }
+        )
+        print(
+            f"  n_jobs={n_jobs}  {elapsed:8.3f}s  shards={stats.shards}"
+            f"  workers={stats.workers_launched}  agrees={agrees}"
+        )
+    print("\nJSON:")
+    print(json.dumps(record, indent=2))
+
+
+if __name__ == "__main__":
+    main()

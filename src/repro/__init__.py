@@ -46,6 +46,13 @@ from .mining.apriori import find_large_itemsets
 from .mining.generalized import mine_generalized
 from .mining.itemset_index import LargeItemsetIndex
 from .mining.rules import AssociationRule, generate_rules
+from .parallel import (
+    ParallelStats,
+    PoolConfig,
+    WorkerPool,
+    parallel_count_supports,
+    parallel_partition,
+)
 from .taxonomy.tree import Taxonomy
 
 __version__ = "1.0.0"
@@ -73,6 +80,12 @@ __all__ = [
     "mine_generalized",
     "AssociationRule",
     "generate_rules",
+    # parallel execution
+    "ParallelStats",
+    "PoolConfig",
+    "WorkerPool",
+    "parallel_count_supports",
+    "parallel_partition",
     # errors
     "ReproError",
     "ConfigError",

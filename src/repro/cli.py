@@ -24,6 +24,7 @@ import sys
 from collections.abc import Sequence
 
 from .core.api import MiningConfig, mine_negative_rules
+from .mining.counting import ENGINES
 from .data.io import (
     load_basket_file,
     load_taxonomy_file,
@@ -84,9 +85,15 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--algorithm",
                       choices=("basic", "cumulate", "estmerge"),
                       default="cumulate")
-    mine.add_argument("--engine", choices=("bitmap", "hashtree", "index", "brute"),
-                      default="bitmap")
+    mine.add_argument("--engine", choices=ENGINES, default="bitmap")
     mine.add_argument("--max-size", type=int, default=None)
+    mine.add_argument("--jobs", type=int, default=1, dest="n_jobs",
+                      help="worker processes for sharded counting "
+                           "(1 = serial)")
+    mine.add_argument("--shard-rows", type=int, default=None,
+                      dest="shard_rows",
+                      help="target rows per shard (default: split each "
+                           "pass into --jobs equal shards)")
     mine.add_argument("--max-sibling-replacements", type=int,
                       default=None, dest="max_sibling_replacements",
                       help="cap Case-3 sibling replacements (1 = the paper's examples)")
@@ -104,6 +111,8 @@ def _build_parser() -> argparse.ArgumentParser:
     positive.add_argument("--algorithm",
                           choices=("basic", "cumulate", "estmerge"),
                           default="cumulate")
+    positive.add_argument("--jobs", type=int, default=1, dest="n_jobs",
+                          help="worker processes for sharded counting")
     positive.add_argument("--limit", type=int, default=25)
 
     inspect = commands.add_parser(
@@ -159,6 +168,8 @@ def _command_mine(args: argparse.Namespace) -> int:
         engine=args.engine,
         max_size=args.max_size,
         max_sibling_replacements=args.max_sibling_replacements,
+        n_jobs=args.n_jobs,
+        shard_rows=args.shard_rows,
     )
     result = mine_negative_rules(database, taxonomy, config=config)
     print(result.summary(taxonomy, limit=args.limit))
@@ -180,7 +191,8 @@ def _command_positive(args: argparse.Namespace) -> int:
     database = load_basket_file(args.baskets)
     taxonomy = load_taxonomy_file(args.taxonomy)
     index = mine_generalized(
-        database, taxonomy, args.minsup, algorithm=args.algorithm
+        database, taxonomy, args.minsup, algorithm=args.algorithm,
+        n_jobs=args.n_jobs,
     )
     rules = generate_rules(index, args.minconf)
     print(f"large itemsets : {len(index)}")

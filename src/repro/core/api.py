@@ -12,7 +12,7 @@ import random
 from dataclasses import dataclass, field
 from collections.abc import Iterable
 
-from .._util import check_fraction
+from .._util import check_fraction, check_positive
 from ..data.database import TransactionDatabase
 from ..data.filedb import FileBackedDatabase
 from ..errors import ConfigError
@@ -70,6 +70,14 @@ class MiningConfig:
         :func:`repro.core.candidates.generate_negative_candidates`).
     seed:
         Seed for the EstMerge sample, when used.
+    n_jobs:
+        Worker processes for sharded support counting (see
+        :mod:`repro.parallel`). ``1`` (default) runs fully serial; any
+        higher value fans each counting pass out across that many
+        processes. Counts are bit-identical either way.
+    shard_rows:
+        Target rows per shard for parallel counting; ``None`` splits
+        each pass into ``n_jobs`` equal shards.
     """
 
     minsup: float = 0.01
@@ -84,6 +92,8 @@ class MiningConfig:
     figure3_literal: bool = False
     max_sibling_replacements: int | None = None
     seed: int | None = None
+    n_jobs: int = 1
+    shard_rows: int | None = None
 
     def __post_init__(self) -> None:
         check_fraction(self.minsup, "minsup")
@@ -101,6 +111,9 @@ class MiningConfig:
             raise ConfigError(
                 f"unknown engine {self.engine!r}; choose from {ENGINES}"
             )
+        check_positive(self.n_jobs, "n_jobs")
+        if self.shard_rows is not None:
+            check_positive(self.shard_rows, "shard_rows")
 
 
 @dataclass(slots=True)
@@ -139,6 +152,13 @@ class NegativeMiningResult:
             f"rules          : {len(self.rules)}",
             f"data passes    : {self.stats.data_passes}",
         ]
+        if self.stats.shards:
+            lines.append(
+                f"shards         : {self.stats.shards} "
+                f"(workers {self.stats.workers_launched}, "
+                f"retries {self.stats.worker_retries}, "
+                f"fallbacks {self.stats.worker_fallbacks})"
+            )
         for rule in self.rules[:limit]:
             lines.append("  " + rule.format(taxonomy))
         if len(self.rules) > limit:
@@ -239,6 +259,8 @@ def _run_miner(
                 max_size=config.max_size,
                 figure3_literal=config.figure3_literal,
                 max_sibling_replacements=config.max_sibling_replacements,
+                n_jobs=config.n_jobs,
+                shard_rows=config.shard_rows,
             )
         )
     else:
@@ -256,5 +278,7 @@ def _run_miner(
             figure3_literal=config.figure3_literal,
             max_sibling_replacements=config.max_sibling_replacements,
             rng=rng,
+            n_jobs=config.n_jobs,
+            shard_rows=config.shard_rows,
         )
     return miner.mine()

@@ -34,6 +34,7 @@ from ..itemset import Itemset
 from ..mining.counting import count_supports
 from ..mining.generalized import iter_generalized_levels, mine_generalized
 from ..mining.itemset_index import LargeItemsetIndex
+from ..parallel.engine import ParallelStats
 from ..taxonomy.prune import restrict_to_items
 from ..taxonomy.tree import Taxonomy
 from .candidates import NegativeCandidate, generate_negative_candidates
@@ -70,7 +71,14 @@ class NegativeItemset:
 
 @dataclass(slots=True)
 class MiningStats:
-    """Bookkeeping reported alongside mining results."""
+    """Bookkeeping reported alongside mining results.
+
+    The ``shards``/``worker*`` fields are zero for serial runs; with
+    ``n_jobs > 1`` they record the sharded-counting activity (see
+    :mod:`repro.parallel`) so speedups and degraded runs are observable:
+    a crashed worker shows up as retries and, past the retry budget, as
+    serial fallbacks.
+    """
 
     data_passes: int = 0
     large_itemsets: int = 0
@@ -78,6 +86,11 @@ class MiningStats:
     negative_itemsets: int = 0
     counting_batches: int = 0
     candidates_by_size: dict[int, int] = field(default_factory=dict)
+    shards: int = 0
+    worker_tasks: int = 0
+    workers_launched: int = 0
+    worker_retries: int = 0
+    worker_fallbacks: int = 0
 
 
 @dataclass(slots=True)
@@ -136,6 +149,9 @@ class NaiveNegativeMiner:
     figure3_literal:
         Use Figure 3's literal low-support predicate instead of the body
         text's deviation predicate (see module docstring).
+    n_jobs, shard_rows:
+        Sharded-counting controls for every pass (see
+        :mod:`repro.parallel`); ``n_jobs=1`` (default) is fully serial.
     """
 
     def __init__(
@@ -148,6 +164,8 @@ class NaiveNegativeMiner:
         max_size: int | None = None,
         figure3_literal: bool = False,
         max_sibling_replacements: int | None = None,
+        n_jobs: int = 1,
+        shard_rows: int | None = None,
     ) -> None:
         check_fraction(minsup, "minsup")
         check_fraction(minri, "minri")
@@ -159,6 +177,9 @@ class NaiveNegativeMiner:
         self._max_size = max_size
         self._figure3_literal = figure3_literal
         self._max_sibling_replacements = max_sibling_replacements
+        self._n_jobs = check_positive(n_jobs, "n_jobs")
+        self._shard_rows = shard_rows
+        self._parallel_stats = ParallelStats()
 
     def mine(self) -> MinerOutput:
         """Run the per-level loop and return all results."""
@@ -178,6 +199,9 @@ class NaiveNegativeMiner:
             self._minsup,
             engine=self._engine,
             max_size=self._max_size,
+            n_jobs=self._n_jobs,
+            shard_rows=self._shard_rows,
+            parallel_stats=self._parallel_stats,
         )
         for level_number, level in enumerate(levels, start=1):
             for items, support in level.items():
@@ -201,6 +225,9 @@ class NaiveNegativeMiner:
                 taxonomy=self._taxonomy,
                 engine=self._engine,
                 restrict_to_candidate_items=True,
+                n_jobs=self._n_jobs,
+                shard_rows=self._shard_rows,
+                parallel_stats=self._parallel_stats,
             )
             batches += 1
             negatives.extend(
@@ -215,7 +242,7 @@ class NaiveNegativeMiner:
         )
         stats = _build_stats(
             database.scans - start_passes, index, all_candidates, negatives,
-            batches,
+            batches, self._parallel_stats,
         )
         return MinerOutput(index, all_candidates, negatives, stats)
 
@@ -241,6 +268,9 @@ class ImprovedNegativeMiner:
         exposed for the A3 ablation.
     rng:
         Randomness for the EstMerge sample, when that algorithm is chosen.
+    n_jobs, shard_rows:
+        Sharded-counting controls for every pass (see
+        :mod:`repro.parallel`); ``n_jobs=1`` (default) is fully serial.
     """
 
     def __init__(
@@ -257,6 +287,8 @@ class ImprovedNegativeMiner:
         figure3_literal: bool = False,
         max_sibling_replacements: int | None = None,
         rng: random.Random | None = None,
+        n_jobs: int = 1,
+        shard_rows: int | None = None,
     ) -> None:
         check_fraction(minsup, "minsup")
         check_fraction(minri, "minri")
@@ -276,6 +308,9 @@ class ImprovedNegativeMiner:
         self._figure3_literal = figure3_literal
         self._max_sibling_replacements = max_sibling_replacements
         self._rng = rng
+        self._n_jobs = check_positive(n_jobs, "n_jobs")
+        self._shard_rows = shard_rows
+        self._parallel_stats = ParallelStats()
 
     def mine(self) -> MinerOutput:
         """Run the three phases and return all results."""
@@ -292,6 +327,9 @@ class ImprovedNegativeMiner:
             engine=self._engine,
             max_size=self._max_size,
             rng=self._rng,
+            n_jobs=self._n_jobs,
+            shard_rows=self._shard_rows,
+            parallel_stats=self._parallel_stats,
         )
 
         generation_taxonomy = self._taxonomy
@@ -321,6 +359,9 @@ class ImprovedNegativeMiner:
                 taxonomy=self._taxonomy,
                 engine=self._engine,
                 restrict_to_candidate_items=True,
+                n_jobs=self._n_jobs,
+                shard_rows=self._shard_rows,
+                parallel_stats=self._parallel_stats,
             )
             batches += 1
             negatives.extend(
@@ -335,7 +376,7 @@ class ImprovedNegativeMiner:
         )
         stats = _build_stats(
             database.scans - start_passes, index, candidates, negatives,
-            batches,
+            batches, self._parallel_stats,
         )
         return MinerOutput(index, candidates, negatives, stats)
 
@@ -359,11 +400,12 @@ def _build_stats(
     candidates: dict[Itemset, NegativeCandidate],
     negatives: list[NegativeItemset],
     batches: int,
+    parallel: ParallelStats | None = None,
 ) -> MiningStats:
     by_size: dict[int, int] = {}
     for items in candidates:
         by_size[len(items)] = by_size.get(len(items), 0) + 1
-    return MiningStats(
+    stats = MiningStats(
         data_passes=passes,
         large_itemsets=len(index),
         candidates_generated=len(candidates),
@@ -371,3 +413,10 @@ def _build_stats(
         counting_batches=batches,
         candidates_by_size=dict(sorted(by_size.items())),
     )
+    if parallel is not None:
+        stats.shards = parallel.shards
+        stats.worker_tasks = parallel.worker_tasks
+        stats.workers_launched = parallel.workers_launched
+        stats.worker_retries = parallel.worker_retries
+        stats.worker_fallbacks = parallel.worker_fallbacks
+    return stats

@@ -47,6 +47,28 @@ class TransactionDatabase:
         self._scans = 0
         self._item_counts: dict[int, int] | None = None
 
+    @classmethod
+    def from_canonical_rows(cls, rows: Iterable[Itemset]) -> (
+        "TransactionDatabase"
+    ):
+        """Build a database from rows that are *already canonical*.
+
+        Trusted fast path used by sharding and slicing: rows must be
+        sorted, de-duplicated, non-empty tuples (the invariant every row
+        in an existing database already satisfies), and are stored
+        without re-canonicalization. Prefer the regular constructor for
+        untrusted input.
+        """
+        database = cls.__new__(cls)
+        database._transactions = tuple(rows)
+        database._scans = 0
+        database._item_counts = None
+        if not database._transactions:
+            raise DatabaseError(
+                "database must contain at least 1 transaction"
+            )
+        return database
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -73,6 +95,25 @@ class TransactionDatabase:
     def __iter__(self) -> Iterator[Itemset]:
         """Iterate *without* counting a pass (for tests and reports)."""
         return iter(self._transactions)
+
+    def slice(self, start: int, stop: int) -> "TransactionDatabase":
+        """A new database holding rows ``[start, stop)`` of this one.
+
+        Rows are shared (no copy, no re-canonicalization). The slice is
+        an independent database with its own pass counter starting at
+        zero: scans of the slice — e.g. worker-local counting over one
+        shard — do **not** increment the parent's :attr:`scans`. Callers
+        modeling the paper's cost must account sharded passes at the
+        parent (see :func:`repro.parallel.shards.plan_shards`, which
+        records one parent pass for the whole plan).
+        """
+        rows = self._transactions[start:stop]
+        if not rows:
+            raise DatabaseError(
+                f"slice [{start}, {stop}) of {len(self)} transactions "
+                f"is empty"
+            )
+        return TransactionDatabase.from_canonical_rows(rows)
 
     # ------------------------------------------------------------------
     # Pass accounting

@@ -1,7 +1,7 @@
 """Pluggable support-counting engines.
 
 Counting the support of a candidate set against the database is the inner
-loop of every miner here (positive and negative). Four engines are
+loop of every miner here (positive and negative). Five engines are
 provided, all returning identical counts (property-tested):
 
 * ``"bitmap"`` (default) — vertical counting: one pass builds a per-item
@@ -18,6 +18,10 @@ provided, all returning identical counts (property-tested):
   small candidate sets.
 * ``"brute"`` — test every candidate against every transaction. The oracle
   the others are verified against.
+* ``"parallel"`` — shard the pass into contiguous row ranges, count each
+  shard with a serial engine in a worker process and sum the partial
+  counts (see :mod:`repro.parallel`). Selected either explicitly or by
+  passing ``n_jobs > 1`` with any serial engine.
 
 The free function :func:`count_supports` adds the generalized-mining twist:
 when a taxonomy is supplied, each transaction is extended with item
@@ -35,7 +39,11 @@ from ..itemset import Itemset
 from ..taxonomy.tree import Taxonomy
 from .hash_tree import HashTree
 
-ENGINES = ("bitmap", "hashtree", "index", "brute")
+ENGINES = ("bitmap", "hashtree", "index", "brute", "parallel")
+
+#: The engines that count rows in-process; ``"parallel"`` delegates each
+#: shard to one of these.
+SERIAL_ENGINES = ("bitmap", "hashtree", "index", "brute")
 
 DEFAULT_ENGINE = "bitmap"
 
@@ -50,6 +58,8 @@ def _count_bitmap(
     that occur in some candidate, then intersects masks per candidate and
     popcounts.
     """
+    if not candidates:
+        return {}
     wanted = {item for candidate in candidates for item in candidate}
     masks: dict[int, int] = {}
     for position, row in enumerate(transactions):
@@ -71,6 +81,8 @@ def _count_bitmap(
 def _count_brute(
     transactions: Iterable[Itemset], candidates: Collection[Itemset]
 ) -> dict[Itemset, int]:
+    if not candidates:
+        return {}
     counts = dict.fromkeys(candidates, 0)
     candidate_list = list(counts)
     for row in transactions:
@@ -84,6 +96,8 @@ def _count_brute(
 def _count_index(
     transactions: Iterable[Itemset], candidates: Collection[Itemset]
 ) -> dict[Itemset, int]:
+    if not candidates:
+        return {}
     counts = dict.fromkeys(candidates, 0)
     by_first: dict[int, list[Itemset]] = defaultdict(list)
     for candidate in counts:
@@ -100,6 +114,8 @@ def _count_index(
 def _count_hashtree(
     transactions: Iterable[Itemset], candidates: Collection[Itemset]
 ) -> dict[Itemset, int]:
+    if not candidates:
+        return {}
     by_size: dict[int, list[Itemset]] = defaultdict(list)
     for candidate in candidates:
         by_size[len(candidate)].append(candidate)
@@ -147,6 +163,9 @@ def count_supports(
     taxonomy: Taxonomy | None = None,
     engine: str = DEFAULT_ENGINE,
     restrict_to_candidate_items: bool = False,
+    n_jobs: int | None = None,
+    shard_rows: int | None = None,
+    parallel_stats=None,
 ) -> dict[Itemset, int]:
     """Count how many transactions contain each candidate.
 
@@ -155,16 +174,30 @@ def count_supports(
     transactions:
         The rows of one database pass (e.g. ``database.scan()``).
     candidates:
-        Canonical itemsets to count; mixed sizes are allowed.
+        Canonical itemsets to count; mixed sizes are allowed. An empty
+        collection short-circuits to ``{}`` without touching
+        *transactions* (no mask/tree setup, no row consumption).
     taxonomy:
         When given, rows are extended with ancestors first so that
         category-level candidates are counted generalized.
     engine:
-        One of ``"bitmap"``, ``"hashtree"``, ``"index"``, ``"brute"``.
+        One of ``"bitmap"``, ``"hashtree"``, ``"index"``, ``"brute"``,
+        ``"parallel"``.
     restrict_to_candidate_items:
         With a taxonomy: intersect each extended row with the set of items
         occurring in any candidate (Cumulate optimization; changes no
         counts, only speed).
+    n_jobs:
+        Worker processes for sharded counting. ``None`` keeps the serial
+        path (except under ``engine="parallel"``, where it means one
+        worker per CPU); any value above 1 routes the pass through
+        :func:`repro.parallel.engine.parallel_count_supports` with this
+        *engine* as the per-shard engine.
+    shard_rows:
+        Target rows per shard for the parallel path.
+    parallel_stats:
+        Optional :class:`repro.parallel.engine.ParallelStats` accumulator
+        recording shard/worker/retry counts.
 
     Returns
     -------
@@ -172,12 +205,26 @@ def count_supports(
         Absolute count per candidate. Every candidate appears as a key,
         with 0 when unsupported.
     """
-    if engine not in _ENGINE_FUNCS:
+    if engine not in ENGINES:
         raise ConfigError(
             f"unknown counting engine {engine!r}; choose from {ENGINES}"
         )
     if not candidates:
         return {}
+    if engine == "parallel" or (n_jobs is not None and n_jobs > 1):
+        # Imported lazily: repro.parallel.engine imports this module.
+        from ..parallel.engine import parallel_count_supports
+
+        return parallel_count_supports(
+            transactions,
+            candidates,
+            taxonomy=taxonomy,
+            base_engine=engine,
+            restrict_to_candidate_items=restrict_to_candidate_items,
+            n_jobs=n_jobs,
+            shard_rows=shard_rows,
+            stats=parallel_stats,
+        )
     rows: Iterable[Itemset] = transactions
     if taxonomy is not None:
         keep: frozenset[int] | None = None

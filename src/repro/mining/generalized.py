@@ -97,6 +97,9 @@ def mine_generalized(
     sample_fraction: float = 0.1,
     estimation_slack: float = 0.9,
     rng: random.Random | None = None,
+    n_jobs: int | None = None,
+    shard_rows: int | None = None,
+    parallel_stats=None,
 ) -> LargeItemsetIndex:
     """Mine all generalized large itemsets of *database* under *taxonomy*.
 
@@ -118,6 +121,10 @@ def mine_generalized(
         EstMerge tuning: sample size as a fraction of |D|, and the
         fraction of ``minsup`` above which a sampled estimate counts as
         "probably large". Ignored by the other algorithms.
+    n_jobs, shard_rows, parallel_stats:
+        Sharded-counting controls forwarded to
+        :func:`repro.mining.counting.count_supports` for every full
+        database pass (see :mod:`repro.parallel`).
 
     Returns
     -------
@@ -141,11 +148,23 @@ def mine_generalized(
             sample_fraction,
             estimation_slack,
             rng,
+            n_jobs=n_jobs,
+            shard_rows=shard_rows,
+            parallel_stats=parallel_stats,
         )
     prune_lineage = algorithm == "cumulate"
     restrict = algorithm == "cumulate"
     return _mine_levelwise(
-        database, taxonomy, minsup, engine, max_size, prune_lineage, restrict
+        database,
+        taxonomy,
+        minsup,
+        engine,
+        max_size,
+        prune_lineage,
+        restrict,
+        n_jobs=n_jobs,
+        shard_rows=shard_rows,
+        parallel_stats=parallel_stats,
     )
 
 
@@ -154,11 +173,20 @@ def _large_singles(
     taxonomy: Taxonomy,
     min_count: float,
     engine: str,
+    n_jobs: int | None = None,
+    shard_rows: int | None = None,
+    parallel_stats=None,
 ) -> dict[Itemset, int]:
     """Pass 1: count every taxonomy node as a 1-itemset, keep the large."""
     singles = [(node,) for node in taxonomy.nodes]
     counts = count_supports(
-        database.scan(), singles, taxonomy=taxonomy, engine=engine
+        database.scan(),
+        singles,
+        taxonomy=taxonomy,
+        engine=engine,
+        n_jobs=n_jobs,
+        shard_rows=shard_rows,
+        parallel_stats=parallel_stats,
     )
     return {
         single: count
@@ -185,6 +213,9 @@ def iter_generalized_levels(
     max_size: int | None = None,
     prune_lineage: bool = True,
     restrict: bool = True,
+    n_jobs: int | None = None,
+    shard_rows: int | None = None,
+    parallel_stats=None,
 ) -> "Iterator[dict[Itemset, float]]":
     """Yield the generalized large itemsets one level at a time.
 
@@ -198,7 +229,15 @@ def iter_generalized_levels(
     total = len(database)
     min_count = minsup * total
 
-    large_singles = _large_singles(database, taxonomy, min_count, engine)
+    large_singles = _large_singles(
+        database,
+        taxonomy,
+        min_count,
+        engine,
+        n_jobs=n_jobs,
+        shard_rows=shard_rows,
+        parallel_stats=parallel_stats,
+    )
     level = {
         single: count / total for single, count in large_singles.items()
     }
@@ -218,6 +257,9 @@ def iter_generalized_levels(
             taxonomy=taxonomy,
             engine=engine,
             restrict_to_candidate_items=restrict,
+            n_jobs=n_jobs,
+            shard_rows=shard_rows,
+            parallel_stats=parallel_stats,
         )
         level = {
             candidate: count / total
@@ -239,6 +281,9 @@ def _mine_levelwise(
     max_size: int | None,
     prune_lineage: bool,
     restrict: bool,
+    n_jobs: int | None = None,
+    shard_rows: int | None = None,
+    parallel_stats=None,
 ) -> LargeItemsetIndex:
     """Shared level-wise loop for Basic and Cumulate."""
     index = LargeItemsetIndex()
@@ -250,6 +295,9 @@ def _mine_levelwise(
         max_size=max_size,
         prune_lineage=prune_lineage,
         restrict=restrict,
+        n_jobs=n_jobs,
+        shard_rows=shard_rows,
+        parallel_stats=parallel_stats,
     ):
         for candidate, support in level.items():
             index.add(candidate, support)
@@ -265,6 +313,9 @@ def _mine_estmerge(
     sample_fraction: float,
     estimation_slack: float,
     rng: random.Random | None,
+    n_jobs: int | None = None,
+    shard_rows: int | None = None,
+    parallel_stats=None,
 ) -> LargeItemsetIndex:
     """Sampling-guided variant; see module docstring for the contract.
 
@@ -289,7 +340,15 @@ def _mine_estmerge(
     sample = sample_database(database, sample_fraction, rng=rng)
     sample_threshold = estimation_slack * minsup * len(sample)
 
-    large_singles = _large_singles(database, taxonomy, min_count, engine)
+    large_singles = _large_singles(
+        database,
+        taxonomy,
+        min_count,
+        engine,
+        n_jobs=n_jobs,
+        shard_rows=shard_rows,
+        parallel_stats=parallel_stats,
+    )
     for single, count in large_singles.items():
         index.add(single, count / total)
 
@@ -316,6 +375,8 @@ def _mine_estmerge(
             break
 
         if fresh:
+            # The sample is small by construction; estimating on it stays
+            # serial — sharding it would cost more than it saves.
             estimates = count_supports(
                 sample.scan(), fresh, taxonomy=taxonomy, engine=engine
             )
@@ -344,6 +405,9 @@ def _mine_estmerge(
             taxonomy=taxonomy,
             engine=engine,
             restrict_to_candidate_items=True,
+            n_jobs=n_jobs,
+            shard_rows=shard_rows,
+            parallel_stats=parallel_stats,
         )
         for candidate, count in counts.items():
             if count >= min_count:

@@ -1,0 +1,264 @@
+"""The ``"parallel"`` counting engine and the parallel Partition driver.
+
+Support counting is a sum over transactions, so it shards trivially: split
+the rows of one pass into contiguous ranges, count every candidate inside
+each shard with a serial engine (bitmap by default), and sum the partial
+counts. Integer addition is associative and commutative, and partials are
+merged in shard order anyway, so the result is bit-identical to a serial
+count (property-tested against the brute-force oracle).
+
+The same structure parallelizes the Partition algorithm (Savasere,
+Omiecinski & Navathe, VLDB 1995 — the authors' own miner,
+:mod:`repro.mining.partition`): phase 1 mines each shard's local large
+itemsets in its own worker, phase 2 counts the merged candidate union with
+the sharded engine. Exactly two passes over the parent database are
+recorded, the same as the serial driver.
+
+Everything here degrades gracefully: ``n_jobs=1`` (or a single shard)
+runs serially in-process with no worker transport, and worker failures
+follow :class:`repro.parallel.pool.WorkerPool`'s retry-then-serial ladder.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+from dataclasses import dataclass
+
+from .._util import check_fraction
+from ..itemset import Itemset
+from ..mining import counting
+from ..mining.itemset_index import LargeItemsetIndex
+from ..mining.partition import mine_local_partition
+from ..taxonomy.tree import Taxonomy
+from .pool import PoolConfig, PoolStats, WorkerPool, resolve_n_jobs
+from .shards import plan_shards
+
+
+@dataclass(slots=True)
+class ParallelStats:
+    """Accumulated shard/worker accounting across parallel operations.
+
+    One instance is typically threaded through a whole mining run (see
+    ``MiningConfig.n_jobs``) and absorbs the pool statistics of every
+    sharded counting pass.
+    """
+
+    shards: int = 0
+    worker_tasks: int = 0
+    workers_launched: int = 0
+    worker_retries: int = 0
+    worker_timeouts: int = 0
+    worker_crashes: int = 0
+    worker_fallbacks: int = 0
+    serial_tasks: int = 0
+
+    def absorb(self, pool_stats: PoolStats) -> None:
+        """Fold one pool's lifetime statistics into this accumulator."""
+        self.worker_tasks += pool_stats.tasks
+        self.workers_launched += pool_stats.workers_launched
+        self.worker_retries += pool_stats.retries
+        self.worker_timeouts += pool_stats.timeouts
+        self.worker_crashes += pool_stats.crashes + pool_stats.errors
+        self.worker_fallbacks += pool_stats.fallbacks
+        self.serial_tasks += pool_stats.serial_tasks
+
+
+def _count_shard(payload) -> dict[Itemset, int]:
+    """Worker task: count all candidates within one shard of rows."""
+    rows, candidates, taxonomy, engine, restrict = payload
+    return counting.count_supports(
+        rows,
+        candidates,
+        taxonomy=taxonomy,
+        engine=engine,
+        restrict_to_candidate_items=restrict,
+    )
+
+
+def _mine_shard(payload) -> list[Itemset]:
+    """Worker task: phase-1 local mining of one Partition shard."""
+    rows, minsup, max_size = payload
+    return sorted(mine_local_partition(list(rows), minsup, max_size))
+
+
+def _base_engine(engine: str) -> str:
+    """The serial engine shards delegate to (never ``"parallel"`` itself)."""
+    if engine == "parallel":
+        return counting.DEFAULT_ENGINE
+    return engine
+
+
+def parallel_count_supports(
+    transactions: Iterable[Itemset],
+    candidates: Collection[Itemset],
+    taxonomy: Taxonomy | None = None,
+    base_engine: str = "bitmap",
+    restrict_to_candidate_items: bool = False,
+    n_jobs: int | None = None,
+    shard_rows: int | None = None,
+    pool_config: PoolConfig | None = None,
+    stats: ParallelStats | None = None,
+) -> dict[Itemset, int]:
+    """Sharded support counting; bit-identical to the serial engines.
+
+    Parameters
+    ----------
+    transactions:
+        The rows of one database pass (already scan-counted by the
+        caller, exactly like the serial engines).
+    candidates:
+        Canonical itemsets to count.
+    taxonomy, restrict_to_candidate_items:
+        As for :func:`repro.mining.counting.count_supports`; ancestor
+        extension happens *inside* each worker so it parallelizes too.
+    base_engine:
+        Serial engine each shard delegates to (default bitmap).
+    n_jobs:
+        Worker processes; ``None`` = one per CPU, ``1`` = serial
+        in-process.
+    shard_rows:
+        Target rows per shard; default splits the pass into ``n_jobs``
+        equal shards.
+    pool_config:
+        Full :class:`~repro.parallel.pool.PoolConfig` override (timeout,
+        retries, backoff, start method); its ``n_jobs`` wins over the
+        *n_jobs* argument when given.
+    stats:
+        Optional :class:`ParallelStats` accumulator.
+
+    Returns
+    -------
+    dict
+        Absolute count per candidate, every candidate present.
+    """
+    candidate_list = list(candidates)
+    if not candidate_list:
+        return {}
+    jobs = pool_config.n_jobs if pool_config is not None else (
+        resolve_n_jobs(n_jobs)
+    )
+    rows = (
+        transactions
+        if isinstance(transactions, (list, tuple))
+        else list(transactions)
+    )
+    shards = plan_shards(rows, shard_rows=shard_rows, n_shards=jobs)
+    if stats is not None:
+        stats.shards += len(shards)
+    engine = _base_engine(base_engine)
+    if jobs == 1 or len(shards) <= 1:
+        if stats is not None:
+            stats.serial_tasks += len(shards)
+        return counting.count_supports(
+            rows,
+            candidate_list,
+            taxonomy=taxonomy,
+            engine=engine,
+            restrict_to_candidate_items=restrict_to_candidate_items,
+        )
+    pool = WorkerPool(pool_config or PoolConfig(n_jobs=jobs))
+    payloads = [
+        (
+            shard.rows,
+            candidate_list,
+            taxonomy,
+            engine,
+            restrict_to_candidate_items,
+        )
+        for shard in shards
+    ]
+    partials = pool.map(_count_shard, payloads)
+    totals: dict[Itemset, int] = dict.fromkeys(candidate_list, 0)
+    for partial in partials:
+        for items, count in partial.items():
+            totals[items] += count
+    if stats is not None:
+        stats.absorb(pool.stats)
+    return totals
+
+
+def parallel_partition(
+    database,
+    minsup: float,
+    n_jobs: int | None = None,
+    partitions: int | None = None,
+    shard_rows: int | None = None,
+    engine: str = "bitmap",
+    max_size: int | None = None,
+    pool_config: PoolConfig | None = None,
+    stats: ParallelStats | None = None,
+) -> LargeItemsetIndex:
+    """Two-pass Partition mining with one worker per partition.
+
+    Phase 1 plans one shard per partition (one recorded pass) and mines
+    each shard's locally large itemsets in its own worker; phase 2 counts
+    the merged candidate union with the sharded engine (the second
+    recorded pass). Output is identical to
+    :func:`repro.mining.partition.find_large_itemsets_partition`
+    (property-tested).
+
+    Parameters
+    ----------
+    database:
+        A scan-counted database of transactions over plain items (extend
+        first with :func:`repro.mining.generalized.extend_database` for
+        the generalized setting).
+    minsup:
+        Fractional minimum support in ``(0, 1]``.
+    n_jobs:
+        Worker processes; ``None`` = one per CPU.
+    partitions:
+        Number of phase-1 partitions; defaults to the worker count.
+    shard_rows:
+        Alternative partition sizing by row count (overrides
+        *partitions*).
+    engine:
+        Serial engine for the phase-2 global count.
+    max_size, pool_config, stats:
+        As for :func:`parallel_count_supports`.
+    """
+    check_fraction(minsup, "minsup")
+    jobs = pool_config.n_jobs if pool_config is not None else (
+        resolve_n_jobs(n_jobs)
+    )
+    parts = partitions if partitions is not None else jobs
+
+    # Phase 1 — pass one: shard the database, mine each shard locally.
+    shards = plan_shards(database, shard_rows=shard_rows, n_shards=parts)
+    if stats is not None:
+        stats.shards += len(shards)
+    payloads = [(shard.rows, minsup, max_size) for shard in shards]
+    if jobs == 1 or len(shards) <= 1:
+        if stats is not None:
+            stats.serial_tasks += len(shards)
+        local_results = [_mine_shard(payload) for payload in payloads]
+    else:
+        pool = WorkerPool(pool_config or PoolConfig(n_jobs=jobs))
+        local_results = pool.map(_mine_shard, payloads)
+        if stats is not None:
+            stats.absorb(pool.stats)
+
+    global_candidates: set[Itemset] = set()
+    for local in local_results:
+        global_candidates.update(local)
+
+    index = LargeItemsetIndex()
+    if not global_candidates:
+        return index
+
+    # Phase 2 — pass two: sharded global count of the merged union.
+    total = len(database)
+    min_count = minsup * total
+    counts = parallel_count_supports(
+        database.scan(),
+        sorted(global_candidates),
+        base_engine=engine,
+        n_jobs=jobs,
+        shard_rows=shard_rows,
+        pool_config=pool_config,
+        stats=stats,
+    )
+    for candidate, count in counts.items():
+        if count >= min_count:
+            index.add(candidate, count / total)
+    return index

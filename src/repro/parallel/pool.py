@@ -1,0 +1,307 @@
+"""Process worker pool with per-task timeouts, retries and serial fallback.
+
+:class:`WorkerPool` is the execution substrate of the parallel engine. It
+deliberately does **not** reuse :class:`multiprocessing.Pool` /
+``concurrent.futures``: both lose track of tasks when a worker dies
+abruptly (a killed child can hang a pending ``get()`` forever), and the
+whole point of this pool is that a crashed or wedged worker degrades to a
+retry and finally to in-process serial execution rather than a hang.
+
+Design: one short-lived process per task *attempt*, at most ``n_jobs``
+in flight, results returned over a one-way pipe. On Linux (fork start
+method) process creation costs milliseconds, which is negligible against a
+counting pass; the scheme buys exact crash detection (pipe EOF), exact
+timeout enforcement (``terminate()``), and zero shared state between
+attempts.
+
+Failure ladder per task::
+
+    attempt 1 .. 1 + retries   (each failure sleeps backoff * attempt)
+    -> serial fallback         (the task runs in the parent process)
+
+The serial fallback re-raises whatever the task raises — a
+deterministically failing task therefore surfaces its real exception to
+the caller instead of a wrapped pool error.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+
+from .._util import check_nonnegative, check_positive
+from ..errors import ConfigError
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` request: ``None`` means one per CPU."""
+    if n_jobs is None:
+        return max(1, os.cpu_count() or 1)
+    return check_positive(n_jobs, "n_jobs")
+
+
+@dataclass(frozen=True, slots=True)
+class PoolConfig:
+    """Tunables of one :class:`WorkerPool`.
+
+    Attributes
+    ----------
+    n_jobs:
+        Maximum concurrent worker processes. ``1`` disables
+        multiprocessing entirely: tasks run serially in the parent.
+    timeout:
+        Per-attempt wall-clock budget in seconds; ``None`` = unbounded.
+        A timed-out worker is terminated and the task retried.
+    retries:
+        Re-attempts after the first failed attempt, before the serial
+        fallback.
+    backoff:
+        Base sleep between attempts; attempt ``k`` sleeps ``backoff * k``.
+    start_method:
+        ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); ``None`` = platform default.
+    """
+
+    n_jobs: int = 1
+    timeout: float | None = None
+    retries: int = 1
+    backoff: float = 0.05
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_jobs, "n_jobs")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError(
+                f"timeout must be positive or None, got {self.timeout!r}"
+            )
+        check_nonnegative(self.retries, "retries")
+        check_nonnegative(self.backoff, "backoff")
+
+
+@dataclass(slots=True)
+class PoolStats:
+    """Observable accounting of one pool's lifetime.
+
+    Attributes
+    ----------
+    tasks:
+        Tasks submitted via :meth:`WorkerPool.map`.
+    workers_launched:
+        Worker processes started (attempts, not tasks).
+    retries:
+        Failed attempts that were re-queued.
+    timeouts:
+        Attempts killed for exceeding the per-task timeout.
+    crashes:
+        Attempts whose worker died without reporting a result.
+    errors:
+        Attempts whose worker raised an exception.
+    serial_tasks:
+        Tasks run in the parent because ``n_jobs == 1``.
+    fallbacks:
+        Tasks run in the parent after exhausting retries (or because
+        worker processes could not be created at all).
+    """
+
+    tasks: int = 0
+    workers_launched: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    errors: int = 0
+    serial_tasks: int = 0
+    fallbacks: int = 0
+
+
+def _child(func: Callable, payload, connection) -> None:
+    """Worker entry point: run one task, report over the pipe, exit."""
+    try:
+        result = func(payload)
+    except BaseException as exc:  # noqa: BLE001 — report, parent decides
+        try:
+            connection.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            connection.close()
+        return
+    connection.send(("ok", result))
+    connection.close()
+
+
+class _Task:
+    __slots__ = ("index", "payload", "attempts", "process", "connection",
+                 "deadline")
+
+    def __init__(self, index: int, payload) -> None:
+        self.index = index
+        self.payload = payload
+        self.attempts = 0
+        self.process = None
+        self.connection = None
+        self.deadline: float | None = None
+
+
+class WorkerPool:
+    """Run independent tasks across worker processes; never hang.
+
+    Parameters
+    ----------
+    config:
+        A :class:`PoolConfig`; defaults to serial (``n_jobs=1``).
+
+    Notes
+    -----
+    Task functions and payloads must be picklable under the chosen start
+    method (top-level functions; payloads of plain tuples). Results are
+    returned in submission order regardless of completion order, so a
+    caller merging partial results gets a deterministic reduction.
+    """
+
+    def __init__(self, config: PoolConfig | None = None) -> None:
+        self.config = config or PoolConfig()
+        self.stats = PoolStats()
+        self._context = multiprocessing.get_context(self.config.start_method)
+
+    def map(self, func: Callable, payloads: Iterable) -> list:
+        """Apply *func* to every payload; return results in order.
+
+        Failures follow the module-level ladder: retry with backoff, then
+        serial fallback in the parent. Exceptions raised by the serial
+        fallback (or by any task when ``n_jobs == 1``) propagate.
+        """
+        items: Sequence = list(payloads)
+        results: list = [None] * len(items)
+        self.stats.tasks += len(items)
+        if not items:
+            return results
+        if self.config.n_jobs == 1:
+            for index, payload in enumerate(items):
+                results[index] = func(payload)
+                self.stats.serial_tasks += 1
+            return results
+        self._run_parallel(func, items, results)
+        return results
+
+    # ------------------------------------------------------------------
+    # Parallel scheduler
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self, func: Callable, items: Sequence, results: list
+    ) -> None:
+        pending: deque[_Task] = deque(
+            _Task(index, payload) for index, payload in enumerate(items)
+        )
+        running: dict = {}  # recv connection -> _Task
+        try:
+            while pending or running:
+                while pending and len(running) < self.config.n_jobs:
+                    task = pending.popleft()
+                    if not self._launch(func, task):
+                        # Process creation failed: finish in-parent.
+                        results[task.index] = func(task.payload)
+                        self.stats.fallbacks += 1
+                        continue
+                    running[task.connection] = task
+                if not running:
+                    continue
+                for connection in self._wait(running):
+                    task = running.pop(connection)
+                    self._finish(func, task, pending, results)
+                self._reap_timeouts(func, running, pending, results)
+        finally:
+            for task in running.values():
+                self._kill(task)
+
+    def _launch(self, func: Callable, task: _Task) -> bool:
+        receiver, sender = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_child, args=(func, task.payload, sender), daemon=True
+        )
+        try:
+            process.start()
+        except OSError:
+            receiver.close()
+            sender.close()
+            return False
+        sender.close()  # parent's copy — EOF then tracks the child alone
+        task.process = process
+        task.connection = receiver
+        task.attempts += 1
+        if self.config.timeout is not None:
+            task.deadline = time.monotonic() + self.config.timeout
+        self.stats.workers_launched += 1
+        return True
+
+    def _wait(self, running: dict) -> list:
+        timeout = None
+        deadlines = [
+            task.deadline
+            for task in running.values()
+            if task.deadline is not None
+        ]
+        if deadlines:
+            timeout = max(0.0, min(deadlines) - time.monotonic())
+        return _connection_wait(list(running), timeout)
+
+    def _finish(
+        self, func: Callable, task: _Task, pending: deque, results: list
+    ) -> None:
+        try:
+            status, value = task.connection.recv()
+        except (EOFError, OSError):
+            status, value = "crashed", None
+        task.connection.close()
+        task.process.join()
+        if status == "ok":
+            results[task.index] = value
+            return
+        if status == "crashed":
+            self.stats.crashes += 1
+        else:
+            self.stats.errors += 1
+        self._retry_or_fallback(func, task, pending, results)
+
+    def _reap_timeouts(
+        self, func: Callable, running: dict, pending: deque, results: list
+    ) -> None:
+        now = time.monotonic()
+        for connection, task in list(running.items()):
+            if task.deadline is not None and now >= task.deadline:
+                del running[connection]
+                self._kill(task)
+                self.stats.timeouts += 1
+                self._retry_or_fallback(func, task, pending, results)
+
+    def _retry_or_fallback(
+        self, func: Callable, task: _Task, pending: deque, results: list
+    ) -> None:
+        if task.attempts <= self.config.retries:
+            self.stats.retries += 1
+            if self.config.backoff:
+                time.sleep(self.config.backoff * task.attempts)
+            task.process = None
+            task.connection = None
+            task.deadline = None
+            pending.append(task)
+            return
+        results[task.index] = func(task.payload)
+        self.stats.fallbacks += 1
+
+    def _kill(self, task: _Task) -> None:
+        process = task.process
+        if process is None:
+            return
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover — stubborn child
+                process.kill()
+                process.join()
+        else:
+            process.join()
+        if task.connection is not None:
+            task.connection.close()

@@ -1,0 +1,177 @@
+"""Shard planning: split a transaction database into contiguous row ranges.
+
+The paper's cost model is *passes over the data*; the parallel engine keeps
+that model intact by splitting one logical pass into contiguous row ranges
+(*shards*) that workers consume independently. A shard is a value object:
+the half-open TID range ``[start, stop)`` it covers, the materialized
+canonical rows of that range, and cheap derived metadata (row count, item
+universe).
+
+Pass accounting
+---------------
+:func:`plan_shards` reads its source exactly once. When the source is a
+scan-counted database (:class:`~repro.data.database.TransactionDatabase` or
+:class:`~repro.data.filedb.FileBackedDatabase`) that read goes through
+``scan()`` and therefore increments the *parent* database's pass counter by
+one — sharding a pass is still one pass. Whatever a worker then does with
+its shard (including wrapping the rows in a fresh ``TransactionDatabase``
+via :meth:`~repro.data.database.TransactionDatabase.slice`) happens in the
+worker's own address space and does **not** increment the parent's
+``scans`` counter.
+
+Transport
+---------
+Shard rows are canonical itemsets (sorted tuples of ints) already, so
+pickling a shard for worker transport ships plain tuples — no sets, no
+re-canonicalization on either side. The lazily computed item universe is
+deliberately dropped from the pickle (see :meth:`Shard.__reduce__`) and
+rebuilt on demand in the worker.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from .._util import check_positive
+from ..errors import ConfigError
+from ..itemset import Itemset
+
+
+class Shard:
+    """A contiguous slice of a transaction database, ready for transport.
+
+    Parameters
+    ----------
+    start, stop:
+        The half-open TID range this shard covers in the parent database.
+    rows:
+        The canonical transactions of that range. Trusted input: rows must
+        already be canonical itemsets (sorted, de-duplicated tuples) —
+        they are shipped and counted as-is.
+    """
+
+    __slots__ = ("start", "stop", "rows", "_items")
+
+    def __init__(
+        self, start: int, stop: int, rows: tuple[Itemset, ...]
+    ) -> None:
+        self.start = start
+        self.stop = stop
+        self.rows = tuple(rows)
+        self._items: frozenset[int] | None = None
+
+    @property
+    def row_count(self) -> int:
+        """Number of transactions in the shard."""
+        return len(self.rows)
+
+    @property
+    def items(self) -> frozenset[int]:
+        """The shard's item universe (computed lazily, cached)."""
+        if self._items is None:
+            universe: set[int] = set()
+            for row in self.rows:
+                universe.update(row)
+            self._items = frozenset(universe)
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Shard):
+            return NotImplemented
+        return (
+            self.start == other.start
+            and self.stop == other.stop
+            and self.rows == other.rows
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.stop, self.rows))
+
+    def __reduce__(self):
+        # Ship only the range and the raw row tuples; the cached item
+        # universe is cheap to rebuild and often unused by workers.
+        return (Shard, (self.start, self.stop, self.rows))
+
+    def __repr__(self) -> str:
+        return (
+            f"Shard(start={self.start}, stop={self.stop}, "
+            f"rows={self.row_count})"
+        )
+
+
+def shard_bounds(total: int, parts: int) -> list[int]:
+    """The ``parts + 1`` boundary positions splitting *total* rows evenly.
+
+    Uses the same rounding as the Partition miner's phase 1 so shard
+    layouts are deterministic and consistent across subsystems.
+
+    >>> shard_bounds(10, 4)
+    [0, 2, 5, 8, 10]
+    """
+    check_positive(parts, "parts")
+    return [round(part * total / parts) for part in range(parts + 1)]
+
+
+def plan_shards(
+    source,
+    shard_rows: int | None = None,
+    n_shards: int | None = None,
+) -> list[Shard]:
+    """Split *source* into contiguous, non-empty shards.
+
+    Parameters
+    ----------
+    source:
+        A scan-counted database (anything with a ``scan()`` method — one
+        parent pass is recorded), or a plain iterable of canonical rows
+        (no pass accounting, e.g. rows already materialized by a caller
+        that scanned).
+    shard_rows:
+        Target rows per shard. Takes precedence over *n_shards*; the
+        actual shard sizes may differ by one row because ranges are
+        rounded to keep them contiguous.
+    n_shards:
+        Number of shards to produce (clamped to the row count so every
+        shard is non-empty). Default 1 when *shard_rows* is also None.
+
+    Returns
+    -------
+    list[Shard]
+        Shards in TID order, jointly covering every row exactly once.
+        Empty when *source* yields no rows.
+    """
+    if shard_rows is not None:
+        check_positive(shard_rows, "shard_rows")
+    if n_shards is not None:
+        check_positive(n_shards, "n_shards")
+    rows = _materialize(source)
+    total = len(rows)
+    if total == 0:
+        return []
+    if shard_rows is not None:
+        parts = -(-total // shard_rows)  # ceil division
+    else:
+        parts = n_shards if n_shards is not None else 1
+    parts = max(1, min(parts, total))
+    bounds = shard_bounds(total, parts)
+    return [
+        Shard(start, stop, rows[start:stop])
+        for start, stop in zip(bounds, bounds[1:])
+    ]
+
+
+def _materialize(source) -> tuple[Itemset, ...]:
+    scan = getattr(source, "scan", None)
+    if callable(scan):
+        return tuple(scan())
+    if isinstance(source, Sequence):
+        return tuple(source)
+    if isinstance(source, Iterable):
+        return tuple(source)
+    raise ConfigError(
+        f"cannot shard {type(source).__name__}: expected a database with "
+        f"scan() or an iterable of rows"
+    )

@@ -1,0 +1,150 @@
+"""Property-based tests: the parallel engine equals the brute oracle.
+
+Bit-identical counting is the parallel subsystem's core contract: summing
+per-shard partial counts must reproduce exactly what a serial pass
+produces, for any database, candidate set, taxonomy, shard layout and
+worker count. Multiprocess examples are kept fewer (process start-up per
+example) while the serial-path property runs at full width.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.itemset import itemset
+from repro.mining.counting import count_supports
+from repro.mining.partition import find_large_itemsets_partition
+from repro.parallel.engine import (
+    ParallelStats,
+    parallel_count_supports,
+    parallel_partition,
+)
+from repro.data.database import TransactionDatabase
+from repro.taxonomy.builders import taxonomy_from_parents
+
+# A fixed two-level taxonomy: 3 roots (100..102), each with 3 leaves.
+TAXONOMY = taxonomy_from_parents(
+    {child: (child - 1) // 3 + 100 for child in range(1, 10)},
+)
+NODES = sorted(TAXONOMY.nodes)
+
+transactions_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=25), min_size=1, max_size=8
+    ).map(itemset),
+    min_size=1,
+    max_size=40,
+)
+candidates_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=25), min_size=1, max_size=4
+    ).map(itemset),
+    min_size=1,
+    max_size=25,
+).map(lambda cands: sorted(set(cands)))
+
+leaf_transactions_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=9), min_size=1, max_size=5
+    ).map(itemset),
+    min_size=1,
+    max_size=30,
+)
+node_candidates_strategy = st.lists(
+    st.lists(
+        st.sampled_from(NODES), min_size=1, max_size=3
+    ).map(itemset),
+    min_size=1,
+    max_size=12,
+).map(lambda cands: sorted(set(cands)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(transactions=transactions_strategy, candidates=candidates_strategy)
+def test_serial_path_matches_brute(transactions, candidates):
+    expected = count_supports(transactions, candidates, engine="brute")
+    assert (
+        count_supports(
+            transactions, candidates, engine="parallel", n_jobs=1
+        )
+        == expected
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    transactions=transactions_strategy,
+    candidates=candidates_strategy,
+    shard_rows=st.integers(min_value=1, max_value=13),
+)
+def test_shard_layout_never_changes_counts(
+    transactions, candidates, shard_rows
+):
+    """Any shard size, merged in-process, equals one serial pass."""
+    expected = count_supports(transactions, candidates, engine="brute")
+    counts = parallel_count_supports(
+        transactions,
+        candidates,
+        n_jobs=1,
+        shard_rows=shard_rows,
+    )
+    assert counts == expected
+
+
+@pytest.mark.parametrize("n_jobs", [2, 4])
+@settings(max_examples=8, deadline=None)
+@given(transactions=transactions_strategy, candidates=candidates_strategy)
+def test_multiprocess_matches_brute(n_jobs, transactions, candidates):
+    expected = count_supports(transactions, candidates, engine="brute")
+    stats = ParallelStats()
+    counts = count_supports(
+        transactions,
+        candidates,
+        engine="parallel",
+        n_jobs=n_jobs,
+        parallel_stats=stats,
+    )
+    assert counts == expected
+    assert stats.shards >= 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    transactions=leaf_transactions_strategy,
+    candidates=node_candidates_strategy,
+)
+def test_multiprocess_generalized_matches_brute(transactions, candidates):
+    """Taxonomy extension inside workers equals serial extension."""
+    expected = count_supports(
+        transactions,
+        candidates,
+        taxonomy=TAXONOMY,
+        engine="brute",
+        restrict_to_candidate_items=True,
+    )
+    counts = parallel_count_supports(
+        transactions,
+        candidates,
+        taxonomy=TAXONOMY,
+        restrict_to_candidate_items=True,
+        n_jobs=2,
+    )
+    assert counts == expected
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    transactions=leaf_transactions_strategy,
+    minsup=st.sampled_from([0.1, 0.3]),
+)
+def test_parallel_partition_matches_serial(transactions, minsup):
+    database = TransactionDatabase(transactions)
+    reference = find_large_itemsets_partition(
+        database, minsup, partitions=3
+    )
+    parallel = parallel_partition(
+        database, minsup, n_jobs=2, partitions=3
+    )
+    assert sorted(parallel) == sorted(reference)
+    for items in reference:
+        assert parallel.support(items) == reference.support(items)

@@ -94,6 +94,29 @@ class TestMine:
         )
         assert code == 0
 
+    def test_jobs_flag_matches_serial_output(self, dataset_files, capsys):
+        baskets, taxonomy = dataset_files
+        base_args = [
+            "mine",
+            "--baskets", baskets,
+            "--taxonomy", taxonomy,
+            "--minsup", "0.2",
+            "--minri", "0.3",
+        ]
+        assert main(base_args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base_args + ["--jobs", "2", "--shard-rows", "25"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert "shards" in parallel_out
+        # Identical rules; the parallel run only adds the shards line.
+        serial_rules = [
+            line for line in serial_out.splitlines() if "=>" in line
+        ]
+        parallel_rules = [
+            line for line in parallel_out.splitlines() if "=>" in line
+        ]
+        assert parallel_rules == serial_rules
+
     def test_config_error_exits_2(self, dataset_files, capsys):
         baskets, taxonomy = dataset_files
         code = main(
@@ -124,6 +147,21 @@ class TestPositive:
         out = capsys.readouterr().out
         assert "large itemsets" in out
         assert "=>" in out
+
+    def test_jobs_flag(self, dataset_files, capsys):
+        baskets, taxonomy = dataset_files
+        code = main(
+            [
+                "positive",
+                "--baskets", baskets,
+                "--taxonomy", taxonomy,
+                "--minsup", "0.2",
+                "--minconf", "0.5",
+                "--jobs", "2",
+            ]
+        )
+        assert code == 0
+        assert "large itemsets" in capsys.readouterr().out
 
 
 class TestInspect:

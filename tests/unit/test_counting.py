@@ -20,9 +20,42 @@ class TestEnginesAgree:
     def test_empty_candidates(self, engine):
         assert count_supports(ROWS, [], engine=engine) == {}
 
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_empty_candidates_never_touch_transactions(self, engine):
+        """The empty fast path must not consume (or even start) a scan.
+
+        Sharded calls with filtered-out candidates rely on this: they may
+        issue many counting calls per pass and must not pay mask/tree
+        setup — or iterator consumption — for empty ones.
+        """
+
+        def explode():
+            raise AssertionError("transactions were consumed")
+            yield  # pragma: no cover
+
+        assert count_supports(explode(), [], engine=engine) == {}
+        assert count_supports(explode(), (), engine=engine) == {}
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_empty_candidates_with_taxonomy_short_circuit(self, engine):
+        taxonomy = taxonomy_from_parents({1: 0, 2: 0})
+
+        def explode():
+            raise AssertionError("transactions were consumed")
+            yield  # pragma: no cover
+
+        assert (
+            count_supports(explode(), [], taxonomy=taxonomy, engine=engine)
+            == {}
+        )
+
     def test_unknown_engine_rejected(self):
         with pytest.raises(ConfigError, match="unknown counting engine"):
             count_supports(ROWS, CANDIDATES, engine="quantum")
+
+    def test_unknown_engine_rejected_even_with_empty_candidates(self):
+        with pytest.raises(ConfigError, match="unknown counting engine"):
+            count_supports(ROWS, [], engine="quantum")
 
 
 class TestGeneralizedCounting:

@@ -1,0 +1,124 @@
+"""Unit tests for shard planning and cheap shard transport."""
+
+import pickle
+
+import pytest
+
+from repro.data.database import TransactionDatabase
+from repro.data.filedb import FileBackedDatabase
+from repro.errors import ConfigError
+from repro.parallel.shards import Shard, plan_shards, shard_bounds
+
+ROWS = [(1, 2), (2, 3), (1, 3), (4,), (1, 2, 3), (5, 6), (2,), (3, 4)]
+
+
+class TestShardBounds:
+    def test_covers_total_exactly(self):
+        bounds = shard_bounds(10, 4)
+        assert bounds[0] == 0 and bounds[-1] == 10
+        assert bounds == sorted(bounds)
+
+    def test_matches_partition_rounding(self):
+        # Same rule as repro.mining.partition phase 1.
+        assert shard_bounds(10, 4) == [
+            round(part * 10 / 4) for part in range(5)
+        ]
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ConfigError):
+            shard_bounds(10, 0)
+
+
+class TestPlanShards:
+    def test_covers_every_row_once_in_order(self):
+        shards = plan_shards(ROWS, n_shards=3)
+        reassembled = [row for shard in shards for row in shard.rows]
+        assert reassembled == ROWS
+        assert shards[0].start == 0
+        assert shards[-1].stop == len(ROWS)
+        for left, right in zip(shards, shards[1:]):
+            assert left.stop == right.start
+
+    def test_shard_rows_takes_precedence(self):
+        shards = plan_shards(ROWS, shard_rows=3, n_shards=1)
+        assert len(shards) == 3  # ceil(8 / 3)
+        assert all(1 <= shard.row_count <= 4 for shard in shards)
+
+    def test_n_shards_clamped_to_row_count(self):
+        shards = plan_shards([(1,), (2,)], n_shards=10)
+        assert len(shards) == 2
+        assert all(shard.row_count == 1 for shard in shards)
+
+    def test_default_is_one_shard(self):
+        shards = plan_shards(ROWS)
+        assert len(shards) == 1
+        assert shards[0].rows == tuple(ROWS)
+
+    def test_empty_source_plans_nothing(self):
+        assert plan_shards([]) == []
+
+    def test_rejects_nonsense_source(self):
+        with pytest.raises(ConfigError):
+            plan_shards(42)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigError):
+            plan_shards(ROWS, shard_rows=0)
+        with pytest.raises(ConfigError):
+            plan_shards(ROWS, n_shards=-1)
+
+
+class TestPassAccounting:
+    def test_database_plan_counts_one_parent_pass(self):
+        database = TransactionDatabase(ROWS)
+        plan_shards(database, n_shards=4)
+        assert database.scans == 1
+
+    def test_worker_local_scans_leave_parent_untouched(self):
+        database = TransactionDatabase(ROWS)
+        shards = plan_shards(database, n_shards=2)
+        for shard in shards:
+            local = TransactionDatabase.from_canonical_rows(shard.rows)
+            list(local.scan())
+            list(local.scan())
+            assert local.scans == 2
+        assert database.scans == 1
+
+    def test_file_backed_database_shards(self, tmp_path):
+        path = tmp_path / "data.basket"
+        path.write_text("1 2\n2 3\n1 3\n4\n")
+        database = FileBackedDatabase(path)
+        shards = plan_shards(database, n_shards=2)
+        assert database.scans == 1
+        assert [row for shard in shards for row in shard.rows] == [
+            (1, 2), (2, 3), (1, 3), (4,)
+        ]
+
+    def test_plain_iterable_needs_no_scan(self):
+        shards = plan_shards(iter(ROWS), n_shards=2)
+        assert sum(shard.row_count for shard in shards) == len(ROWS)
+
+
+class TestShardTransport:
+    def test_metadata(self):
+        shard = Shard(2, 5, (ROWS[2], ROWS[3], ROWS[4]))
+        assert shard.row_count == len(shard) == 3
+        assert shard.items == frozenset({1, 2, 3, 4})
+
+    def test_pickle_round_trip_preserves_rows_verbatim(self):
+        shard = plan_shards(ROWS, n_shards=2)[0]
+        clone = pickle.loads(pickle.dumps(shard))
+        assert clone == shard
+        assert clone.rows == shard.rows
+        # Rows stay canonical tuples — no re-canonicalization required.
+        assert all(isinstance(row, tuple) for row in clone.rows)
+
+    def test_pickle_drops_cached_item_universe(self):
+        shard = Shard(0, 2, (ROWS[0], ROWS[1]))
+        _ = shard.items  # populate the cache
+        clone = pickle.loads(pickle.dumps(shard))
+        assert clone._items is None  # rebuilt lazily on the other side
+        assert clone.items == shard.items
+
+    def test_repr(self):
+        assert "rows=2" in repr(Shard(0, 2, (ROWS[0], ROWS[1])))
