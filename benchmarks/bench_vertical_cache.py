@@ -1,0 +1,165 @@
+"""E8 — Vertical index cache: cached vs rebuild-per-pass vs hash tree.
+
+Runs a full multi-level Cumulate mining sweep on the "Tall" dataset
+(taxonomy height >= 3, so the descendant-OR path does real work) once per
+counting engine and reports wall time, wall time per logical pass, peak
+RSS and cache footprint. Four configurations:
+
+``cached``
+    The vertical index cache: one physical pass builds per-item bitmaps,
+    every later pass intersects them (``engine="cached"``).
+``rebuild``
+    The same vertical counting but with the cache disabled
+    (``use_cache=False``): the index is rebuilt on every pass — the
+    baseline the cache amortizes away.
+``bitmap``
+    The default engine: per-pass candidate-restricted bitmaps over
+    ancestor-extended rows.
+``hashtree``
+    The paper-faithful Apriori hash tree.
+
+Writes ``BENCH_counting.json`` next to the repo root (override with
+``--out``) and exits non-zero when the cached engine is not faster than
+the default engine, so CI catches cache regressions.
+
+Run::
+
+    python -m benchmarks.bench_vertical_cache --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import sys
+import time
+from pathlib import Path
+
+
+def _run_engine(
+    dataset, minsups, engine: str, use_cache: bool
+) -> dict:
+    """One full mining sweep; returns the measured point."""
+    from repro.mining import vertical
+    from repro.mining.generalized import mine_generalized
+    from repro.mining.vertical import CacheStats
+
+    database = dataset.database
+    database.reset_scans()
+    vertical.invalidate(database)
+    cache_stats = CacheStats()
+    start = time.perf_counter()
+    large = 0
+    for minsup in minsups:
+        index = mine_generalized(
+            database,
+            dataset.taxonomy,
+            minsup,
+            engine=engine,
+            use_cache=use_cache,
+            cache_stats=cache_stats,
+        )
+        large += len(index)
+    wall = time.perf_counter() - start
+    logical = database.logical_scans
+    return {
+        "engine": engine if use_cache else f"{engine}-rebuild",
+        "wall_s": round(wall, 4),
+        "logical_passes": logical,
+        "physical_passes": database.scans,
+        "wall_per_pass_s": round(wall / logical, 5) if logical else None,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "cache_hits": cache_stats.hits,
+        "cache_misses": cache_stats.misses,
+        "cache_bytes": cache_stats.bytes,
+        "large_itemsets": large,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small dataset / single support (the CI smoke configuration)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_counting.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_false",
+        dest="check",
+        help="report only; do not fail when cached is slower than default",
+    )
+    args = parser.parse_args(argv)
+
+    # The shared dataset cache reads REPRO_BENCH_SCALE at import time, so
+    # pick the size before importing benchmarks.common.
+    os.environ.setdefault(
+        "REPRO_BENCH_SCALE", "0.02" if args.quick else "0.1"
+    )
+    from benchmarks.common import dataset, paper_row
+
+    tall = dataset("tall")
+    minsups = [0.10] if args.quick else [0.10, 0.08, 0.06]
+    assert tall.taxonomy.height >= 3, "need a multi-level taxonomy"
+
+    runs = [
+        _run_engine(tall, minsups, "cached", True),
+        _run_engine(tall, minsups, "cached", False),
+        _run_engine(tall, minsups, "bitmap", True),
+        _run_engine(tall, minsups, "hashtree", True),
+    ]
+    by_engine = {run["engine"]: run for run in runs}
+    large_counts = {run["large_itemsets"] for run in runs}
+    assert len(large_counts) == 1, f"engines disagree: {by_engine}"
+
+    cached = by_engine["cached"]
+    speedups = {
+        f"vs_{name}": round(run["wall_s"] / cached["wall_s"], 2)
+        for name, run in by_engine.items()
+        if name != "cached"
+    }
+    report = {
+        "benchmark": "vertical_cache",
+        "dataset": "tall",
+        "scale": os.environ["REPRO_BENCH_SCALE"],
+        "minsups": minsups,
+        "taxonomy_height": tall.taxonomy.height,
+        "transactions": len(tall.database),
+        "runs": runs,
+        "speedup_of_cached": speedups,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for run in runs:
+        paper_row(
+            run["engine"],
+            wall_s=run["wall_s"],
+            per_pass_s=run["wall_per_pass_s"],
+            logical=run["logical_passes"],
+            physical=run["physical_passes"],
+            rss_kb=run["peak_rss_kb"],
+            cache_bytes=run["cache_bytes"],
+        )
+    paper_row("speedup", **speedups)
+    print(f"wrote {args.out}")
+
+    if args.check and cached["wall_s"] >= by_engine["bitmap"]["wall_s"]:
+        print(
+            "FAIL: cached engine is not faster than the default engine",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

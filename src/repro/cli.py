@@ -94,6 +94,13 @@ def _build_parser() -> argparse.ArgumentParser:
                       dest="shard_rows",
                       help="target rows per shard (default: split each "
                            "pass into --jobs equal shards)")
+    mine.add_argument("--no-cache", action="store_false", dest="use_cache",
+                      help="cached engine: rebuild the vertical index on "
+                           "every pass instead of reusing it")
+    mine.add_argument("--cache-bytes", type=int, default=None,
+                      dest="cache_bytes",
+                      help="cached engine: LRU memory budget in bytes for "
+                           "the vertical index (default: unbounded)")
     mine.add_argument("--max-sibling-replacements", type=int,
                       default=None, dest="max_sibling_replacements",
                       help="cap Case-3 sibling replacements (1 = the paper's examples)")
@@ -170,6 +177,8 @@ def _command_mine(args: argparse.Namespace) -> int:
         max_sibling_replacements=args.max_sibling_replacements,
         n_jobs=args.n_jobs,
         shard_rows=args.shard_rows,
+        use_cache=args.use_cache,
+        cache_bytes=args.cache_bytes,
     )
     result = mine_negative_rules(database, taxonomy, config=config)
     print(result.summary(taxonomy, limit=args.limit))

@@ -50,7 +50,8 @@ class MiningConfig:
         ``"estmerge"`` (Improved miner only; Naive is level-wise by
         nature).
     engine:
-        Support-counting engine: ``"bitmap"``, ``"hashtree"``, ``"index"``, ``"brute"``.
+        Support-counting engine: ``"bitmap"``, ``"cached"``,
+        ``"hashtree"``, ``"index"``, ``"brute"``, ``"parallel"``.
     max_size:
         Optional cap on itemset size.
     max_candidates_in_memory:
@@ -78,6 +79,15 @@ class MiningConfig:
     shard_rows:
         Target rows per shard for parallel counting; ``None`` splits
         each pass into ``n_jobs`` equal shards.
+    use_cache:
+        ``engine="cached"`` only: reuse the vertical index attached to
+        the database across passes (and runs). ``False`` rebuilds the
+        index on every pass — the rebuild-per-pass baseline the
+        benchmarks compare against.
+    cache_bytes:
+        ``engine="cached"`` only: LRU memory budget (bytes) for the
+        vertical index; least-recently-used bitmaps are evicted and
+        rebuilt on demand. ``None`` = unbounded.
     """
 
     minsup: float = 0.01
@@ -94,6 +104,8 @@ class MiningConfig:
     seed: int | None = None
     n_jobs: int = 1
     shard_rows: int | None = None
+    use_cache: bool = True
+    cache_bytes: int | None = None
 
     def __post_init__(self) -> None:
         check_fraction(self.minsup, "minsup")
@@ -114,6 +126,8 @@ class MiningConfig:
         check_positive(self.n_jobs, "n_jobs")
         if self.shard_rows is not None:
             check_positive(self.shard_rows, "shard_rows")
+        if self.cache_bytes is not None:
+            check_positive(self.cache_bytes, "cache_bytes")
 
 
 @dataclass(slots=True)
@@ -152,6 +166,17 @@ class NegativeMiningResult:
             f"rules          : {len(self.rules)}",
             f"data passes    : {self.stats.data_passes}",
         ]
+        if self.stats.physical_passes != self.stats.data_passes:
+            lines.append(
+                f"physical passes: {self.stats.physical_passes}"
+            )
+        if self.stats.cache_hits or self.stats.cache_misses:
+            lookups = self.stats.cache_hits + self.stats.cache_misses
+            lines.append(
+                f"index cache    : {self.stats.cache_hits}/{lookups} hits "
+                f"({self.stats.cache_hit_rate:.0%}), "
+                f"{self.stats.cache_bytes} bytes"
+            )
         if self.stats.shards:
             lines.append(
                 f"shards         : {self.stats.shards} "
@@ -261,6 +286,8 @@ def _run_miner(
                 max_sibling_replacements=config.max_sibling_replacements,
                 n_jobs=config.n_jobs,
                 shard_rows=config.shard_rows,
+                use_cache=config.use_cache,
+                cache_bytes=config.cache_bytes,
             )
         )
     else:
@@ -280,5 +307,7 @@ def _run_miner(
             rng=rng,
             n_jobs=config.n_jobs,
             shard_rows=config.shard_rows,
+            use_cache=config.use_cache,
+            cache_bytes=config.cache_bytes,
         )
     return miner.mine()

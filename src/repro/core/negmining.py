@@ -34,6 +34,7 @@ from ..itemset import Itemset
 from ..mining.counting import count_supports
 from ..mining.generalized import iter_generalized_levels, mine_generalized
 from ..mining.itemset_index import LargeItemsetIndex
+from ..mining.vertical import CacheStats
 from ..parallel.engine import ParallelStats
 from ..taxonomy.prune import restrict_to_items
 from ..taxonomy.tree import Taxonomy
@@ -78,6 +79,14 @@ class MiningStats:
     :mod:`repro.parallel`) so speedups and degraded runs are observable:
     a crashed worker shows up as retries and, past the retry budget, as
     serial fallbacks.
+
+    ``data_passes`` counts *logical* passes — counting passes in the
+    paper's cost model. For the row-scanning engines every logical pass
+    is also a physical read, so ``physical_passes == data_passes``; the
+    ``"cached"`` engine serves most passes from its vertical index, so
+    ``physical_passes`` drops to the build scans while ``data_passes``
+    keeps the paper's schedule (``n + 1`` for Improved, ``2n`` for
+    Naive). The ``cache_*`` fields are zero unless the cached engine ran.
     """
 
     data_passes: int = 0
@@ -91,6 +100,41 @@ class MiningStats:
     workers_launched: int = 0
     worker_retries: int = 0
     worker_fallbacks: int = 0
+    physical_passes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    cache_evictions: int = 0
+    cache_bytes: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of index lookups served from the cache (0 when unused)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def summary(self) -> str:
+        """A human-readable accounting report (passes, cache behavior)."""
+        lines = [
+            f"data passes     : {self.data_passes}",
+            f"physical passes : {self.physical_passes}",
+        ]
+        if self.data_passes:
+            ratio = self.physical_passes / self.data_passes
+            lines.append(f"physical/logical: {ratio:.2f}")
+        lookups = self.cache_hits + self.cache_misses
+        if lookups:
+            lines.append(
+                f"cache           : {self.cache_hits}/{lookups} hits "
+                f"({self.cache_hit_rate:.0%}), "
+                f"{self.cache_invalidations} invalidations, "
+                f"{self.cache_evictions} evictions, "
+                f"{self.cache_bytes} bytes"
+            )
+        lines.append(f"large itemsets  : {self.large_itemsets}")
+        lines.append(f"candidates      : {self.candidates_generated}")
+        lines.append(f"negative sets   : {self.negative_itemsets}")
+        return "\n".join(lines)
 
 
 @dataclass(slots=True)
@@ -152,6 +196,10 @@ class NaiveNegativeMiner:
     n_jobs, shard_rows:
         Sharded-counting controls for every pass (see
         :mod:`repro.parallel`); ``n_jobs=1`` (default) is fully serial.
+    use_cache, cache_bytes:
+        Vertical-index cache controls for ``engine="cached"`` (see
+        :mod:`repro.mining.vertical`): persistent reuse of the index
+        attached to the database, and an optional LRU memory budget.
     """
 
     def __init__(
@@ -166,6 +214,8 @@ class NaiveNegativeMiner:
         max_sibling_replacements: int | None = None,
         n_jobs: int = 1,
         shard_rows: int | None = None,
+        use_cache: bool = True,
+        cache_bytes: int | None = None,
     ) -> None:
         check_fraction(minsup, "minsup")
         check_fraction(minri, "minri")
@@ -179,14 +229,18 @@ class NaiveNegativeMiner:
         self._max_sibling_replacements = max_sibling_replacements
         self._n_jobs = check_positive(n_jobs, "n_jobs")
         self._shard_rows = shard_rows
+        self._use_cache = use_cache
+        self._cache_bytes = cache_bytes
         self._parallel_stats = ParallelStats()
+        self._cache_stats = CacheStats()
 
     def mine(self) -> MinerOutput:
         """Run the per-level loop and return all results."""
         database = self._database
         total = len(database)
         threshold = deviation_threshold(self._minsup, self._minri)
-        start_passes = database.scans
+        start_physical = database.scans
+        start_logical = getattr(database, "logical_scans", database.scans)
 
         index = LargeItemsetIndex()
         all_candidates: dict[Itemset, NegativeCandidate] = {}
@@ -202,6 +256,9 @@ class NaiveNegativeMiner:
             n_jobs=self._n_jobs,
             shard_rows=self._shard_rows,
             parallel_stats=self._parallel_stats,
+            use_cache=self._use_cache,
+            cache_bytes=self._cache_bytes,
+            cache_stats=self._cache_stats,
         )
         for level_number, level in enumerate(levels, start=1):
             for items, support in level.items():
@@ -220,7 +277,7 @@ class NaiveNegativeMiner:
                 continue
             all_candidates.update(candidates)
             counts = count_supports(
-                database.scan(),
+                database,
                 list(candidates),
                 taxonomy=self._taxonomy,
                 engine=self._engine,
@@ -228,6 +285,9 @@ class NaiveNegativeMiner:
                 n_jobs=self._n_jobs,
                 shard_rows=self._shard_rows,
                 parallel_stats=self._parallel_stats,
+                use_cache=self._use_cache,
+                cache_bytes=self._cache_bytes,
+                cache_stats=self._cache_stats,
             )
             batches += 1
             negatives.extend(
@@ -240,9 +300,12 @@ class NaiveNegativeMiner:
         negatives.sort(
             key=lambda negative: (-negative.deviation, negative.items)
         )
+        logical_now = getattr(database, "logical_scans", database.scans)
         stats = _build_stats(
-            database.scans - start_passes, index, all_candidates, negatives,
+            logical_now - start_logical, index, all_candidates, negatives,
             batches, self._parallel_stats,
+            physical_passes=database.scans - start_physical,
+            cache=self._cache_stats,
         )
         return MinerOutput(index, all_candidates, negatives, stats)
 
@@ -271,6 +334,10 @@ class ImprovedNegativeMiner:
     n_jobs, shard_rows:
         Sharded-counting controls for every pass (see
         :mod:`repro.parallel`); ``n_jobs=1`` (default) is fully serial.
+    use_cache, cache_bytes:
+        Vertical-index cache controls for ``engine="cached"`` (see
+        :mod:`repro.mining.vertical`): persistent reuse of the index
+        attached to the database, and an optional LRU memory budget.
     """
 
     def __init__(
@@ -289,6 +356,8 @@ class ImprovedNegativeMiner:
         rng: random.Random | None = None,
         n_jobs: int = 1,
         shard_rows: int | None = None,
+        use_cache: bool = True,
+        cache_bytes: int | None = None,
     ) -> None:
         check_fraction(minsup, "minsup")
         check_fraction(minri, "minri")
@@ -310,14 +379,18 @@ class ImprovedNegativeMiner:
         self._rng = rng
         self._n_jobs = check_positive(n_jobs, "n_jobs")
         self._shard_rows = shard_rows
+        self._use_cache = use_cache
+        self._cache_bytes = cache_bytes
         self._parallel_stats = ParallelStats()
+        self._cache_stats = CacheStats()
 
     def mine(self) -> MinerOutput:
         """Run the three phases and return all results."""
         database = self._database
         total = len(database)
         threshold = deviation_threshold(self._minsup, self._minri)
-        start_passes = database.scans
+        start_physical = database.scans
+        start_logical = getattr(database, "logical_scans", database.scans)
 
         index = mine_generalized(
             database,
@@ -330,6 +403,9 @@ class ImprovedNegativeMiner:
             n_jobs=self._n_jobs,
             shard_rows=self._shard_rows,
             parallel_stats=self._parallel_stats,
+            use_cache=self._use_cache,
+            cache_bytes=self._cache_bytes,
+            cache_stats=self._cache_stats,
         )
 
         generation_taxonomy = self._taxonomy
@@ -354,7 +430,7 @@ class ImprovedNegativeMiner:
             # Counting uses the *full* taxonomy: transactions may contain
             # small items whose ancestors still matter for other rows.
             counts = count_supports(
-                database.scan(),
+                database,
                 batch,
                 taxonomy=self._taxonomy,
                 engine=self._engine,
@@ -362,6 +438,9 @@ class ImprovedNegativeMiner:
                 n_jobs=self._n_jobs,
                 shard_rows=self._shard_rows,
                 parallel_stats=self._parallel_stats,
+                use_cache=self._use_cache,
+                cache_bytes=self._cache_bytes,
+                cache_stats=self._cache_stats,
             )
             batches += 1
             negatives.extend(
@@ -374,9 +453,12 @@ class ImprovedNegativeMiner:
         negatives.sort(
             key=lambda negative: (-negative.deviation, negative.items)
         )
+        logical_now = getattr(database, "logical_scans", database.scans)
         stats = _build_stats(
-            database.scans - start_passes, index, candidates, negatives,
+            logical_now - start_logical, index, candidates, negatives,
             batches, self._parallel_stats,
+            physical_passes=database.scans - start_physical,
+            cache=self._cache_stats,
         )
         return MinerOutput(index, candidates, negatives, stats)
 
@@ -401,6 +483,8 @@ def _build_stats(
     negatives: list[NegativeItemset],
     batches: int,
     parallel: ParallelStats | None = None,
+    physical_passes: int | None = None,
+    cache: CacheStats | None = None,
 ) -> MiningStats:
     by_size: dict[int, int] = {}
     for items in candidates:
@@ -412,6 +496,8 @@ def _build_stats(
         negative_itemsets=len(negatives),
         counting_batches=batches,
         candidates_by_size=dict(sorted(by_size.items())),
+        physical_passes=physical_passes if physical_passes is not None
+        else passes,
     )
     if parallel is not None:
         stats.shards = parallel.shards
@@ -419,4 +505,10 @@ def _build_stats(
         stats.workers_launched = parallel.workers_launched
         stats.worker_retries = parallel.worker_retries
         stats.worker_fallbacks = parallel.worker_fallbacks
+    if cache is not None:
+        stats.cache_hits = cache.hits
+        stats.cache_misses = cache.misses
+        stats.cache_invalidations = cache.invalidations
+        stats.cache_evictions = cache.evictions
+        stats.cache_bytes = cache.bytes
     return stats

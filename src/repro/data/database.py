@@ -32,7 +32,14 @@ class TransactionDatabase:
         they carry no information and would skew support fractions.
     """
 
-    __slots__ = ("_transactions", "_scans", "_item_counts")
+    __slots__ = (
+        "_transactions",
+        "_scans",
+        "_logical_scans",
+        "_item_counts",
+        "_vertical_index",
+        "_shard_cache",
+    )
 
     def __init__(self, transactions: Iterable[Iterable[int]]) -> None:
         rows: list[Itemset] = []
@@ -45,7 +52,10 @@ class TransactionDatabase:
             raise DatabaseError("database must contain at least 1 transaction")
         self._transactions: tuple[Itemset, ...] = tuple(rows)
         self._scans = 0
+        self._logical_scans = 0
         self._item_counts: dict[int, int] | None = None
+        self._vertical_index = None
+        self._shard_cache = None
 
     @classmethod
     def from_canonical_rows(cls, rows: Iterable[Itemset]) -> (
@@ -62,7 +72,10 @@ class TransactionDatabase:
         database = cls.__new__(cls)
         database._transactions = tuple(rows)
         database._scans = 0
+        database._logical_scans = 0
         database._item_counts = None
+        database._vertical_index = None
+        database._shard_cache = None
         if not database._transactions:
             raise DatabaseError(
                 "database must contain at least 1 transaction"
@@ -77,10 +90,29 @@ class TransactionDatabase:
 
         The scan counter is incremented up-front: algorithms that scan are
         assumed to read the whole database (partial scans are not part of
-        the paper's cost model).
+        the paper's cost model). A ``scan()`` is simultaneously one
+        *logical* pass (a counting pass in the paper's cost model) and one
+        *physical* pass (an actual read of the rows); the ``"cached"``
+        engine splits the two via :meth:`physical_scan` and
+        :meth:`count_logical_pass`.
+        """
+        self._scans += 1
+        self._logical_scans += 1
+        return iter(self._transactions)
+
+    def physical_scan(self) -> Iterator[Itemset]:
+        """Read all rows, counting a *physical* pass only.
+
+        Used by the vertical index cache (:mod:`repro.mining.vertical`)
+        when it materializes or repairs bitmaps: the read is real IO but
+        not an algorithmic counting pass.
         """
         self._scans += 1
         return iter(self._transactions)
+
+    def count_logical_pass(self) -> None:
+        """Record one *logical* counting pass served without reading rows."""
+        self._logical_scans += 1
 
     def transaction(self, tid: int) -> Itemset:
         """Return the transaction with the given TID (its index)."""
@@ -120,12 +152,37 @@ class TransactionDatabase:
     # ------------------------------------------------------------------
     @property
     def scans(self) -> int:
-        """Number of full passes made over the data so far."""
+        """Number of full *physical* passes made over the data so far."""
         return self._scans
 
+    @property
+    def logical_scans(self) -> int:
+        """Number of *logical* counting passes.
+
+        Equal to :attr:`scans` for the row-scanning engines; with the
+        ``"cached"`` engine logical passes exceed physical ones, since
+        most counts are served from bitmaps without reading rows.
+        """
+        return self._logical_scans
+
     def reset_scans(self) -> None:
-        """Zero the pass counter (called between benchmark runs)."""
+        """Zero both pass counters (called between benchmark runs)."""
         self._scans = 0
+        self._logical_scans = 0
+
+    # ------------------------------------------------------------------
+    # Cache fingerprinting
+    # ------------------------------------------------------------------
+    def cache_token(self) -> object:
+        """An identity token for cache invalidation.
+
+        The rows tuple itself: it is immutable, so a vertical index built
+        against it stays valid exactly as long as the database still holds
+        the same tuple object (or an equal one). Anything that swaps the
+        rows out from under the database invalidates every cache keyed on
+        the old token.
+        """
+        return self._transactions
 
     # ------------------------------------------------------------------
     # Statistics

@@ -44,11 +44,23 @@ class FileBackedDatabase:
     algorithm).
     """
 
-    __slots__ = ("_path", "_scans", "_length", "_items", "_total_items")
+    __slots__ = (
+        "_path",
+        "_scans",
+        "_logical_scans",
+        "_length",
+        "_items",
+        "_total_items",
+        "_vertical_index",
+        "_shard_cache",
+    )
 
     def __init__(self, path: PathLike) -> None:
         self._path = Path(path)
         self._scans = 0
+        self._logical_scans = 0
+        self._vertical_index = None
+        self._shard_cache = None
         length = 0
         total_items = 0
         items: set[int] = set()
@@ -93,9 +105,23 @@ class FileBackedDatabase:
     # TransactionDatabase-compatible interface
     # ------------------------------------------------------------------
     def scan(self) -> Iterator[Itemset]:
-        """Stream all transactions from disk, counting one pass."""
+        """Stream all transactions from disk, counting one pass.
+
+        Records one logical *and* one physical pass, like
+        :meth:`repro.data.database.TransactionDatabase.scan`.
+        """
+        self._scans += 1
+        self._logical_scans += 1
+        return self._read()
+
+    def physical_scan(self) -> Iterator[Itemset]:
+        """Stream rows counting a *physical* pass only (cache builds)."""
         self._scans += 1
         return self._read()
+
+    def count_logical_pass(self) -> None:
+        """Record one *logical* counting pass served without disk IO."""
+        self._logical_scans += 1
 
     def __iter__(self) -> Iterator[Itemset]:
         """Stream without counting (reports/tests only — still does IO)."""
@@ -106,11 +132,35 @@ class FileBackedDatabase:
 
     @property
     def scans(self) -> int:
-        """Number of mining passes made so far."""
+        """Number of *physical* mining passes (disk reads) made so far."""
         return self._scans
+
+    @property
+    def logical_scans(self) -> int:
+        """Number of *logical* counting passes made so far."""
+        return self._logical_scans
 
     def reset_scans(self) -> None:
         self._scans = 0
+        self._logical_scans = 0
+
+    def cache_token(self) -> object:
+        """Fingerprint of the on-disk file for cache invalidation.
+
+        Inode, size and nanosecond mtime: any rewrite of the basket file
+        changes the token, so a vertical index built against the old
+        contents can never serve stale counts — it is rebuilt instead.
+        """
+        try:
+            status = os.stat(self._path)
+        except OSError as exc:
+            raise DatabaseError(
+                f"cannot stat basket file {self._path}: {exc}"
+            ) from exc
+        return (
+            str(self._path), status.st_ino, status.st_size,
+            status.st_mtime_ns,
+        )
 
     @property
     def items(self) -> frozenset[int]:

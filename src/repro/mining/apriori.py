@@ -96,7 +96,7 @@ def find_large_itemsets(
 
     index = LargeItemsetIndex()
     item_counts = count_supports(
-        database.scan(), [(item,) for item in database.items], engine=engine
+        database, [(item,) for item in database.items], engine=engine
     )
     current: list[Itemset] = []
     for single, count in item_counts.items():
@@ -109,7 +109,7 @@ def find_large_itemsets(
         candidates = apriori_gen(current)
         if not candidates:
             break
-        counts = count_supports(database.scan(), candidates, engine=engine)
+        counts = count_supports(database, candidates, engine=engine)
         current = []
         for candidate, count in counts.items():
             if count >= min_count:

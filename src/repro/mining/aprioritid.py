@@ -192,7 +192,7 @@ def find_large_itemsets_hybrid(
     index = LargeItemsetIndex()
 
     item_counts = count_supports(
-        database.scan(), [(item,) for item in database.items], engine=engine
+        database, [(item,) for item in database.items], engine=engine
     )
     current_level = []
     for single, count in sorted(item_counts.items()):
@@ -205,7 +205,7 @@ def find_large_itemsets_hybrid(
         candidates = apriori_gen(current_level)
         if not candidates:
             break
-        counts = count_supports(database.scan(), candidates, engine=engine)
+        counts = count_supports(database, candidates, engine=engine)
         current_level = []
         membership_entries = 0
         for candidate, count in counts.items():

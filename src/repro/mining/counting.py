@@ -18,6 +18,14 @@ provided, all returning identical counts (property-tested):
   small candidate sets.
 * ``"brute"`` — test every candidate against every transaction. The oracle
   the others are verified against.
+* ``"cached"`` — the bitmap engine with the rebuild amortized away: one
+  physical scan materializes a persistent :class:`~repro.mining.vertical.
+  VerticalIndex` attached to the database, and every later pass (any
+  Apriori level, the Improved miner's negative-candidate count, EstMerge
+  sample estimates) intersects cached bitmaps instead of re-reading rows.
+  Generalized counting ORs descendant bitmaps lazily, so no per-row
+  ``ancestor_closure`` extension happens at all. See
+  :mod:`repro.mining.vertical`.
 * ``"parallel"`` — shard the pass into contiguous row ranges, count each
   shard with a serial engine in a worker process and sum the partial
   counts (see :mod:`repro.parallel`). Selected either explicitly or by
@@ -27,6 +35,12 @@ The free function :func:`count_supports` adds the generalized-mining twist:
 when a taxonomy is supplied, each transaction is extended with item
 ancestors before matching, optionally filtered to the ancestors that can
 actually occur in a candidate (the *Cumulate* optimization).
+
+*transactions* may be either the rows of one pass (``database.scan()``)
+or the scan-counted database itself. Passing the database is required for
+the ``"cached"`` engine (the cache is keyed by a database fingerprint)
+and equivalent for every other engine — ``count_supports`` simply calls
+``scan()`` itself, preserving pass accounting.
 """
 
 from __future__ import annotations
@@ -37,13 +51,14 @@ from collections.abc import Collection, Iterable, Iterator
 from ..errors import ConfigError
 from ..itemset import Itemset
 from ..taxonomy.tree import Taxonomy
+from . import vertical
 from .hash_tree import HashTree
 
-ENGINES = ("bitmap", "hashtree", "index", "brute", "parallel")
+ENGINES = ("bitmap", "cached", "hashtree", "index", "brute", "parallel")
 
 #: The engines that count rows in-process; ``"parallel"`` delegates each
 #: shard to one of these.
-SERIAL_ENGINES = ("bitmap", "hashtree", "index", "brute")
+SERIAL_ENGINES = ("bitmap", "cached", "hashtree", "index", "brute")
 
 DEFAULT_ENGINE = "bitmap"
 
@@ -60,20 +75,32 @@ def _count_bitmap(
     """
     if not candidates:
         return {}
-    wanted = {item for candidate in candidates for item in candidate}
+    wanted = set()
+    for candidate in candidates:
+        wanted.update(candidate)
     masks: dict[int, int] = {}
+    get_mask = masks.get
     for position, row in enumerate(transactions):
         bit = 1 << position
         for item in row:
             if item in wanted:
-                masks[item] = masks.get(item, 0) | bit
+                masks[item] = get_mask(item, 0) | bit
     counts: dict[Itemset, int] = {}
     for candidate in candidates:
-        mask = masks.get(candidate[0], 0)
+        # Micro-fast path: a candidate whose items never occurred in this
+        # pass needs no mask intersection (and no popcount) at all.
+        mask = get_mask(candidate[0])
+        if mask is None:
+            counts[candidate] = 0
+            continue
         for item in candidate[1:]:
+            other = get_mask(item)
+            if other is None:
+                mask = 0
+                break
+            mask &= other
             if not mask:
                 break
-            mask &= masks.get(item, 0)
         counts[candidate] = mask.bit_count()
     return counts
 
@@ -158,7 +185,7 @@ def _extended(
 
 
 def count_supports(
-    transactions: Iterable[Itemset],
+    transactions,
     candidates: Collection[Itemset],
     taxonomy: Taxonomy | None = None,
     engine: str = DEFAULT_ENGINE,
@@ -166,27 +193,38 @@ def count_supports(
     n_jobs: int | None = None,
     shard_rows: int | None = None,
     parallel_stats=None,
+    use_cache: bool = True,
+    cache_bytes: int | None = None,
+    cache_stats=None,
 ) -> dict[Itemset, int]:
     """Count how many transactions contain each candidate.
 
     Parameters
     ----------
     transactions:
-        The rows of one database pass (e.g. ``database.scan()``).
+        The rows of one database pass (e.g. ``database.scan()``), or the
+        scan-counted database itself. Passing the database lets the
+        ``"cached"`` engine serve the pass from its vertical index
+        (recording a logical pass without a physical read); every other
+        engine simply calls ``scan()`` on it, which is equivalent to
+        passing ``database.scan()``.
     candidates:
         Canonical itemsets to count; mixed sizes are allowed. An empty
         collection short-circuits to ``{}`` without touching
-        *transactions* (no mask/tree setup, no row consumption).
+        *transactions* (no mask/tree setup, no row consumption, no pass
+        recorded).
     taxonomy:
         When given, rows are extended with ancestors first so that
-        category-level candidates are counted generalized.
+        category-level candidates are counted generalized (the cached
+        engine instead ORs descendant bitmaps — identical counts).
     engine:
-        One of ``"bitmap"``, ``"hashtree"``, ``"index"``, ``"brute"``,
-        ``"parallel"``.
+        One of ``"bitmap"``, ``"cached"``, ``"hashtree"``, ``"index"``,
+        ``"brute"``, ``"parallel"``.
     restrict_to_candidate_items:
         With a taxonomy: intersect each extended row with the set of items
         occurring in any candidate (Cumulate optimization; changes no
-        counts, only speed).
+        counts, only speed). The cached engine ignores it: it never
+        materializes extended rows in the first place.
     n_jobs:
         Worker processes for sharded counting. ``None`` keeps the serial
         path (except under ``engine="parallel"``, where it means one
@@ -198,6 +236,13 @@ def count_supports(
     parallel_stats:
         Optional :class:`repro.parallel.engine.ParallelStats` accumulator
         recording shard/worker/retry counts.
+    use_cache:
+        Cached engine only: reuse the index attached to the database.
+        ``False`` rebuilds every pass (the rebuild-per-pass baseline).
+    cache_bytes:
+        Cached engine only: LRU memory budget for the vertical index.
+    cache_stats:
+        Optional :class:`repro.mining.vertical.CacheStats` accumulator.
 
     Returns
     -------
@@ -224,8 +269,21 @@ def count_supports(
             n_jobs=n_jobs,
             shard_rows=shard_rows,
             stats=parallel_stats,
+            use_cache=use_cache,
+            cache_stats=cache_stats,
         )
-    rows: Iterable[Itemset] = transactions
+    if engine == "cached":
+        return vertical.count_with_index(
+            transactions,
+            candidates,
+            taxonomy=taxonomy,
+            budget_bytes=cache_bytes,
+            use_cache=use_cache,
+            stats=cache_stats,
+        )
+    rows: Iterable[Itemset] = (
+        transactions.scan() if hasattr(transactions, "scan") else transactions
+    )
     if taxonomy is not None:
         keep: frozenset[int] | None = None
         if restrict_to_candidate_items:

@@ -100,6 +100,9 @@ def mine_generalized(
     n_jobs: int | None = None,
     shard_rows: int | None = None,
     parallel_stats=None,
+    use_cache: bool = True,
+    cache_bytes: int | None = None,
+    cache_stats=None,
 ) -> LargeItemsetIndex:
     """Mine all generalized large itemsets of *database* under *taxonomy*.
 
@@ -125,6 +128,10 @@ def mine_generalized(
         Sharded-counting controls forwarded to
         :func:`repro.mining.counting.count_supports` for every full
         database pass (see :mod:`repro.parallel`).
+    use_cache, cache_bytes, cache_stats:
+        Vertical-index cache controls for ``engine="cached"`` (see
+        :mod:`repro.mining.vertical`): persistent-cache reuse, LRU
+        memory budget, and an optional stats accumulator.
 
     Returns
     -------
@@ -151,6 +158,9 @@ def mine_generalized(
             n_jobs=n_jobs,
             shard_rows=shard_rows,
             parallel_stats=parallel_stats,
+            use_cache=use_cache,
+            cache_bytes=cache_bytes,
+            cache_stats=cache_stats,
         )
     prune_lineage = algorithm == "cumulate"
     restrict = algorithm == "cumulate"
@@ -165,6 +175,9 @@ def mine_generalized(
         n_jobs=n_jobs,
         shard_rows=shard_rows,
         parallel_stats=parallel_stats,
+        use_cache=use_cache,
+        cache_bytes=cache_bytes,
+        cache_stats=cache_stats,
     )
 
 
@@ -176,17 +189,23 @@ def _large_singles(
     n_jobs: int | None = None,
     shard_rows: int | None = None,
     parallel_stats=None,
+    use_cache: bool = True,
+    cache_bytes: int | None = None,
+    cache_stats=None,
 ) -> dict[Itemset, int]:
     """Pass 1: count every taxonomy node as a 1-itemset, keep the large."""
     singles = [(node,) for node in taxonomy.nodes]
     counts = count_supports(
-        database.scan(),
+        database,
         singles,
         taxonomy=taxonomy,
         engine=engine,
         n_jobs=n_jobs,
         shard_rows=shard_rows,
         parallel_stats=parallel_stats,
+        use_cache=use_cache,
+        cache_bytes=cache_bytes,
+        cache_stats=cache_stats,
     )
     return {
         single: count
@@ -216,6 +235,9 @@ def iter_generalized_levels(
     n_jobs: int | None = None,
     shard_rows: int | None = None,
     parallel_stats=None,
+    use_cache: bool = True,
+    cache_bytes: int | None = None,
+    cache_stats=None,
 ) -> "Iterator[dict[Itemset, float]]":
     """Yield the generalized large itemsets one level at a time.
 
@@ -237,6 +259,9 @@ def iter_generalized_levels(
         n_jobs=n_jobs,
         shard_rows=shard_rows,
         parallel_stats=parallel_stats,
+        use_cache=use_cache,
+        cache_bytes=cache_bytes,
+        cache_stats=cache_stats,
     )
     level = {
         single: count / total for single, count in large_singles.items()
@@ -252,7 +277,7 @@ def iter_generalized_levels(
         if not candidates:
             return
         counts = count_supports(
-            database.scan(),
+            database,
             candidates,
             taxonomy=taxonomy,
             engine=engine,
@@ -260,6 +285,9 @@ def iter_generalized_levels(
             n_jobs=n_jobs,
             shard_rows=shard_rows,
             parallel_stats=parallel_stats,
+            use_cache=use_cache,
+            cache_bytes=cache_bytes,
+            cache_stats=cache_stats,
         )
         level = {
             candidate: count / total
@@ -284,6 +312,9 @@ def _mine_levelwise(
     n_jobs: int | None = None,
     shard_rows: int | None = None,
     parallel_stats=None,
+    use_cache: bool = True,
+    cache_bytes: int | None = None,
+    cache_stats=None,
 ) -> LargeItemsetIndex:
     """Shared level-wise loop for Basic and Cumulate."""
     index = LargeItemsetIndex()
@@ -298,6 +329,9 @@ def _mine_levelwise(
         n_jobs=n_jobs,
         shard_rows=shard_rows,
         parallel_stats=parallel_stats,
+        use_cache=use_cache,
+        cache_bytes=cache_bytes,
+        cache_stats=cache_stats,
     ):
         for candidate, support in level.items():
             index.add(candidate, support)
@@ -316,6 +350,9 @@ def _mine_estmerge(
     n_jobs: int | None = None,
     shard_rows: int | None = None,
     parallel_stats=None,
+    use_cache: bool = True,
+    cache_bytes: int | None = None,
+    cache_stats=None,
 ) -> LargeItemsetIndex:
     """Sampling-guided variant; see module docstring for the contract.
 
@@ -378,7 +415,12 @@ def _mine_estmerge(
             # The sample is small by construction; estimating on it stays
             # serial — sharding it would cost more than it saves.
             estimates = count_supports(
-                sample.scan(), fresh, taxonomy=taxonomy, engine=engine
+                sample,
+                fresh,
+                taxonomy=taxonomy,
+                engine=engine,
+                use_cache=use_cache,
+                cache_stats=cache_stats,
             )
             probably_large = [
                 candidate
@@ -400,7 +442,7 @@ def _mine_estmerge(
                 break
             continue
         counts = count_supports(
-            database.scan(),
+            database,
             to_count,
             taxonomy=taxonomy,
             engine=engine,
@@ -408,6 +450,9 @@ def _mine_estmerge(
             n_jobs=n_jobs,
             shard_rows=shard_rows,
             parallel_stats=parallel_stats,
+            use_cache=use_cache,
+            cache_bytes=cache_bytes,
+            cache_stats=cache_stats,
         )
         for candidate, count in counts.items():
             if count >= min_count:

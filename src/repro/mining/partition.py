@@ -151,7 +151,7 @@ def find_large_itemsets_partition(
     if not global_candidates:
         return index
     min_count = minsup * total
-    counts = count_supports(database.scan(), global_candidates, engine=engine)
+    counts = count_supports(database, global_candidates, engine=engine)
     for candidate, count in counts.items():
         if count >= min_count:
             index.add(candidate, count / total)

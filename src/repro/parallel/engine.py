@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 from .._util import check_fraction
 from ..itemset import Itemset
-from ..mining import counting
+from ..mining import counting, vertical
 from ..mining.itemset_index import LargeItemsetIndex
 from ..mining.partition import mine_local_partition
 from ..taxonomy.tree import Taxonomy
@@ -75,6 +75,19 @@ def _count_shard(payload) -> dict[Itemset, int]:
     )
 
 
+def _count_shard_cached(payload) -> dict[Itemset, int]:
+    """Worker task: count candidates against a shipped shard-local index.
+
+    The parent builds each shard's :class:`~repro.mining.vertical.
+    VerticalIndex` once (one physical pass for the whole plan) and ships
+    the prebuilt bitmaps on every counting pass, so workers never
+    re-derive item bitsets from raw rows — the cross-level reuse that
+    makes ``engine="cached"`` compose with ``n_jobs > 1``.
+    """
+    shard_index, candidates, taxonomy = payload
+    return shard_index.count(candidates, taxonomy=taxonomy)
+
+
 def _mine_shard(payload) -> list[Itemset]:
     """Worker task: phase-1 local mining of one Partition shard."""
     rows, minsup, max_size = payload
@@ -98,6 +111,8 @@ def parallel_count_supports(
     shard_rows: int | None = None,
     pool_config: PoolConfig | None = None,
     stats: ParallelStats | None = None,
+    use_cache: bool = True,
+    cache_stats=None,
 ) -> dict[Itemset, int]:
     """Sharded support counting; bit-identical to the serial engines.
 
@@ -105,14 +120,19 @@ def parallel_count_supports(
     ----------
     transactions:
         The rows of one database pass (already scan-counted by the
-        caller, exactly like the serial engines).
+        caller, exactly like the serial engines), or the scan-counted
+        database itself. The database form is required for shard-local
+        caching under ``base_engine="cached"`` and equivalent otherwise
+        (one ``scan()`` is recorded here instead of at the caller).
     candidates:
         Canonical itemsets to count.
     taxonomy, restrict_to_candidate_items:
         As for :func:`repro.mining.counting.count_supports`; ancestor
         extension happens *inside* each worker so it parallelizes too.
     base_engine:
-        Serial engine each shard delegates to (default bitmap).
+        Serial engine each shard delegates to (default bitmap). With
+        ``"cached"`` and a database, shard-local vertical indexes are
+        built once and re-shipped to workers on every later pass.
     n_jobs:
         Worker processes; ``None`` = one per CPU, ``1`` = serial
         in-process.
@@ -125,6 +145,10 @@ def parallel_count_supports(
         *n_jobs* argument when given.
     stats:
         Optional :class:`ParallelStats` accumulator.
+    use_cache, cache_stats:
+        Cached base engine only: reuse of the shard-local index plan
+        attached to the database, and an optional
+        :class:`~repro.mining.vertical.CacheStats` accumulator.
 
     Returns
     -------
@@ -137,6 +161,21 @@ def parallel_count_supports(
     jobs = pool_config.n_jobs if pool_config is not None else (
         resolve_n_jobs(n_jobs)
     )
+    engine = _base_engine(base_engine)
+    if engine == "cached" and hasattr(transactions, "scan"):
+        return _count_cached_sharded(
+            transactions,
+            candidate_list,
+            taxonomy,
+            jobs,
+            shard_rows,
+            pool_config,
+            stats,
+            use_cache,
+            cache_stats,
+        )
+    if hasattr(transactions, "scan"):
+        transactions = transactions.scan()
     rows = (
         transactions
         if isinstance(transactions, (list, tuple))
@@ -145,7 +184,6 @@ def parallel_count_supports(
     shards = plan_shards(rows, shard_rows=shard_rows, n_shards=jobs)
     if stats is not None:
         stats.shards += len(shards)
-    engine = _base_engine(base_engine)
     if jobs == 1 or len(shards) <= 1:
         if stats is not None:
             stats.serial_tasks += len(shards)
@@ -174,6 +212,59 @@ def parallel_count_supports(
             totals[items] += count
     if stats is not None:
         stats.absorb(pool.stats)
+    return totals
+
+
+def _count_cached_sharded(
+    database,
+    candidate_list: list[Itemset],
+    taxonomy: Taxonomy | None,
+    jobs: int,
+    shard_rows: int | None,
+    pool_config: PoolConfig | None,
+    stats: ParallelStats | None,
+    use_cache: bool,
+    cache_stats,
+) -> dict[Itemset, int]:
+    """One sharded counting pass served from shard-local vertical indexes.
+
+    Building the indexes costs one physical pass (recorded at the parent);
+    every pass, including the first, records exactly one logical pass —
+    the same cost-model shape as the serial cached engine.
+    """
+    indexes = vertical.get_shard_indexes(
+        database,
+        shard_rows=shard_rows,
+        n_shards=jobs,
+        use_cache=use_cache,
+        stats=cache_stats,
+    )
+    database.count_logical_pass()
+    if stats is not None:
+        stats.shards += len(indexes)
+    if jobs == 1 or len(indexes) <= 1:
+        if stats is not None:
+            stats.serial_tasks += len(indexes)
+        partials = [
+            index.count(candidate_list, taxonomy=taxonomy)
+            for index in indexes
+        ]
+    else:
+        pool = WorkerPool(pool_config or PoolConfig(n_jobs=jobs))
+        payloads = [
+            (index, candidate_list, taxonomy) for index in indexes
+        ]
+        partials = pool.map(_count_shard_cached, payloads)
+        if stats is not None:
+            stats.absorb(pool.stats)
+    totals: dict[Itemset, int] = dict.fromkeys(candidate_list, 0)
+    for partial in partials:
+        for items, count in partial.items():
+            totals[items] += count
+    if cache_stats is not None:
+        cache_stats.bytes = max(
+            cache_stats.bytes, sum(index.nbytes for index in indexes)
+        )
     return totals
 
 

@@ -1,0 +1,164 @@
+"""Property-based tests: the cached engine is bit-identical to brute force.
+
+The vertical index cache's contract is that *no observable count ever
+changes*: not across passes, not under a taxonomy (descendant-OR versus
+per-row ancestor extension), not after the database mutates beneath the
+cache (fingerprint invalidation), not under a memory budget that evicts
+and restores bitmaps, and not when the pass is sharded for the parallel
+engine.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.database import TransactionDatabase
+from repro.itemset import itemset
+from repro.mining.counting import count_supports
+from repro.mining.vertical import CacheStats
+from repro.parallel.engine import parallel_count_supports
+from repro.parallel.pool import PoolConfig
+from repro.taxonomy.builders import taxonomy_from_parents
+
+transactions_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=25), min_size=1, max_size=8
+    ).map(itemset),
+    min_size=1,
+    max_size=40,
+)
+candidates_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=25), min_size=1, max_size=4
+    ).map(itemset),
+    min_size=1,
+    max_size=25,
+).map(lambda cands: sorted(set(cands)))
+
+# Random three-level taxonomies: each leaf 1..12 under a random category
+# 100..103, each category under a random root 200..201.
+taxonomy_strategy = st.builds(
+    lambda mids, tops: taxonomy_from_parents(
+        {leaf: mid for leaf, mid in enumerate(mids, start=1)}
+        | {100 + index: top for index, top in enumerate(tops)}
+    ),
+    st.lists(
+        st.integers(min_value=100, max_value=103), min_size=12, max_size=12
+    ),
+    st.lists(
+        st.integers(min_value=200, max_value=201), min_size=4, max_size=4
+    ),
+)
+leaf_transactions_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=12), min_size=1, max_size=5
+    ).map(itemset),
+    min_size=1,
+    max_size=30,
+)
+
+
+def brute(rows, candidates, taxonomy=None):
+    return count_supports(
+        list(rows), candidates, taxonomy=taxonomy, engine="brute"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions_strategy, candidates_strategy)
+def test_cached_matches_brute_across_passes(transactions, candidates):
+    database = TransactionDatabase(transactions)
+    expected = brute(transactions, candidates)
+    for _ in range(3):
+        assert (
+            count_supports(database, candidates, engine="cached") == expected
+        )
+    assert database.scans == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(leaf_transactions_strategy, taxonomy_strategy, st.data())
+def test_cached_matches_brute_generalized(transactions, taxonomy, data):
+    nodes = sorted(taxonomy.nodes)
+    candidates = data.draw(
+        st.lists(
+            st.lists(st.sampled_from(nodes), min_size=1, max_size=3).map(
+                itemset
+            ),
+            min_size=1,
+            max_size=12,
+        ).map(lambda cands: sorted(set(cands)))
+    )
+    database = TransactionDatabase(transactions)
+    expected = brute(transactions, candidates, taxonomy=taxonomy)
+    for _ in range(2):
+        assert (
+            count_supports(
+                database, candidates, taxonomy=taxonomy, engine="cached"
+            )
+            == expected
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions_strategy, transactions_strategy, candidates_strategy)
+def test_mutation_never_serves_stale_counts(first, second, candidates):
+    database = TransactionDatabase(first)
+    stats = CacheStats()
+    assert count_supports(
+        database, candidates, engine="cached", cache_stats=stats
+    ) == brute(first, candidates)
+    # Swap the rows out from under the cache: the fingerprint must catch
+    # it and rebuild — a stale count here would be silent corruption.
+    database._transactions = tuple(second)
+    assert count_supports(
+        database, candidates, engine="cached", cache_stats=stats
+    ) == brute(second, candidates)
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions_strategy, candidates_strategy)
+def test_tiny_budget_still_exact(transactions, candidates):
+    database = TransactionDatabase(transactions)
+    expected = brute(transactions, candidates)
+    for _ in range(2):
+        assert (
+            count_supports(
+                database, candidates, engine="cached", cache_bytes=1
+            )
+            == expected
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions_strategy, candidates_strategy)
+def test_shard_local_caches_match_serial(transactions, candidates):
+    database = TransactionDatabase(transactions)
+    serial = count_supports(database, candidates, engine="cached")
+    sharded = parallel_count_supports(
+        TransactionDatabase(transactions),
+        candidates,
+        base_engine="cached",
+        n_jobs=1,
+        shard_rows=max(1, len(transactions) // 3),
+    )
+    assert sharded == serial
+
+
+@settings(max_examples=5, deadline=None)
+@given(transactions_strategy, candidates_strategy)
+def test_shard_local_caches_match_serial_multiprocess(
+    transactions, candidates
+):
+    database = TransactionDatabase(transactions)
+    serial = count_supports(database, candidates, engine="cached")
+    worker_db = TransactionDatabase(transactions)
+    config = PoolConfig(n_jobs=2)
+    for _ in range(2):  # second pass reuses the shipped shard indexes
+        sharded = parallel_count_supports(
+            worker_db,
+            candidates,
+            base_engine="cached",
+            pool_config=config,
+        )
+        assert sharded == serial
+    assert worker_db.scans == 1

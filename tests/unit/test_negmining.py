@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.negmining import (
     ImprovedNegativeMiner,
+    MiningStats,
     NaiveNegativeMiner,
     NegativeItemset,
 )
@@ -208,3 +209,67 @@ class TestNegativeItemsetType:
             case="children",
         )
         assert negative.deviation == pytest.approx(0.2)
+
+
+class TestMiningStatsSummary:
+    def test_reports_cache_hit_rate_and_pass_ratio(self):
+        stats = MiningStats(
+            data_passes=4,
+            physical_passes=1,
+            cache_hits=3,
+            cache_misses=1,
+            cache_bytes=1024,
+        )
+        assert stats.cache_hit_rate == pytest.approx(0.75)
+        text = stats.summary()
+        assert "data passes     : 4" in text
+        assert "physical passes : 1" in text
+        assert "physical/logical: 0.25" in text
+        assert "3/4 hits (75%)" in text
+        assert "1024 bytes" in text
+
+    def test_omits_cache_line_when_cache_unused(self):
+        text = MiningStats(data_passes=3, physical_passes=3).summary()
+        assert "hits" not in text
+        assert "physical/logical: 1.00" in text
+
+    def test_zero_passes_no_ratio_line(self):
+        text = MiningStats().summary()
+        assert "physical/logical" not in text
+        assert MiningStats().cache_hit_rate == 0.0
+
+
+class TestCachedEngineMiners:
+    def test_improved_cached_matches_bitmap(self, database, taxonomy):
+        expected = ImprovedNegativeMiner(
+            database, taxonomy, 0.15, 0.4
+        ).mine()
+        database.reset_scans()
+        cached = ImprovedNegativeMiner(
+            database, taxonomy, 0.15, 0.4, engine="cached"
+        ).mine()
+        assert cached.negatives == expected.negatives
+        assert dict(cached.large_itemsets.items()) == dict(
+            expected.large_itemsets.items()
+        )
+        # Same logical pass schedule, fewer physical reads.
+        assert cached.stats.data_passes == expected.stats.data_passes
+        assert cached.stats.physical_passes < cached.stats.data_passes
+        assert cached.stats.cache_hits > 0
+
+    def test_naive_cached_matches_bitmap(self, database, taxonomy):
+        expected = NaiveNegativeMiner(database, taxonomy, 0.15, 0.4).mine()
+        database.reset_scans()
+        cached = NaiveNegativeMiner(
+            database, taxonomy, 0.15, 0.4, engine="cached"
+        ).mine()
+        assert cached.negatives == expected.negatives
+        assert cached.stats.data_passes == expected.stats.data_passes
+        assert cached.stats.physical_passes < cached.stats.data_passes
+
+    def test_use_cache_false_rebuilds_every_pass(self, database, taxonomy):
+        run = ImprovedNegativeMiner(
+            database, taxonomy, 0.15, 0.4, engine="cached", use_cache=False
+        ).mine()
+        assert run.stats.cache_hits == 0
+        assert run.stats.cache_misses == run.stats.data_passes
