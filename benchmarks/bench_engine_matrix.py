@@ -1,0 +1,208 @@
+"""E9 — Serial engine matrix: every counting engine on identical passes.
+
+Times the same two counting passes — the size-1 candidates, then the
+size-2 candidates derived from the large singles — on the "Tall" dataset
+for every serial engine (including the bit-packed ``"numpy"`` kernel and
+the packed ``"cached"`` backend), in flat and taxonomy mode at two
+MinSups. All engines count the exact same candidate lists and the counts
+are asserted bit-identical, so the wall-clock per logical pass is an
+apples-to-apples engine comparison rather than a whole-miner sweep.
+
+Folds its report into ``BENCH_counting.json`` under the
+``"engine_matrix"`` key, alongside the vertical-cache runs of
+``bench_vertical_cache`` (which preserves the key on rewrite), and exits
+non-zero when the ``"numpy"`` kernel is not faster than the default
+``"bitmap"`` engine — the regression the CI smoke run pins.
+
+Run::
+
+    python -m benchmarks.bench_engine_matrix --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+#: Serial engines × index backend; ``cached-packed`` is the ``"cached"``
+#: engine with ``packed=True``.
+CONFIGURATIONS = (
+    ("bitmap", {}),
+    ("numpy", {}),
+    ("cached", {}),
+    ("cached-packed", {"packed": True}),
+    ("hashtree", {}),
+    ("index", {}),
+    ("brute", {}),
+)
+
+
+def _level_candidates(dataset, minsup: float, taxonomy):
+    """The two shared passes: all singles, then pairs of large singles."""
+    from repro.mining.counting import count_supports
+
+    database = dataset.database
+    nodes = set(database.items)
+    if taxonomy is not None:
+        nodes.update(
+            taxonomy.ancestor_closure(
+                item for item in nodes if item in taxonomy
+            )
+        )
+    singles = [(node,) for node in sorted(nodes)]
+    counts = count_supports(
+        database, singles, taxonomy=taxonomy, engine="bitmap"
+    )
+    min_count = minsup * len(database)
+    large = [items[0] for items, count in counts.items()
+             if count >= min_count]
+    pairs = []
+    for left, right in itertools.combinations(sorted(large), 2):
+        if taxonomy is not None and (
+            (left in taxonomy and taxonomy.is_ancestor(right, left))
+            or (right in taxonomy and taxonomy.is_ancestor(left, right))
+        ):
+            continue  # Cumulate prunes lineage pairs; keep parity with it.
+        pairs.append((left, right))
+    return singles, pairs
+
+
+def _time_cell(dataset, taxonomy, passes, engine: str, options: dict):
+    """Run both passes on one engine; returns (counts, measured point)."""
+    from repro.mining import vertical
+    from repro.mining.counting import count_supports
+    from repro.mining.vertical import CacheStats
+
+    database = dataset.database
+    database.reset_scans()
+    vertical.invalidate(database)
+    stats = CacheStats()
+    base = "cached" if engine.startswith("cached") else engine
+    merged: dict = {}
+    start = time.perf_counter()
+    for candidates in passes:
+        merged.update(
+            count_supports(
+                database,
+                candidates,
+                taxonomy=taxonomy,
+                engine=base,
+                restrict_to_candidate_items=True,
+                cache_stats=stats,
+                **options,
+            )
+        )
+    wall = time.perf_counter() - start
+    point = {
+        "engine": engine,
+        "wall_s": round(wall, 4),
+        "passes": len(passes),
+        "wall_per_pass_s": round(wall / len(passes), 5),
+        "candidates": sum(len(candidates) for candidates in passes),
+        "kernel_batches": stats.kernel_batches,
+    }
+    return merged, point
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small dataset / single support (the CI smoke configuration)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_counting.json",
+        help="JSON report to fold the engine_matrix key into",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_false",
+        dest="check",
+        help="report only; do not fail when numpy is slower than bitmap",
+    )
+    args = parser.parse_args(argv)
+
+    os.environ.setdefault(
+        "REPRO_BENCH_SCALE", "0.02" if args.quick else "0.1"
+    )
+    from benchmarks.common import dataset, paper_row
+
+    tall = dataset("tall")
+    minsups = [0.10] if args.quick else [0.10, 0.06]
+
+    cells = []
+    per_pass: dict[str, list[float]] = {}
+    for mode in ("flat", "taxonomy"):
+        taxonomy = tall.taxonomy if mode == "taxonomy" else None
+        for minsup in minsups:
+            passes = _level_candidates(tall, minsup, taxonomy)
+            reference = None
+            for engine, options in CONFIGURATIONS:
+                counts, point = _time_cell(
+                    tall, taxonomy, passes, engine, options
+                )
+                if reference is None:
+                    reference = counts
+                else:
+                    assert counts == reference, (
+                        f"{engine} disagrees in {mode}@{minsup}"
+                    )
+                point |= {"mode": mode, "minsup": minsup}
+                cells.append(point)
+                per_pass.setdefault(engine, []).append(
+                    point["wall_per_pass_s"]
+                )
+                paper_row(
+                    f"{engine} {mode}@{minsup}",
+                    wall_s=point["wall_s"],
+                    per_pass_s=point["wall_per_pass_s"],
+                    candidates=point["candidates"],
+                    kernel_batches=point["kernel_batches"],
+                )
+
+    mean_per_pass = {
+        engine: round(sum(values) / len(values), 5)
+        for engine, values in per_pass.items()
+    }
+    speedup = round(
+        mean_per_pass["bitmap"] / mean_per_pass["numpy"], 2
+    )
+    report = {
+        "dataset": "tall",
+        "scale": os.environ["REPRO_BENCH_SCALE"],
+        "minsups": minsups,
+        "transactions": len(tall.database),
+        "cells": cells,
+        "mean_wall_per_pass_s": mean_per_pass,
+        "numpy_speedup_vs_bitmap_per_pass": speedup,
+    }
+    merged = {}
+    if args.out.exists():
+        merged = json.loads(args.out.read_text())
+    merged["engine_matrix"] = report
+    args.out.write_text(json.dumps(merged, indent=2) + "\n")
+
+    paper_row("mean per-pass", **mean_per_pass)
+    paper_row("numpy vs bitmap", speedup=speedup)
+    print(f"wrote engine_matrix into {args.out}")
+
+    if args.check and speedup <= 1.0:
+        print(
+            "FAIL: numpy kernel is not faster than the bitmap engine",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -137,6 +137,12 @@ def main(argv: list[str] | None = None) -> int:
         "runs": runs,
         "speedup_of_cached": speedups,
     }
+    # BENCH_counting.json is shared with bench_engine_matrix: keep its
+    # "engine_matrix" key intact when rewriting the vertical-cache data.
+    if args.out.exists():
+        previous = json.loads(args.out.read_text())
+        if "engine_matrix" in previous:
+            report["engine_matrix"] = previous["engine_matrix"]
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
     for run in runs:

@@ -22,11 +22,13 @@ from . import (
     bench_ablation_memory,
     bench_ablation_passes,
     bench_ablation_pruning,
+    bench_engine_matrix,
     bench_fig5_short,
     bench_fig6_tall,
     bench_fig7_candidates,
     bench_large_itemset_counts,
     bench_table12_example,
+    bench_vertical_cache,
 )
 
 MODULES = [
@@ -44,6 +46,8 @@ MODULES = [
     ("A7 disk-backed passes", bench_ablation_filedb),
     ("A8 frequent miners", bench_ablation_miners),
     ("A9 substitute knowledge", bench_ablation_substitutes),
+    ("E8 vertical cache", bench_vertical_cache),
+    ("E9 engine matrix", bench_engine_matrix),
 ]
 
 

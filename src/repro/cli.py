@@ -101,6 +101,10 @@ def _build_parser() -> argparse.ArgumentParser:
                       dest="cache_bytes",
                       help="cached engine: LRU memory budget in bytes for "
                            "the vertical index (default: unbounded)")
+    mine.add_argument("--packed", action=argparse.BooleanOptionalAction,
+                      default=False,
+                      help="cached engine: bit-packed index backend counted "
+                           "with the NumPy kernel (identical output)")
     mine.add_argument("--max-sibling-replacements", type=int,
                       default=None, dest="max_sibling_replacements",
                       help="cap Case-3 sibling replacements (1 = the paper's examples)")
@@ -179,6 +183,7 @@ def _command_mine(args: argparse.Namespace) -> int:
         shard_rows=args.shard_rows,
         use_cache=args.use_cache,
         cache_bytes=args.cache_bytes,
+        packed=args.packed,
     )
     result = mine_negative_rules(database, taxonomy, config=config)
     print(result.summary(taxonomy, limit=args.limit))

@@ -51,7 +51,8 @@ class MiningConfig:
         nature).
     engine:
         Support-counting engine: ``"bitmap"``, ``"cached"``,
-        ``"hashtree"``, ``"index"``, ``"brute"``, ``"parallel"``.
+        ``"numpy"``, ``"hashtree"``, ``"index"``, ``"brute"``,
+        ``"parallel"``.
     max_size:
         Optional cap on itemset size.
     max_candidates_in_memory:
@@ -88,6 +89,12 @@ class MiningConfig:
         ``engine="cached"`` only: LRU memory budget (bytes) for the
         vertical index; least-recently-used bitmaps are evicted and
         rebuilt on demand. ``None`` = unbounded.
+    packed:
+        ``engine="cached"`` only: store the vertical index bit-packed
+        (``uint64`` words) and count with the vectorized NumPy kernel
+        (:mod:`repro.mining.bitpack`) instead of big-int AND loops.
+        Identical output, faster counting. The ``"numpy"`` engine always
+        packs; this flag only selects the cached index's backend.
     """
 
     minsup: float = 0.01
@@ -106,6 +113,7 @@ class MiningConfig:
     shard_rows: int | None = None
     use_cache: bool = True
     cache_bytes: int | None = None
+    packed: bool = False
 
     def __post_init__(self) -> None:
         check_fraction(self.minsup, "minsup")
@@ -176,6 +184,10 @@ class NegativeMiningResult:
                 f"index cache    : {self.stats.cache_hits}/{lookups} hits "
                 f"({self.stats.cache_hit_rate:.0%}), "
                 f"{self.stats.cache_bytes} bytes"
+            )
+        if self.stats.kernel_batches:
+            lines.append(
+                f"kernel batches : {self.stats.kernel_batches}"
             )
         if self.stats.shards:
             lines.append(
@@ -288,6 +300,7 @@ def _run_miner(
                 shard_rows=config.shard_rows,
                 use_cache=config.use_cache,
                 cache_bytes=config.cache_bytes,
+                packed=config.packed,
             )
         )
     else:
@@ -309,5 +322,6 @@ def _run_miner(
             shard_rows=config.shard_rows,
             use_cache=config.use_cache,
             cache_bytes=config.cache_bytes,
+            packed=config.packed,
         )
     return miner.mine()

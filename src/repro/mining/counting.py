@@ -1,15 +1,26 @@
 """Pluggable support-counting engines.
 
 Counting the support of a candidate set against the database is the inner
-loop of every miner here (positive and negative). Five engines are
-provided, all returning identical counts (property-tested):
+loop of every miner here (positive and negative). The engines listed in
+:data:`ENGINES` are provided — however many that tuple holds at any point,
+all of them return identical counts (property-tested):
 
 * ``"bitmap"`` (default) — vertical counting: one pass builds a per-item
   transaction bitset (a Python ``int``), and each candidate's count is the
-  popcount of the AND of its items' bitsets. By far the fastest in
-  CPython; the 1998 paper predates the vertical-layout literature, so this
-  engine is an engineering substitution (documented in DESIGN.md) — the
-  paper-faithful hash tree remains available and equivalent.
+  popcount of the AND of its items' bitsets. By far the fastest of the
+  pure-Python engines; the 1998 paper predates the vertical-layout
+  literature, so this engine is an engineering substitution (documented in
+  DESIGN.md) — the paper-faithful hash tree remains available and
+  equivalent.
+* ``"numpy"`` — the bitmap layout packed into ``uint64`` word arrays and
+  counted in vectorized batches (``np.bitwise_and.reduce`` + popcount;
+  see :mod:`repro.mining.bitpack` and DESIGN.md §7; the README's
+  counting-performance table has measured numbers). Taxonomy candidates
+  are
+  matched by descendant-OR instead of per-row ancestor extension (so,
+  like ``"cached"``, it ignores ``restrict_to_candidate_items`` and
+  tolerates transaction items unknown to the taxonomy). The fastest
+  serial engine per pass; still rebuilds its packed matrix every pass.
 * ``"hashtree"`` — the classic Apriori hash tree of Section 2.4 (see
   :mod:`repro.mining.hash_tree`). Candidates are grouped by size and one
   tree is built per size.
@@ -18,18 +29,27 @@ provided, all returning identical counts (property-tested):
   small candidate sets.
 * ``"brute"`` — test every candidate against every transaction. The oracle
   the others are verified against.
-* ``"cached"`` — the bitmap engine with the rebuild amortized away: one
+* ``"cached"`` — vertical counting with the rebuild amortized away: one
   physical scan materializes a persistent :class:`~repro.mining.vertical.
   VerticalIndex` attached to the database, and every later pass (any
   Apriori level, the Improved miner's negative-candidate count, EstMerge
   sample estimates) intersects cached bitmaps instead of re-reading rows.
   Generalized counting ORs descendant bitmaps lazily, so no per-row
-  ``ancestor_closure`` extension happens at all. See
-  :mod:`repro.mining.vertical`.
+  ``ancestor_closure`` extension happens at all. With ``packed=True`` the
+  index stores NumPy word arrays and counts with the same vectorized
+  kernel as ``"numpy"``. See :mod:`repro.mining.vertical`.
 * ``"parallel"`` — shard the pass into contiguous row ranges, count each
   shard with a serial engine in a worker process and sum the partial
   counts (see :mod:`repro.parallel`). Selected either explicitly or by
-  passing ``n_jobs > 1`` with any serial engine.
+  passing ``n_jobs > 1`` with any serial engine (including ``"numpy"``
+  as the per-shard kernel, and packed shard-local indexes under
+  ``"cached"`` + ``packed=True``).
+
+Candidates must be non-empty itemsets: an empty candidate has no
+well-defined first item for the bucketed engines and its support (every
+transaction) is never meaningful to a miner, so every engine rejects it
+with :class:`~repro.errors.ConfigError` rather than answering
+inconsistently.
 
 The free function :func:`count_supports` adds the generalized-mining twist:
 when a taxonomy is supplied, each transaction is extended with item
@@ -51,14 +71,16 @@ from collections.abc import Collection, Iterable, Iterator
 from ..errors import ConfigError
 from ..itemset import Itemset
 from ..taxonomy.tree import Taxonomy
-from . import vertical
+from . import bitpack, vertical
 from .hash_tree import HashTree
 
-ENGINES = ("bitmap", "cached", "hashtree", "index", "brute", "parallel")
+ENGINES = (
+    "bitmap", "cached", "numpy", "hashtree", "index", "brute", "parallel"
+)
 
 #: The engines that count rows in-process; ``"parallel"`` delegates each
 #: shard to one of these.
-SERIAL_ENGINES = ("bitmap", "cached", "hashtree", "index", "brute")
+SERIAL_ENGINES = ("bitmap", "cached", "numpy", "hashtree", "index", "brute")
 
 DEFAULT_ENGINE = "bitmap"
 
@@ -196,6 +218,8 @@ def count_supports(
     use_cache: bool = True,
     cache_bytes: int | None = None,
     cache_stats=None,
+    packed: bool = False,
+    batch_words: int | None = None,
 ) -> dict[Itemset, int]:
     """Count how many transactions contain each candidate.
 
@@ -209,22 +233,22 @@ def count_supports(
         engine simply calls ``scan()`` on it, which is equivalent to
         passing ``database.scan()``.
     candidates:
-        Canonical itemsets to count; mixed sizes are allowed. An empty
-        collection short-circuits to ``{}`` without touching
+        Canonical non-empty itemsets to count; mixed sizes are allowed.
+        An empty *collection* short-circuits to ``{}`` without touching
         *transactions* (no mask/tree setup, no row consumption, no pass
-        recorded).
+        recorded); an empty *candidate* inside the collection raises
+        :class:`~repro.errors.ConfigError` (see module docstring).
     taxonomy:
         When given, rows are extended with ancestors first so that
         category-level candidates are counted generalized (the cached
         engine instead ORs descendant bitmaps — identical counts).
     engine:
-        One of ``"bitmap"``, ``"cached"``, ``"hashtree"``, ``"index"``,
-        ``"brute"``, ``"parallel"``.
+        One of :data:`ENGINES`.
     restrict_to_candidate_items:
         With a taxonomy: intersect each extended row with the set of items
         occurring in any candidate (Cumulate optimization; changes no
-        counts, only speed). The cached engine ignores it: it never
-        materializes extended rows in the first place.
+        counts, only speed). The cached and numpy engines ignore it: they
+        never materialize extended rows in the first place.
     n_jobs:
         Worker processes for sharded counting. ``None`` keeps the serial
         path (except under ``engine="parallel"``, where it means one
@@ -242,7 +266,17 @@ def count_supports(
     cache_bytes:
         Cached engine only: LRU memory budget for the vertical index.
     cache_stats:
-        Optional :class:`repro.mining.vertical.CacheStats` accumulator.
+        Optional :class:`repro.mining.vertical.CacheStats` accumulator
+        (also records ``kernel_batches`` for the numpy/packed kernels).
+    packed:
+        Cached engine only: store the vertical index as bit-packed NumPy
+        word arrays and count with the vectorized kernel of
+        :mod:`repro.mining.bitpack` instead of big-int bitmaps. Counts
+        are identical; only speed and memory layout change.
+    batch_words:
+        Numpy/packed kernels only: memory budget, in 64-bit words, for
+        one gathered candidate batch (default
+        :data:`repro.mining.bitpack.DEFAULT_BATCH_WORDS`).
 
     Returns
     -------
@@ -256,6 +290,12 @@ def count_supports(
         )
     if not candidates:
         return {}
+    for candidate in candidates:
+        if not candidate:
+            raise ConfigError(
+                "cannot count an empty candidate itemset; candidates "
+                "must contain at least one item"
+            )
     if engine == "parallel" or (n_jobs is not None and n_jobs > 1):
         # Imported lazily: repro.parallel.engine imports this module.
         from ..parallel.engine import parallel_count_supports
@@ -271,6 +311,8 @@ def count_supports(
             stats=parallel_stats,
             use_cache=use_cache,
             cache_stats=cache_stats,
+            packed=packed,
+            batch_words=batch_words,
         )
     if engine == "cached":
         return vertical.count_with_index(
@@ -279,6 +321,21 @@ def count_supports(
             taxonomy=taxonomy,
             budget_bytes=cache_bytes,
             use_cache=use_cache,
+            stats=cache_stats,
+            packed=packed,
+            batch_words=batch_words,
+        )
+    if engine == "numpy":
+        numpy_rows: Iterable[Itemset] = (
+            transactions.scan()
+            if hasattr(transactions, "scan")
+            else transactions
+        )
+        return bitpack.count_rows(
+            numpy_rows,
+            candidates,
+            taxonomy=taxonomy,
+            batch_words=batch_words,
             stats=cache_stats,
         )
     rows: Iterable[Itemset] = (

@@ -103,6 +103,7 @@ def mine_generalized(
     use_cache: bool = True,
     cache_bytes: int | None = None,
     cache_stats=None,
+    packed: bool = False,
 ) -> LargeItemsetIndex:
     """Mine all generalized large itemsets of *database* under *taxonomy*.
 
@@ -132,6 +133,10 @@ def mine_generalized(
         Vertical-index cache controls for ``engine="cached"`` (see
         :mod:`repro.mining.vertical`): persistent-cache reuse, LRU
         memory budget, and an optional stats accumulator.
+    packed:
+        ``engine="cached"`` only: store the vertical index bit-packed
+        and count with the vectorized NumPy kernel (see
+        :mod:`repro.mining.bitpack`). Identical output.
 
     Returns
     -------
@@ -161,6 +166,7 @@ def mine_generalized(
             use_cache=use_cache,
             cache_bytes=cache_bytes,
             cache_stats=cache_stats,
+            packed=packed,
         )
     prune_lineage = algorithm == "cumulate"
     restrict = algorithm == "cumulate"
@@ -178,6 +184,7 @@ def mine_generalized(
         use_cache=use_cache,
         cache_bytes=cache_bytes,
         cache_stats=cache_stats,
+        packed=packed,
     )
 
 
@@ -192,6 +199,7 @@ def _large_singles(
     use_cache: bool = True,
     cache_bytes: int | None = None,
     cache_stats=None,
+    packed: bool = False,
 ) -> dict[Itemset, int]:
     """Pass 1: count every taxonomy node as a 1-itemset, keep the large."""
     singles = [(node,) for node in taxonomy.nodes]
@@ -206,6 +214,7 @@ def _large_singles(
         use_cache=use_cache,
         cache_bytes=cache_bytes,
         cache_stats=cache_stats,
+        packed=packed,
     )
     return {
         single: count
@@ -238,6 +247,7 @@ def iter_generalized_levels(
     use_cache: bool = True,
     cache_bytes: int | None = None,
     cache_stats=None,
+    packed: bool = False,
 ) -> "Iterator[dict[Itemset, float]]":
     """Yield the generalized large itemsets one level at a time.
 
@@ -262,6 +272,7 @@ def iter_generalized_levels(
         use_cache=use_cache,
         cache_bytes=cache_bytes,
         cache_stats=cache_stats,
+        packed=packed,
     )
     level = {
         single: count / total for single, count in large_singles.items()
@@ -288,6 +299,7 @@ def iter_generalized_levels(
             use_cache=use_cache,
             cache_bytes=cache_bytes,
             cache_stats=cache_stats,
+            packed=packed,
         )
         level = {
             candidate: count / total
@@ -315,6 +327,7 @@ def _mine_levelwise(
     use_cache: bool = True,
     cache_bytes: int | None = None,
     cache_stats=None,
+    packed: bool = False,
 ) -> LargeItemsetIndex:
     """Shared level-wise loop for Basic and Cumulate."""
     index = LargeItemsetIndex()
@@ -332,6 +345,7 @@ def _mine_levelwise(
         use_cache=use_cache,
         cache_bytes=cache_bytes,
         cache_stats=cache_stats,
+        packed=packed,
     ):
         for candidate, support in level.items():
             index.add(candidate, support)
@@ -353,6 +367,7 @@ def _mine_estmerge(
     use_cache: bool = True,
     cache_bytes: int | None = None,
     cache_stats=None,
+    packed: bool = False,
 ) -> LargeItemsetIndex:
     """Sampling-guided variant; see module docstring for the contract.
 
@@ -385,6 +400,10 @@ def _mine_estmerge(
         n_jobs=n_jobs,
         shard_rows=shard_rows,
         parallel_stats=parallel_stats,
+        use_cache=use_cache,
+        cache_bytes=cache_bytes,
+        cache_stats=cache_stats,
+        packed=packed,
     )
     for single, count in large_singles.items():
         index.add(single, count / total)
@@ -421,6 +440,7 @@ def _mine_estmerge(
                 engine=engine,
                 use_cache=use_cache,
                 cache_stats=cache_stats,
+                packed=packed,
             )
             probably_large = [
                 candidate
@@ -453,6 +473,7 @@ def _mine_estmerge(
             use_cache=use_cache,
             cache_bytes=cache_bytes,
             cache_stats=cache_stats,
+            packed=packed,
         )
         for candidate, count in counts.items():
             if count >= min_count:

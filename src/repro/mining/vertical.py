@@ -24,6 +24,11 @@ of its descendants' bitmaps, computed lazily and memoized, so no per-row
 ``ancestor_closure`` extension ever happens — bit-identical to Cumulate
 counting (property-tested against the ``"brute"`` engine).
 
+Two interchangeable storage backends hold the bitmaps: Python big-ints
+(default) and, with ``packed=True``, bit-packed ``uint64`` word arrays
+counted by the vectorized NumPy kernel of :mod:`repro.mining.bitpack` —
+same bits, same counts, different speed/memory profile.
+
 Staleness is impossible by construction: :func:`get_index` revalidates the
 fingerprint on every use and rebuilds on mismatch
 (:meth:`~repro.data.database.TransactionDatabase.cache_token` for the
@@ -44,10 +49,18 @@ from .._util import check_positive
 from ..errors import DatabaseError
 from ..itemset import Itemset
 from ..taxonomy.tree import Taxonomy
+from . import bitpack
 
 #: Approximate per-entry dict overhead (key + table slot), added to
-#: ``sys.getsizeof`` of each bitmap when tracking the memory footprint.
+#: the payload size of each bitmap when tracking the memory footprint.
 _ENTRY_OVERHEAD = 64
+
+
+def _entry_bytes(bitmap) -> int:
+    """Approximate footprint of one stored bitmap (big-int or packed)."""
+    if isinstance(bitmap, int):
+        return sys.getsizeof(bitmap) + _ENTRY_OVERHEAD
+    return bitmap.nbytes + _ENTRY_OVERHEAD
 
 
 @dataclass(slots=True)
@@ -73,6 +86,10 @@ class CacheStats:
         Evicted base bitmaps restored by a targeted physical pass.
     bytes:
         Approximate current footprint of the most recently used index.
+    kernel_batches:
+        Vectorized candidate batches executed by the bit-packed NumPy
+        kernel (:mod:`repro.mining.bitpack`) — nonzero only under the
+        ``"numpy"`` engine or the packed cached backend.
     """
 
     hits: int = 0
@@ -81,6 +98,7 @@ class CacheStats:
     evictions: int = 0
     rebuilt_items: int = 0
     bytes: int = 0
+    kernel_batches: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -95,6 +113,13 @@ class VerticalIndex:
     Bit ``t`` of ``bits[item]`` is set when transaction ``t`` contains the
     item. Category bitmaps under a taxonomy are derived lazily (OR over
     children, recursively) and memoized per taxonomy.
+
+    Two storage backends hold the same bits: the default keeps one Python
+    ``int`` per item; ``packed=True`` keeps one little-endian ``uint64``
+    word array per item and counts with the vectorized batched kernel of
+    :mod:`repro.mining.bitpack` (derived category bitmaps become
+    ``np.bitwise_or.reduce`` over descendant rows instead of lazy big-int
+    ORs). Counts are bit-identical either way (property-tested).
 
     Build through :meth:`build` (physical pass over a scan-counted
     database, rebuildable after eviction) or :meth:`from_rows` (one-shot
@@ -112,30 +137,50 @@ class VerticalIndex:
         "_budget",
         "_nbytes",
         "_tax_refs",
+        "_packed",
+        "_n_words",
+        "_zero",
     )
 
-    def __init__(self, n_rows: int, budget_bytes: int | None = None) -> None:
+    def __init__(
+        self,
+        n_rows: int,
+        budget_bytes: int | None = None,
+        packed: bool = False,
+    ) -> None:
         if budget_bytes is not None:
             check_positive(budget_bytes, "budget_bytes")
         self.n_rows = n_rows
         self.evictions = 0
-        self._bits: OrderedDict[int, int] = OrderedDict()
-        self._derived: OrderedDict[tuple[int, int], int] = OrderedDict()
+        self._bits: OrderedDict[int, object] = OrderedDict()
+        self._derived: OrderedDict[tuple[int, int], object] = OrderedDict()
         self._evicted: set[int] = set()
         self._source = None
         self._token = None
         self._budget = budget_bytes
         self._nbytes = 0
+        self._packed = packed
+        self._n_words = bitpack.words_for(n_rows)
+        # Shared "absent item" bitmap: 0 for big-ints, a zero row packed.
+        self._zero = bitpack.zeros(self._n_words) if packed else 0
         # Strong refs to taxonomies keyed by id() so memo keys can never
         # collide with a recycled id after garbage collection.
         self._tax_refs: dict[int, Taxonomy] = {}
+
+    @property
+    def packed(self) -> bool:
+        """True when bitmaps are stored as NumPy word arrays."""
+        return self._packed
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
     def build(
-        cls, database, budget_bytes: int | None = None
+        cls,
+        database,
+        budget_bytes: int | None = None,
+        packed: bool = False,
     ) -> "VerticalIndex":
         """One physical pass over *database* materializing all bitmaps.
 
@@ -143,7 +188,7 @@ class VerticalIndex:
         a physical pass but not a logical one (the logical counting pass
         is recorded by :func:`count_with_index`, once per count).
         """
-        index = cls(len(database), budget_bytes)
+        index = cls(len(database), budget_bytes, packed=packed)
         index._source = database
         index._token = database.cache_token()
         index._ingest(database.physical_scan(), None)
@@ -151,7 +196,9 @@ class VerticalIndex:
         return index
 
     @classmethod
-    def from_rows(cls, rows: Iterable[Itemset]) -> "VerticalIndex":
+    def from_rows(
+        cls, rows: Iterable[Itemset], packed: bool = False
+    ) -> "VerticalIndex":
         """Build over already-materialized rows (no rebuild source).
 
         Used for one-shot counting over plain iterables and for parallel
@@ -159,12 +206,17 @@ class VerticalIndex:
         no way to restore an evicted base bitmap.
         """
         materialized = rows if isinstance(rows, (list, tuple)) else list(rows)
-        index = cls(len(materialized))
+        index = cls(len(materialized), packed=packed)
         index._ingest(materialized, None)
         return index
 
     def _ingest(self, rows: Iterable[Itemset], only: set[int] | None) -> None:
-        """Scan *rows* once, building bitmaps (optionally only for *only*)."""
+        """Scan *rows* once, building bitmaps (optionally only for *only*).
+
+        Bits are always set on arbitrary-precision integers first (the
+        fastest single-bit writes CPython offers); a packed index converts
+        each finished bitmap to its word array in one ``to_bytes`` call.
+        """
         bits = {} if only is None else dict.fromkeys(only, 0)
         if only is None:
             get = bits.get
@@ -184,8 +236,10 @@ class VerticalIndex:
                 # resolvable as "absent" rather than eternally evicted.
                 self._evicted.discard(item)
                 continue
+            if self._packed:
+                bitmap = bitpack.pack_bigint(bitmap, self._n_words)
             self._bits[item] = bitmap
-            self._nbytes += sys.getsizeof(bitmap) + _ENTRY_OVERHEAD
+            self._nbytes += _entry_bytes(bitmap)
             self._evicted.discard(item)
 
     # ------------------------------------------------------------------
@@ -213,14 +267,14 @@ class VerticalIndex:
         # Derived bitmaps first: recomputable from children for free.
         while self._nbytes > self._budget and self._derived:
             _, bitmap = self._derived.popitem(last=False)
-            self._nbytes -= sys.getsizeof(bitmap) + _ENTRY_OVERHEAD
+            self._nbytes -= _entry_bytes(bitmap)
             self.evictions += 1
         # Then base bitmaps, LRU; restoring one later costs a targeted
         # physical pass.
         while self._nbytes > self._budget and self._bits:
             item, bitmap = self._bits.popitem(last=False)
             self._evicted.add(item)
-            self._nbytes -= sys.getsizeof(bitmap) + _ENTRY_OVERHEAD
+            self._nbytes -= _entry_bytes(bitmap)
             self.evictions += 1
 
     # ------------------------------------------------------------------
@@ -231,18 +285,32 @@ class VerticalIndex:
         candidates: Collection[Itemset],
         taxonomy: Taxonomy | None = None,
         stats: CacheStats | None = None,
+        batch_words: int | None = None,
     ) -> dict[Itemset, int]:
         """Count every candidate by bitmap intersection; no data pass.
 
         With *taxonomy*, candidate nodes are matched generalized: a
         category's bitmap is the OR of its own and all its descendants'
         base bitmaps (memoized). Identical counts to extending every row
-        with ``ancestor_closure`` first.
+        with ``ancestor_closure`` first. A packed index intersects whole
+        candidate batches at once (*batch_words* bounds the gather, see
+        :func:`repro.mining.bitpack.count_candidates`); the big-int index
+        intersects candidate-by-candidate.
         """
         counts: dict[Itemset, int] = {}
         if not candidates:
             return counts
         self._ensure_present(candidates, taxonomy, stats)
+        if self._packed:
+            counts = bitpack.count_candidates(
+                lambda node: self._node_bits(node, taxonomy),
+                candidates,
+                self._n_words,
+                batch_words=batch_words,
+                stats=stats,
+            )
+            self._enforce_budget()
+            return counts
         for candidate in candidates:
             mask = self._node_bits(candidate[0], taxonomy)
             for item in candidate[1:]:
@@ -253,7 +321,7 @@ class VerticalIndex:
         self._enforce_budget()
         return counts
 
-    def _node_bits(self, node: int, taxonomy: Taxonomy | None) -> int:
+    def _node_bits(self, node: int, taxonomy: Taxonomy | None):
         if taxonomy is None or node not in taxonomy:
             return self._base_bits(node)
         children = taxonomy.children(node)
@@ -264,18 +332,20 @@ class VerticalIndex:
         if memoized is not None:
             self._derived.move_to_end(key)
             return memoized
+        # Functional OR on purpose: ``|=`` would mutate a packed base row
+        # in place (ndarrays are mutable where ints are not).
         bits = self._base_bits(node)
         for child in children:
-            bits |= self._node_bits(child, taxonomy)
+            bits = bits | self._node_bits(child, taxonomy)
         self._derived[key] = bits
-        self._nbytes += sys.getsizeof(bits) + _ENTRY_OVERHEAD
+        self._nbytes += _entry_bytes(bits)
         self._tax_refs[id(taxonomy)] = taxonomy
         return bits
 
-    def _base_bits(self, item: int) -> int:
+    def _base_bits(self, item: int):
         bits = self._bits.get(item)
         if bits is None:
-            return 0
+            return self._zero
         self._bits.move_to_end(item)
         return bits
 
@@ -311,22 +381,30 @@ class VerticalIndex:
     # Transport
     # ------------------------------------------------------------------
     def __reduce__(self):
-        # Ship only the row count and base bitmaps: the data source,
-        # memory budget and derived memos are parent-process concerns.
-        return (_unpickle_index, (self.n_rows, tuple(self._bits.items())))
+        # Ship only the row count, backend flag and base bitmaps: the
+        # data source, memory budget and derived memos are parent-process
+        # concerns.
+        return (
+            _unpickle_index,
+            (self.n_rows, tuple(self._bits.items()), self._packed),
+        )
 
     def __repr__(self) -> str:
+        backend = "packed" if self._packed else "bigint"
         return (
             f"VerticalIndex(rows={self.n_rows}, items={len(self._bits)}, "
-            f"evicted={len(self._evicted)}, bytes={self._nbytes})"
+            f"evicted={len(self._evicted)}, bytes={self._nbytes}, "
+            f"backend={backend})"
         )
 
 
-def _unpickle_index(n_rows: int, items: tuple) -> VerticalIndex:
-    index = VerticalIndex(n_rows)
+def _unpickle_index(
+    n_rows: int, items: tuple, packed: bool = False
+) -> VerticalIndex:
+    index = VerticalIndex(n_rows, packed=packed)
     for item, bitmap in items:
         index._bits[item] = bitmap
-        index._nbytes += sys.getsizeof(bitmap) + _ENTRY_OVERHEAD
+        index._nbytes += _entry_bytes(bitmap)
     return index
 
 
@@ -338,6 +416,7 @@ def get_index(
     budget_bytes: int | None = None,
     use_cache: bool = True,
     stats: CacheStats | None = None,
+    packed: bool = False,
 ) -> VerticalIndex:
     """The vertical index of *database*, building (or rebuilding) on demand.
 
@@ -345,21 +424,24 @@ def get_index(
     check on every call guarantees a mutated database can never serve
     stale counts — it rebuilds instead. ``use_cache=False`` builds a
     fresh index every call (the rebuild-per-pass baseline the benchmarks
-    compare against).
+    compare against). An attached index whose storage backend does not
+    match *packed* is rebuilt in the requested representation (a miss,
+    not an invalidation — the data did not change).
     """
     cached = getattr(database, "_vertical_index", None) if use_cache else None
     if cached is not None:
-        if cached.valid_for(database):
+        if not cached.valid_for(database):
+            if stats is not None:
+                stats.invalidations += 1
+        elif cached.packed == packed:
             if budget_bytes is not None:
                 cached.set_budget(budget_bytes)
             if stats is not None:
                 stats.hits += 1
             return cached
-        if stats is not None:
-            stats.invalidations += 1
     if stats is not None:
         stats.misses += 1
-    index = VerticalIndex.build(database, budget_bytes)
+    index = VerticalIndex.build(database, budget_bytes, packed=packed)
     if use_cache:
         try:
             database._vertical_index = index
@@ -374,17 +456,20 @@ def get_shard_indexes(
     n_shards: int | None = None,
     use_cache: bool = True,
     stats: CacheStats | None = None,
+    packed: bool = False,
 ) -> list[VerticalIndex]:
     """Shard-local vertical indexes for parallel counting, built once.
 
     One physical pass plans the shards and builds a per-shard index;
     later passes at the same shard layout reuse (and re-ship) the built
     bitmaps, so workers never re-derive item bitsets from raw rows. The
-    plan is attached to the database keyed by fingerprint + layout.
+    plan is attached to the database keyed by fingerprint + layout +
+    storage backend; ``packed=True`` ships word arrays that workers count
+    with the vectorized kernel.
     """
     from ..parallel.shards import plan_shards  # lazy: avoid import cycle
 
-    layout = (shard_rows, n_shards)
+    layout = (shard_rows, n_shards, packed)
     cached = getattr(database, "_shard_cache", None) if use_cache else None
     if cached is not None:
         token, cached_layout, indexes = cached
@@ -400,7 +485,10 @@ def get_shard_indexes(
     token = database.cache_token()
     rows = tuple(database.physical_scan())
     shards = plan_shards(rows, shard_rows=shard_rows, n_shards=n_shards)
-    indexes = [VerticalIndex.from_rows(shard.rows) for shard in shards]
+    indexes = [
+        VerticalIndex.from_rows(shard.rows, packed=packed)
+        for shard in shards
+    ]
     if use_cache:
         try:
             database._shard_cache = (token, layout, indexes)
@@ -425,19 +513,22 @@ def count_with_index(
     budget_bytes: int | None = None,
     use_cache: bool = True,
     stats: CacheStats | None = None,
+    packed: bool = False,
+    batch_words: int | None = None,
 ) -> dict[Itemset, int]:
     """The ``"cached"`` engine: count via the vertical index of *source*.
 
     *source* may be a scan-counted database (the index is cached on it
     and one **logical** pass is recorded per call) or a plain iterable of
     canonical rows (a one-shot index is built, as the serial engines
-    would scan the rows once).
+    would scan the rows once). ``packed=True`` selects the bit-packed
+    NumPy storage backend and its batched counting kernel.
     """
     if hasattr(source, "scan"):
         hits_before = stats.hits if stats is not None else 0
         index = get_index(
             source, budget_bytes=budget_bytes, use_cache=use_cache,
-            stats=stats,
+            stats=stats, packed=packed,
         )
         # A cache hit returns an index whose lifetime evictions were
         # already absorbed by earlier calls; only count the new ones.
@@ -447,9 +538,11 @@ def count_with_index(
     else:
         if stats is not None:
             stats.misses += 1
-        index = VerticalIndex.from_rows(source)
+        index = VerticalIndex.from_rows(source, packed=packed)
         evictions_before = 0
-    counts = index.count(candidates, taxonomy=taxonomy, stats=stats)
+    counts = index.count(
+        candidates, taxonomy=taxonomy, stats=stats, batch_words=batch_words
+    )
     if stats is not None:
         stats.evictions += index.evictions - evictions_before
         stats.bytes = max(stats.bytes, index.nbytes)

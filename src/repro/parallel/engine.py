@@ -113,6 +113,8 @@ def parallel_count_supports(
     stats: ParallelStats | None = None,
     use_cache: bool = True,
     cache_stats=None,
+    packed: bool = False,
+    batch_words: int | None = None,
 ) -> dict[Itemset, int]:
     """Sharded support counting; bit-identical to the serial engines.
 
@@ -149,6 +151,13 @@ def parallel_count_supports(
         Cached base engine only: reuse of the shard-local index plan
         attached to the database, and an optional
         :class:`~repro.mining.vertical.CacheStats` accumulator.
+    packed, batch_words:
+        Bit-packed kernel controls (see :mod:`repro.mining.bitpack`).
+        With ``base_engine="cached"`` and ``packed=True``, shard-local
+        indexes are built packed and workers count them with the
+        vectorized kernel; with ``base_engine="numpy"`` each worker packs
+        its own shard per pass. *batch_words* bounds one gathered
+        candidate batch.
 
     Returns
     -------
@@ -173,6 +182,8 @@ def parallel_count_supports(
             stats,
             use_cache,
             cache_stats,
+            packed,
+            batch_words,
         )
     if hasattr(transactions, "scan"):
         transactions = transactions.scan()
@@ -225,12 +236,16 @@ def _count_cached_sharded(
     stats: ParallelStats | None,
     use_cache: bool,
     cache_stats,
+    packed: bool = False,
+    batch_words: int | None = None,
 ) -> dict[Itemset, int]:
     """One sharded counting pass served from shard-local vertical indexes.
 
     Building the indexes costs one physical pass (recorded at the parent);
     every pass, including the first, records exactly one logical pass —
-    the same cost-model shape as the serial cached engine.
+    the same cost-model shape as the serial cached engine. With
+    ``packed=True`` the shard indexes hold bit-packed word arrays and
+    workers run the vectorized kernel.
     """
     indexes = vertical.get_shard_indexes(
         database,
@@ -238,6 +253,7 @@ def _count_cached_sharded(
         n_shards=jobs,
         use_cache=use_cache,
         stats=cache_stats,
+        packed=packed,
     )
     database.count_logical_pass()
     if stats is not None:
@@ -246,7 +262,10 @@ def _count_cached_sharded(
         if stats is not None:
             stats.serial_tasks += len(indexes)
         partials = [
-            index.count(candidate_list, taxonomy=taxonomy)
+            index.count(
+                candidate_list, taxonomy=taxonomy, stats=cache_stats,
+                batch_words=batch_words,
+            )
             for index in indexes
         ]
     else:

@@ -1,0 +1,174 @@
+"""Property-based tests: the numpy engine is bit-identical to brute force.
+
+The bit-packed kernel's contract mirrors the cached engine's: no
+observable count ever changes — not for flat candidate sets, not under a
+taxonomy (descendant-OR versus per-row ancestor extension), not at word
+boundaries (row counts straddling 64-bit words), and not when the packed
+``VerticalIndex`` backend evicts bitmaps under a tiny memory budget.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.database import TransactionDatabase
+from repro.itemset import itemset
+from repro.mining.counting import count_supports
+from repro.mining.vertical import VerticalIndex
+from repro.taxonomy.builders import taxonomy_from_parents
+
+transactions_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=25), min_size=1, max_size=8
+    ).map(itemset),
+    min_size=1,
+    max_size=40,
+)
+candidates_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=25), min_size=1, max_size=4
+    ).map(itemset),
+    min_size=1,
+    max_size=25,
+).map(lambda cands: sorted(set(cands)))
+
+# Random three-level taxonomies: each leaf 1..12 under a random category
+# 100..103, each category under a random root 200..201.
+taxonomy_strategy = st.builds(
+    lambda mids, tops: taxonomy_from_parents(
+        {leaf: mid for leaf, mid in enumerate(mids, start=1)}
+        | {100 + index: top for index, top in enumerate(tops)}
+    ),
+    st.lists(
+        st.integers(min_value=100, max_value=103), min_size=12, max_size=12
+    ),
+    st.lists(
+        st.integers(min_value=200, max_value=201), min_size=4, max_size=4
+    ),
+)
+leaf_transactions_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=12), min_size=1, max_size=5
+    ).map(itemset),
+    min_size=1,
+    max_size=30,
+)
+
+
+def brute(rows, candidates, taxonomy=None):
+    return count_supports(
+        list(rows), candidates, taxonomy=taxonomy, engine="brute"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions_strategy, candidates_strategy)
+def test_numpy_matches_brute_flat(transactions, candidates):
+    assert count_supports(
+        transactions, candidates, engine="numpy"
+    ) == brute(transactions, candidates)
+
+
+@settings(max_examples=60, deadline=None)
+@given(leaf_transactions_strategy, taxonomy_strategy, st.data())
+def test_numpy_matches_brute_generalized(transactions, taxonomy, data):
+    nodes = sorted(taxonomy.nodes)
+    candidates = data.draw(
+        st.lists(
+            st.lists(st.sampled_from(nodes), min_size=1, max_size=3).map(
+                itemset
+            ),
+            min_size=1,
+            max_size=12,
+        ).map(lambda cands: sorted(set(cands)))
+    )
+    assert count_supports(
+        transactions, candidates, taxonomy=taxonomy, engine="numpy"
+    ) == brute(transactions, candidates, taxonomy=taxonomy)
+
+
+@settings(max_examples=20, deadline=None)
+@given(candidates_strategy, st.sampled_from([1, 63, 64, 65, 1000]))
+def test_numpy_exact_at_word_boundaries(candidates, n_rows):
+    """Row counts straddling uint64 words leave no stray tail bits."""
+    transactions = [
+        itemset([index % 26, (index * 7) % 26]) for index in range(n_rows)
+    ]
+    assert count_supports(
+        transactions, candidates, engine="numpy"
+    ) == brute(transactions, candidates)
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions_strategy, candidates_strategy)
+def test_numpy_tiny_batches_match_default(transactions, candidates):
+    default = count_supports(transactions, candidates, engine="numpy")
+    assert (
+        count_supports(
+            transactions, candidates, engine="numpy", batch_words=1
+        )
+        == default
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions_strategy, candidates_strategy)
+def test_packed_index_matches_bigint_index(transactions, candidates):
+    bigint = VerticalIndex.from_rows(transactions)
+    packed = VerticalIndex.from_rows(transactions, packed=True)
+    assert packed.count(candidates) == bigint.count(candidates)
+
+
+@settings(max_examples=40, deadline=None)
+@given(leaf_transactions_strategy, taxonomy_strategy, st.data())
+def test_packed_index_matches_bigint_generalized(
+    transactions, taxonomy, data
+):
+    nodes = sorted(taxonomy.nodes)
+    candidates = data.draw(
+        st.lists(
+            st.lists(st.sampled_from(nodes), min_size=1, max_size=3).map(
+                itemset
+            ),
+            min_size=1,
+            max_size=12,
+        ).map(lambda cands: sorted(set(cands)))
+    )
+    bigint = VerticalIndex.from_rows(transactions)
+    packed = VerticalIndex.from_rows(transactions, packed=True)
+    assert packed.count(candidates, taxonomy=taxonomy) == bigint.count(
+        candidates, taxonomy=taxonomy
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions_strategy, candidates_strategy)
+def test_packed_tiny_budget_still_exact(transactions, candidates):
+    """LRU eviction of packed rows rebuilds exactly, never approximates."""
+    database = TransactionDatabase(transactions)
+    expected = brute(transactions, candidates)
+    for _ in range(2):
+        assert (
+            count_supports(
+                database,
+                candidates,
+                engine="cached",
+                cache_bytes=1,
+                packed=True,
+            )
+            == expected
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions_strategy, candidates_strategy)
+def test_packed_cached_engine_across_passes(transactions, candidates):
+    database = TransactionDatabase(transactions)
+    expected = brute(transactions, candidates)
+    for _ in range(3):
+        assert (
+            count_supports(
+                database, candidates, engine="cached", packed=True
+            )
+            == expected
+        )
+    assert database.scans == 1

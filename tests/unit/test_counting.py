@@ -49,6 +49,28 @@ class TestEnginesAgree:
             == {}
         )
 
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_empty_candidate_itemset_rejected(self, engine):
+        """An empty candidate must fail loudly on every engine.
+
+        Historically ``_count_bitmap`` raised a bare ``IndexError`` on
+        ``candidate[0]`` while other engines silently returned a bogus
+        full-database count (an empty AND is the identity mask). The
+        contract is now uniform: :class:`ConfigError` before any engine
+        dispatch.
+        """
+        with pytest.raises(ConfigError, match="empty candidate"):
+            count_supports(ROWS, [(1,), ()], engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_empty_candidate_rejected_before_scan(self, engine):
+        def explode():
+            raise AssertionError("transactions were consumed")
+            yield  # pragma: no cover
+
+        with pytest.raises(ConfigError, match="empty candidate"):
+            count_supports(explode(), [()], engine=engine)
+
     def test_unknown_engine_rejected(self):
         with pytest.raises(ConfigError, match="unknown counting engine"):
             count_supports(ROWS, CANDIDATES, engine="quantum")
