@@ -67,7 +67,7 @@ def main() -> None:
             f"passes={data.database.scans}"
         )
     print(
-        f"\ncumulate == estmerge: "
+        "\ncumulate == estmerge: "
         f"{results['cumulate'] == results['estmerge']}"
     )
     extras = len(results["basic"]) - len(results["cumulate"])

@@ -65,7 +65,7 @@ def test_substitute_candidates(benchmark, variant):
 def main() -> None:
     dataset, substitutes, index = _setup()
     print(
-        f"=== A9: substitute knowledge on the grocery world "
+        "=== A9: substitute knowledge on the grocery world "
         f"(|D|={len(dataset.database)}, MinSup={MINSUP}) ==="
     )
     started = time.perf_counter()

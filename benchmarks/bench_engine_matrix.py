@@ -9,9 +9,10 @@ are asserted bit-identical, so the wall-clock per logical pass is an
 apples-to-apples engine comparison rather than a whole-miner sweep.
 
 Folds its report into ``BENCH_counting.json`` under the
-``"engine_matrix"`` key, alongside the vertical-cache runs of
-``bench_vertical_cache`` (which preserves the key on rewrite), and exits
-non-zero when the ``"numpy"`` kernel is not faster than the default
+``"engine_matrix"`` key — or ``["quick"]["engine_matrix"]`` on
+``--quick``, so a smoke run never overwrites the committed full-size
+baseline — alongside the vertical-cache runs of ``bench_vertical_cache``.
+Exits non-zero when the ``"numpy"`` kernel is not faster than the default
 ``"bitmap"`` engine — the regression the CI smoke run pins.
 
 Run::
@@ -23,7 +24,6 @@ from __future__ import annotations
 
 import argparse
 import itertools
-import json
 import os
 import sys
 import time
@@ -134,7 +134,7 @@ def main(argv: list[str] | None = None) -> int:
     os.environ.setdefault(
         "REPRO_BENCH_SCALE", "0.02" if args.quick else "0.1"
     )
-    from benchmarks.common import dataset, paper_row
+    from benchmarks.common import dataset, fold_report, paper_row
 
     tall = dataset("tall")
     minsups = [0.10] if args.quick else [0.10, 0.06]
@@ -185,11 +185,7 @@ def main(argv: list[str] | None = None) -> int:
         "mean_wall_per_pass_s": mean_per_pass,
         "numpy_speedup_vs_bitmap_per_pass": speedup,
     }
-    merged = {}
-    if args.out.exists():
-        merged = json.loads(args.out.read_text())
-    merged["engine_matrix"] = report
-    args.out.write_text(json.dumps(merged, indent=2) + "\n")
+    fold_report(args.out, "engine_matrix", report, quick=args.quick)
 
     paper_row("mean per-pass", **mean_per_pass)
     paper_row("numpy vs bitmap", speedup=speedup)

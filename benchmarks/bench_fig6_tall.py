@@ -77,7 +77,7 @@ def main() -> None:
     )
     print(
         f"\nshape check: improved wins at {wins}/{len(improved)} "
-        f"support levels (paper: all levels)"
+        "support levels (paper: all levels)"
     )
 
 

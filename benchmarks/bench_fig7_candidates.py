@@ -57,7 +57,7 @@ def test_fig7_candidate_generation(benchmark, kind):
 
 def main() -> None:
     print(
-        f"=== Figure 7: negative candidates (normalized by #large "
+        "=== Figure 7: negative candidates (normalized by #large "
         f"itemsets) at MinSup={MINSUP} ==="
     )
     profiles = {}
@@ -80,9 +80,9 @@ def main() -> None:
     short_norm = _normalized_at_two(profiles["short"])
     tall_norm = _normalized_at_two(profiles["tall"])
     print(
-        f"\nshape check: normalized candidates at size 2 — "
+        "\nshape check: normalized candidates at size 2 — "
         f"short(f=9)={short_norm:.2f} vs tall(f=3)={tall_norm:.2f} "
-        f"(paper: grows with fan-out)"
+        "(paper: grows with fan-out)"
     )
 
 

@@ -53,7 +53,7 @@ def main() -> None:
     ratio = counts["tall"] / max(1, counts["short"])
     print(
         f"\nshape check: tall/short ratio = {ratio:.1f}x "
-        f"(paper: 15,476 / 1,499 = 10.3x at 1.5% support)"
+        "(paper: 15,476 / 1,499 = 10.3x at 1.5% support)"
     )
 
 

@@ -10,8 +10,6 @@ Run directly for the tables::
     python -m benchmarks.bench_table12_example
 """
 
-import pytest
-
 from repro.core.api import mine_negative_rules
 from repro.data.database import TransactionDatabase
 from repro.taxonomy.builders import taxonomy_from_nested

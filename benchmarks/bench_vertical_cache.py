@@ -18,9 +18,12 @@ RSS and cache footprint. Four configurations:
 ``hashtree``
     The paper-faithful Apriori hash tree.
 
-Writes ``BENCH_counting.json`` next to the repo root (override with
-``--out``) and exits non-zero when the cached engine is not faster than
-the default engine, so CI catches cache regressions.
+Folds its report into ``BENCH_counting.json`` next to the repo root
+(override with ``--out``) under the ``"vertical_cache"`` key — or
+``["quick"]["vertical_cache"]`` on ``--quick``, so a smoke run never
+overwrites the committed full-size baseline — and exits non-zero when
+the cached engine is not faster than the default engine, so CI catches
+cache regressions.
 
 Run::
 
@@ -30,7 +33,6 @@ Run::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import resource
 import sys
@@ -105,7 +107,7 @@ def main(argv: list[str] | None = None) -> int:
     os.environ.setdefault(
         "REPRO_BENCH_SCALE", "0.02" if args.quick else "0.1"
     )
-    from benchmarks.common import dataset, paper_row
+    from benchmarks.common import dataset, fold_report, paper_row
 
     tall = dataset("tall")
     minsups = [0.10] if args.quick else [0.10, 0.08, 0.06]
@@ -137,13 +139,7 @@ def main(argv: list[str] | None = None) -> int:
         "runs": runs,
         "speedup_of_cached": speedups,
     }
-    # BENCH_counting.json is shared with bench_engine_matrix: keep its
-    # "engine_matrix" key intact when rewriting the vertical-cache data.
-    if args.out.exists():
-        previous = json.loads(args.out.read_text())
-        if "engine_matrix" in previous:
-            report["engine_matrix"] = previous["engine_matrix"]
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    fold_report(args.out, "vertical_cache", report, quick=args.quick)
 
     for run in runs:
         paper_row(

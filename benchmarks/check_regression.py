@@ -1,0 +1,228 @@
+"""CI benchmark-regression gate for the counting engines.
+
+Re-runs the quick engine matrix (``bench_engine_matrix --quick``) and
+compares each engine's mean wall-clock per logical pass against the
+committed baseline in ``BENCH_counting.json`` (the
+``["quick"]["engine_matrix"]`` key, written by a ``--quick`` run on the
+maintainer's machine).
+
+Raw wall-clock is useless across machines, so both sides are normalized
+by their own geometric mean across the engines before comparing: a CI
+runner that is uniformly 3x slower than the baseline machine produces
+identical normalized profiles, while a single engine regressing 2x moves
+its normalized ratio to roughly ``2 / 2**(1/n)`` (~1.81 for the
+seven-engine matrix) — far above the default 25 % gate. Two noise
+guards: each side is the element-wise minimum over ``--repeats`` runs,
+and per-pass times below :data:`MEASUREMENT_FLOOR_S` are clamped to it
+(sub-5 ms cells jitter more between identical runs than the gate
+allows).
+
+Exits non-zero when any engine's normalized per-pass time exceeds
+``threshold`` times its baseline share. ``--inject ENGINE`` doubles that
+engine's measured time after the run, demonstrating that the gate trips.
+
+Run::
+
+    python -m benchmarks.check_regression
+    python -m benchmarks.check_regression --inject numpy  # must fail
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import tempfile
+from pathlib import Path
+
+#: Multiplicative slack on the normalized per-pass ratio before the gate
+#: fails. 1.25 = "a quarter slower than the committed profile".
+DEFAULT_THRESHOLD = 1.25
+
+#: Per-pass times below this are clamped before comparing: on a shared
+#: CI runner a 2 ms pass jitters by 30-50 % between identical runs, so
+#: differences below the floor are timer noise, not regressions. An
+#: engine regressing from under the floor to real time (e.g. 2 ms ->
+#: 7 ms) still rises above it and trips the gate.
+MEASUREMENT_FLOOR_S = 0.005
+
+
+def geometric_mean(values: list[float]) -> float:
+    """The geometric mean; the scale factor normalization divides out."""
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize(per_pass: dict[str, float], engines: list[str]) -> dict:
+    """Per-engine share of the matrix: time / geomean over *engines*."""
+    mean = geometric_mean([per_pass[engine] for engine in engines])
+    return {engine: per_pass[engine] / mean for engine in engines}
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+) -> tuple[list[dict], list[str]]:
+    """Compare normalized profiles; returns (rows, failed engine names)."""
+    engines = sorted(set(baseline) & set(current))
+    if not engines:
+        raise SystemExit("no engines shared between baseline and run")
+    baseline = {
+        e: max(baseline[e], MEASUREMENT_FLOOR_S) for e in engines
+    }
+    current = {
+        e: max(current[e], MEASUREMENT_FLOOR_S) for e in engines
+    }
+    base_norm = normalize(baseline, engines)
+    cur_norm = normalize(current, engines)
+    rows, failed = [], []
+    for engine in engines:
+        ratio = cur_norm[engine] / base_norm[engine]
+        verdict = "ok" if ratio <= threshold else "REGRESSED"
+        if ratio > threshold:
+            failed.append(engine)
+        rows.append({
+            "engine": engine,
+            "baseline_per_pass_s": baseline[engine],
+            "current_per_pass_s": current[engine],
+            "normalized_ratio": round(ratio, 3),
+            "verdict": verdict,
+        })
+    return rows, failed
+
+
+def _run_quick_matrix(out: Path, trace: str | None, repeats: int) -> dict:
+    """Run the quick engine matrix *repeats* times; keep per-engine minima.
+
+    Wall-clock noise is one-sided (a run can only be slowed down, never
+    sped up), so the element-wise minimum over repeats converges on the
+    true per-engine speed. The committed baseline is reduced the same
+    way (``--update-baseline``), keeping the comparison symmetric.
+    """
+    from benchmarks import bench_engine_matrix
+    from repro.obs.api import obs_session
+
+    argv = ["--quick", "--no-check", "--out", str(out)]
+    report: dict = {}
+    best: dict[str, float] = {}
+    with obs_session(trace_path=trace):
+        for attempt in range(repeats):
+            code = bench_engine_matrix.main(argv)
+            if code != 0:
+                raise SystemExit(
+                    f"engine matrix run failed with exit code {code}"
+                )
+            report = json.loads(out.read_text())["quick"]["engine_matrix"]
+            for engine, value in report["mean_wall_per_pass_s"].items():
+                best[engine] = min(best.get(engine, value), value)
+            print(f"[repeat {attempt + 1}/{repeats}] done")
+    report["mean_wall_per_pass_s"] = best
+    report["repeats"] = repeats
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_counting.json",
+        help="committed benchmark report holding the quick baseline",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="maximum allowed normalized slowdown per engine "
+             "(default %(default)s = +25%%)",
+    )
+    parser.add_argument(
+        "--inject",
+        metavar="ENGINE",
+        default=None,
+        help="double this engine's measured time after the run "
+             "(self-test: the gate must fail)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSON-lines observability trace of the "
+             "benchmark run to FILE (uploaded as a CI artifact)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="quick-matrix repetitions; per-engine minima are compared "
+             "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the reduced run into the baseline file instead of "
+             "comparing (maintainer re-baselining)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        current = _run_quick_matrix(
+            Path(tmp) / "current.json", args.trace, args.repeats
+        )
+
+    if args.update_baseline:
+        from benchmarks.common import fold_report
+
+        fold_report(args.baseline, "engine_matrix", current, quick=True)
+        print(f"re-baselined quick engine_matrix in {args.baseline}")
+        return 0
+
+    baseline_doc = json.loads(args.baseline.read_text())
+    try:
+        baseline = baseline_doc["quick"]["engine_matrix"]
+    except KeyError:
+        raise SystemExit(
+            f"{args.baseline} has no ['quick']['engine_matrix'] baseline; "
+            "run 'python -m benchmarks.check_regression "
+            "--update-baseline' and commit the result"
+        ) from None
+
+    if current["scale"] != baseline["scale"]:
+        raise SystemExit(
+            f"scale mismatch: run at {current['scale']} vs baseline "
+            f"{baseline['scale']} — is REPRO_BENCH_SCALE set?"
+        )
+
+    measured = dict(current["mean_wall_per_pass_s"])
+    if args.inject:
+        if args.inject not in measured:
+            raise SystemExit(f"unknown engine {args.inject!r}")
+        measured[args.inject] *= 2.0
+        print(f"[inject] doubled {args.inject} to {measured[args.inject]}")
+
+    rows, failed = compare(
+        baseline["mean_wall_per_pass_s"], measured, args.threshold
+    )
+    width = max(len(row["engine"]) for row in rows)
+    for row in rows:
+        print(
+            f"{row['engine']:<{width}}  "
+            f"base={row['baseline_per_pass_s']:.5f}s  "
+            f"now={row['current_per_pass_s']:.5f}s  "
+            f"ratio={row['normalized_ratio']:.3f}  {row['verdict']}"
+        )
+    if failed:
+        print(
+            f"FAIL: engines regressed beyond {args.threshold}x the "
+            f"baseline profile: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: no engine beyond {args.threshold}x the baseline profile")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,8 +20,10 @@ Run with::
 
 from __future__ import annotations
 
+import json
 import os
 from functools import lru_cache
+from pathlib import Path
 
 from repro.synthetic.generator import SyntheticDataset, generate_dataset
 from repro.synthetic.params import SHORT, TALL
@@ -62,3 +64,25 @@ def paper_row(label: str, **columns) -> None:
         f"{name}={value}" for name, value in columns.items()
     )
     print(f"[{label}] {rendered}")
+
+
+def fold_report(
+    path: Path, key: str, report: dict, quick: bool = False
+) -> dict:
+    """Fold one benchmark's report into the shared JSON file at *path*.
+
+    ``BENCH_counting.json`` is shared by several benchmarks, each owning
+    one top-level *key*. Full-size runs land under ``[key]``; ``--quick``
+    smoke runs land under ``["quick"][key]`` so a CI-sized run can never
+    clobber the committed full-size baseline. Every other key is
+    preserved verbatim. Returns the merged document.
+    """
+    merged: dict = {}
+    if path.exists():
+        merged = json.loads(path.read_text())
+    if quick:
+        merged.setdefault("quick", {})[key] = report
+    else:
+        merged[key] = report
+    path.write_text(json.dumps(merged, indent=2) + "\n")
+    return merged

@@ -74,7 +74,7 @@ def main() -> None:
             print(
                 f"  coarse category {taxonomy.name_of(finding.category)}: "
                 f"{finding.fanout} children "
-                f"(expected child share "
+                "(expected child share "
                 f"{finding.expected_child_share:.0%})"
             )
     else:

@@ -105,13 +105,13 @@ def main() -> None:
         print(f"=== {label} taxonomy "
               f"(height={taxonomy.height}, "
               f"avg fanout={taxonomy.fanout():.1f}) ===")
-        print(f"  candidates generated : "
+        print("  candidates generated : "
               f"{result.stats.candidates_generated}")
-        print(f"  negative itemsets    : "
+        print("  negative itemsets    : "
               f"{result.stats.negative_itemsets}")
         print(f"  rules                : {len(result.rules)}")
         if ri_values:
-            print(f"  median RI            : "
+            print("  median RI            : "
                   f"{statistics.median(ri_values):.3f}")
         for rule in result.rules[:4]:
             print("    " + rule.format(taxonomy))

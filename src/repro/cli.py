@@ -25,6 +25,7 @@ from collections.abc import Sequence
 
 from .core.api import MiningConfig, mine_negative_rules
 from .mining.counting import ENGINES
+from .obs.api import METRICS_MODES
 from .data.io import (
     load_basket_file,
     load_taxonomy_file,
@@ -108,6 +109,14 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--max-sibling-replacements", type=int,
                       default=None, dest="max_sibling_replacements",
                       help="cap Case-3 sibling replacements (1 = the paper's examples)")
+    mine.add_argument("--trace", default=None, metavar="FILE",
+                      dest="trace_path",
+                      help="write a JSON-lines trace of spans and metrics "
+                           "to FILE")
+    mine.add_argument("--metrics", choices=METRICS_MODES, default="none",
+                      help="print a metrics report to stderr when mining "
+                           "finishes ('summary' = human-readable, "
+                           "'json' = machine-readable)")
     mine.add_argument("--limit", type=int, default=25,
                       help="print at most this many rules")
     mine.add_argument("--explain", action="store_true",
@@ -184,6 +193,8 @@ def _command_mine(args: argparse.Namespace) -> int:
         use_cache=args.use_cache,
         cache_bytes=args.cache_bytes,
         packed=args.packed,
+        trace_path=args.trace_path,
+        metrics=args.metrics,
     )
     result = mine_negative_rules(database, taxonomy, config=config)
     print(result.summary(taxonomy, limit=args.limit))

@@ -19,6 +19,8 @@ from ..errors import ConfigError
 from ..mining.generalized import ALGORITHMS
 from ..mining.counting import ENGINES
 from ..mining.itemset_index import LargeItemsetIndex
+from ..obs import api as obs
+from ..obs.api import METRICS_MODES
 from ..taxonomy.tree import Taxonomy
 from .candidates import NegativeCandidate
 from .negmining import (
@@ -95,6 +97,17 @@ class MiningConfig:
         (:mod:`repro.mining.bitpack`) instead of big-int AND loops.
         Identical output, faster counting. The ``"numpy"`` engine always
         packs; this flag only selects the cached index's backend.
+    trace_path:
+        Write a JSON-lines trace of every span (counting passes, cache
+        builds, parallel shards, miner phases) plus a final metrics
+        snapshot to this file (see :mod:`repro.obs`). ``None`` (default)
+        disables tracing entirely — the no-op path costs one ``is None``
+        check per instrumentation point.
+    metrics:
+        ``"none"`` (default), ``"summary"`` (human-readable metric
+        report on stderr when mining finishes) or ``"json"`` (the same
+        as a JSON object). Independent of *trace_path*; either enables
+        the process-wide metrics registry for the duration of the call.
     """
 
     minsup: float = 0.01
@@ -114,6 +127,8 @@ class MiningConfig:
     use_cache: bool = True
     cache_bytes: int | None = None
     packed: bool = False
+    trace_path: str | None = None
+    metrics: str = "none"
 
     def __post_init__(self) -> None:
         check_fraction(self.minsup, "minsup")
@@ -136,6 +151,11 @@ class MiningConfig:
             check_positive(self.shard_rows, "shard_rows")
         if self.cache_bytes is not None:
             check_positive(self.cache_bytes, "cache_bytes")
+        if self.metrics not in METRICS_MODES:
+            raise ConfigError(
+                f"unknown metrics mode {self.metrics!r}; "
+                f"choose from {METRICS_MODES}"
+            )
 
 
 @dataclass(slots=True)
@@ -265,13 +285,18 @@ def mine_negative_rules(
     else:
         database = TransactionDatabase(transactions)
 
-    output = _run_miner(database, taxonomy, final)
-    rules = generate_negative_rules(
-        output.negatives,
-        output.large_itemsets,
-        final.minri,
-        prune_small_antecedents=final.prune_small_antecedents,
-    )
+    with obs.obs_session(
+        trace_path=final.trace_path, metrics=final.metrics
+    ):
+        output = _run_miner(database, taxonomy, final)
+        with obs.span("mine.rule_gen") as span:
+            rules = generate_negative_rules(
+                output.negatives,
+                output.large_itemsets,
+                final.minri,
+                prune_small_antecedents=final.prune_small_antecedents,
+            )
+            span.annotate("rules", len(rules))
     return NegativeMiningResult(
         rules=rules,
         negative_itemsets=output.negatives,

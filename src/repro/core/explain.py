@@ -128,7 +128,7 @@ def format_derivation(
     lines = [
         f"negative itemset {taxonomy.format_itemset(derivation.items)}",
         (
-            f"  derived from large itemset "
+            "  derived from large itemset "
             f"{taxonomy.format_itemset(derivation.source)} "
             f"(case: {derivation.case})"
         ),

@@ -35,6 +35,7 @@ from ..mining.counting import count_supports
 from ..mining.generalized import iter_generalized_levels, mine_generalized
 from ..mining.itemset_index import LargeItemsetIndex
 from ..mining.vertical import CacheStats
+from ..obs import api as obs
 from ..parallel.engine import ParallelStats
 from ..taxonomy.prune import restrict_to_items
 from ..taxonomy.tree import Taxonomy
@@ -88,7 +89,8 @@ class MiningStats:
     keeps the paper's schedule (``n + 1`` for Improved, ``2n`` for
     Naive). The ``cache_*`` fields are zero unless the cached engine ran.
 
-    ``kernel_batches`` counts executions of the bit-packed NumPy kernel
+    ``kernel_batches``/``kernel_words`` count executions (and gathered
+    64-bit words) of the bit-packed NumPy kernel
     (:mod:`repro.mining.bitpack`) — zero unless the ``"numpy"`` engine or
     a ``packed=True`` vertical index did the counting.
     """
@@ -111,6 +113,7 @@ class MiningStats:
     cache_evictions: int = 0
     cache_bytes: int = 0
     kernel_batches: int = 0
+    kernel_words: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -137,7 +140,10 @@ class MiningStats:
                 f"{self.cache_bytes} bytes"
             )
         if self.kernel_batches:
-            lines.append(f"kernel batches  : {self.kernel_batches}")
+            lines.append(
+                f"kernel batches  : {self.kernel_batches} "
+                f"({self.kernel_words} words)"
+            )
         lines.append(f"large itemsets  : {self.large_itemsets}")
         lines.append(f"candidates      : {self.candidates_generated}")
         lines.append(f"negative sets   : {self.negative_itemsets}")
@@ -254,6 +260,10 @@ class NaiveNegativeMiner:
         threshold = deviation_threshold(self._minsup, self._minri)
         start_physical = database.scans
         start_logical = getattr(database, "logical_scans", database.scans)
+        # Fresh per-run accumulators: a second mine() must never report
+        # the first run's cache/shard activity.
+        self._parallel_stats = ParallelStats()
+        self._cache_stats = CacheStats()
 
         index = LargeItemsetIndex()
         all_candidates: dict[Itemset, NegativeCandidate] = {}
@@ -279,14 +289,17 @@ class NaiveNegativeMiner:
                 index.add(items, support)
             if level_number == 1:
                 continue
-            candidates = generate_negative_candidates(
-                index,
-                self._taxonomy,
-                self._minsup,
-                self._minri,
-                sources=level.keys(),
-                max_sibling_replacements=self._max_sibling_replacements,
-            )
+            with obs.span("mine.candidate_gen") as span:
+                candidates = generate_negative_candidates(
+                    index,
+                    self._taxonomy,
+                    self._minsup,
+                    self._minri,
+                    sources=level.keys(),
+                    max_sibling_replacements=self._max_sibling_replacements,
+                )
+                span.annotate("level", level_number)
+                span.annotate("candidates", len(candidates))
             if not candidates:
                 continue
             all_candidates.update(candidates)
@@ -322,6 +335,7 @@ class NaiveNegativeMiner:
             physical_passes=database.scans - start_physical,
             cache=self._cache_stats,
         )
+        _publish_run(stats, self._parallel_stats, self._cache_stats)
         return MinerOutput(index, all_candidates, negatives, stats)
 
 
@@ -412,51 +426,20 @@ class ImprovedNegativeMiner:
         threshold = deviation_threshold(self._minsup, self._minri)
         start_physical = database.scans
         start_logical = getattr(database, "logical_scans", database.scans)
+        # Fresh per-run accumulators: a second mine() must never report
+        # the first run's cache/shard activity.
+        self._parallel_stats = ParallelStats()
+        self._cache_stats = CacheStats()
 
-        index = mine_generalized(
-            database,
-            self._taxonomy,
-            self._minsup,
-            algorithm=self._algorithm,
-            engine=self._engine,
-            max_size=self._max_size,
-            rng=self._rng,
-            n_jobs=self._n_jobs,
-            shard_rows=self._shard_rows,
-            parallel_stats=self._parallel_stats,
-            use_cache=self._use_cache,
-            cache_bytes=self._cache_bytes,
-            cache_stats=self._cache_stats,
-            packed=self._packed,
-        )
-
-        generation_taxonomy = self._taxonomy
-        if self._prune_taxonomy:
-            large_singles = [items[0] for items in index.of_size(1)]
-            generation_taxonomy = restrict_to_items(
-                self._taxonomy, large_singles
-            )
-
-        candidates = generate_negative_candidates(
-            index,
-            generation_taxonomy,
-            self._minsup,
-            self._minri,
-            max_size=self._max_size,
-            max_sibling_replacements=self._max_sibling_replacements,
-        )
-
-        negatives: list[NegativeItemset] = []
-        batches = 0
-        for batch in _batched(sorted(candidates), self._batch_size):
-            # Counting uses the *full* taxonomy: transactions may contain
-            # small items whose ancestors still matter for other rows.
-            counts = count_supports(
+        with obs.span("mine.positive") as span:
+            index = mine_generalized(
                 database,
-                batch,
-                taxonomy=self._taxonomy,
+                self._taxonomy,
+                self._minsup,
+                algorithm=self._algorithm,
                 engine=self._engine,
-                restrict_to_candidate_items=True,
+                max_size=self._max_size,
+                rng=self._rng,
                 n_jobs=self._n_jobs,
                 shard_rows=self._shard_rows,
                 parallel_stats=self._parallel_stats,
@@ -465,13 +448,56 @@ class ImprovedNegativeMiner:
                 cache_stats=self._cache_stats,
                 packed=self._packed,
             )
-            batches += 1
-            negatives.extend(
-                select_negatives(
-                    candidates, counts, total, threshold,
-                    self._figure3_literal,
+            span.annotate("algorithm", self._algorithm)
+            span.annotate("large_itemsets", len(index))
+
+        with obs.span("mine.candidate_gen") as span:
+            generation_taxonomy = self._taxonomy
+            if self._prune_taxonomy:
+                large_singles = [items[0] for items in index.of_size(1)]
+                generation_taxonomy = restrict_to_items(
+                    self._taxonomy, large_singles
                 )
+
+            candidates = generate_negative_candidates(
+                index,
+                generation_taxonomy,
+                self._minsup,
+                self._minri,
+                max_size=self._max_size,
+                max_sibling_replacements=self._max_sibling_replacements,
             )
+            span.annotate("candidates", len(candidates))
+
+        negatives: list[NegativeItemset] = []
+        batches = 0
+        with obs.span("mine.negative_count") as span:
+            for batch in _batched(sorted(candidates), self._batch_size):
+                # Counting uses the *full* taxonomy: transactions may
+                # contain small items whose ancestors still matter for
+                # other rows.
+                counts = count_supports(
+                    database,
+                    batch,
+                    taxonomy=self._taxonomy,
+                    engine=self._engine,
+                    restrict_to_candidate_items=True,
+                    n_jobs=self._n_jobs,
+                    shard_rows=self._shard_rows,
+                    parallel_stats=self._parallel_stats,
+                    use_cache=self._use_cache,
+                    cache_bytes=self._cache_bytes,
+                    cache_stats=self._cache_stats,
+                    packed=self._packed,
+                )
+                batches += 1
+                negatives.extend(
+                    select_negatives(
+                        candidates, counts, total, threshold,
+                        self._figure3_literal,
+                    )
+                )
+            span.annotate("batches", batches)
 
         negatives.sort(
             key=lambda negative: (-negative.deviation, negative.items)
@@ -483,6 +509,7 @@ class ImprovedNegativeMiner:
             physical_passes=database.scans - start_physical,
             cache=self._cache_stats,
         )
+        _publish_run(stats, self._parallel_stats, self._cache_stats)
         return MinerOutput(index, candidates, negatives, stats)
 
 
@@ -535,4 +562,34 @@ def _build_stats(
         stats.cache_evictions = cache.evictions
         stats.cache_bytes = cache.bytes
         stats.kernel_batches = cache.kernel_batches
+        stats.kernel_words = cache.kernel_words
     return stats
+
+
+def _publish_run(
+    stats: MiningStats,
+    parallel: ParallelStats,
+    cache: CacheStats,
+) -> None:
+    """Fold one ``mine()`` run's accounting into the active obs session.
+
+    The miners accumulate cache/parallel activity in private per-run
+    registries (so a second ``mine()`` never reports the first run's
+    numbers); when an observability session is active, those registries
+    are merged into it here and the run's headline figures land under
+    ``mine.*`` counters.
+    """
+    state = obs.current()
+    if state is None:
+        return
+    registry = state.registry
+    if parallel.registry is not registry:
+        registry.merge(parallel.registry)
+    if cache.registry is not registry:
+        registry.merge(cache.registry)
+    registry.incr("mine.runs")
+    registry.incr("mine.data_passes", stats.data_passes)
+    registry.incr("mine.physical_passes", stats.physical_passes)
+    registry.incr("mine.large_itemsets", stats.large_itemsets)
+    registry.incr("mine.candidates", stats.candidates_generated)
+    registry.incr("mine.negative_itemsets", stats.negative_itemsets)

@@ -143,7 +143,7 @@ class TransactionDatabase:
         if not rows:
             raise DatabaseError(
                 f"slice [{start}, {stop}) of {len(self)} transactions "
-                f"is empty"
+                "is empty"
             )
         return TransactionDatabase.from_canonical_rows(rows)
 

@@ -58,6 +58,7 @@ import numpy as np
 from .._util import check_positive
 from ..errors import ConfigError
 from ..itemset import Itemset
+from ..obs import api as obs
 from ..taxonomy.tree import Taxonomy
 
 #: Upper bound on the 64-bit words gathered per kernel batch — the
@@ -138,7 +139,8 @@ def count_candidates(
     needs rectangular index blocks — and each size is streamed in batches
     whose gathered footprint stays under *batch_words* 64-bit words.
     *stats*, when given, has its ``kernel_batches`` attribute incremented
-    once per executed batch.
+    once per executed batch and ``kernel_words`` by the 64-bit words the
+    batch gathered (its work volume).
     """
     counts: dict[Itemset, int] = {}
     if not candidates:
@@ -173,6 +175,7 @@ def count_candidates(
             counts.update(zip(group[start:start + batch], totals.tolist()))
             if stats is not None:
                 stats.kernel_batches += 1
+                stats.kernel_words += len(block) * per_candidate_words
     return counts
 
 
@@ -332,7 +335,10 @@ def count_rows(
         for node in tuple(wanted):
             if node in taxonomy:
                 wanted.update(taxonomy.descendants(node))
-    matrix = PackedMatrix.from_rows(transactions, wanted)
+    with obs.span("kernel.pack") as span:
+        matrix = PackedMatrix.from_rows(transactions, wanted)
+        span.annotate("rows", matrix.n_rows)
+        span.annotate("items", len(wanted))
     return matrix.count(
         candidates,
         taxonomy=taxonomy,

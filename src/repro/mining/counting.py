@@ -70,6 +70,7 @@ from collections.abc import Collection, Iterable, Iterator
 
 from ..errors import ConfigError
 from ..itemset import Itemset
+from ..obs import api as obs
 from ..taxonomy.tree import Taxonomy
 from . import bitpack, vertical
 from .hash_tree import HashTree
@@ -296,6 +297,87 @@ def count_supports(
                 "cannot count an empty candidate itemset; candidates "
                 "must contain at least one item"
             )
+    state = obs.current()
+    if state is None:
+        # Observability off: straight to the engines, zero added work.
+        return _dispatch(
+            transactions,
+            candidates,
+            taxonomy,
+            engine,
+            restrict_to_candidate_items,
+            n_jobs,
+            shard_rows,
+            parallel_stats,
+            use_cache,
+            cache_bytes,
+            cache_stats,
+            packed,
+            batch_words,
+        )
+    prefix = "" if state.scope == "driver" else state.scope + "."
+    try:
+        n_rows = len(transactions)
+    except TypeError:
+        n_rows = None
+    # Top-level counts only: the parallel engine's serial-fallback path
+    # re-enters count_supports for the same logical pass, and counting it
+    # twice would break parallel == serial metric totals.
+    if not state.in_span("count."):
+        registry = state.registry
+        registry.incr(prefix + "counting.passes")
+        registry.incr(prefix + "counting.candidates", len(candidates))
+        if n_rows is not None:
+            registry.incr(prefix + "counting.rows", n_rows)
+    if cache_stats is None and (engine in ("cached", "numpy") or packed):
+        cache_stats = vertical.CacheStats(
+            registry=state.registry, prefix=prefix
+        )
+    if parallel_stats is None and (
+        engine == "parallel" or (n_jobs is not None and n_jobs > 1)
+    ):
+        from ..parallel.engine import ParallelStats
+
+        parallel_stats = ParallelStats(
+            registry=state.registry, prefix=prefix
+        )
+    with obs.span("count." + engine) as span:
+        span.annotate("candidates", len(candidates))
+        if n_rows is not None:
+            span.annotate("rows", n_rows)
+        return _dispatch(
+            transactions,
+            candidates,
+            taxonomy,
+            engine,
+            restrict_to_candidate_items,
+            n_jobs,
+            shard_rows,
+            parallel_stats,
+            use_cache,
+            cache_bytes,
+            cache_stats,
+            packed,
+            batch_words,
+        )
+
+
+def _dispatch(
+    transactions,
+    candidates: Collection[Itemset],
+    taxonomy: Taxonomy | None,
+    engine: str,
+    restrict_to_candidate_items: bool,
+    n_jobs: int | None,
+    shard_rows: int | None,
+    parallel_stats,
+    use_cache: bool,
+    cache_bytes: int | None,
+    cache_stats,
+    packed: bool,
+    batch_words: int | None,
+) -> dict[Itemset, int]:
+    """Route one validated counting pass to its engine."""
     if engine == "parallel" or (n_jobs is not None and n_jobs > 1):
         # Imported lazily: repro.parallel.engine imports this module.
         from ..parallel.engine import parallel_count_supports

@@ -57,6 +57,7 @@ from ..data.database import TransactionDatabase
 from ..data.sampling import sample_database
 from ..errors import ConfigError
 from ..itemset import Itemset
+from ..obs import api as obs
 from ..taxonomy.tree import Taxonomy
 from .apriori import apriori_gen
 from .counting import count_supports
@@ -282,9 +283,14 @@ def iter_generalized_levels(
     current = list(level)
     size = 2
     while current and (max_size is None or size <= max_size):
-        candidates = apriori_gen(current)
-        if prune_lineage:
-            candidates = _prune_lineage_candidates(candidates, taxonomy)
+        with obs.span("gen.candidates") as span:
+            candidates = apriori_gen(current)
+            if prune_lineage:
+                candidates = _prune_lineage_candidates(
+                    candidates, taxonomy
+                )
+            span.annotate("size", size)
+            span.annotate("candidates", len(candidates))
         if not candidates:
             return
         counts = count_supports(
@@ -413,18 +419,20 @@ def _mine_estmerge(
     to_generate: set[int] = {2}
     while True:
         fresh: list[Itemset] = []
-        for size in sorted(to_generate):
-            if max_size is not None and size > max_size:
-                continue
-            previous = sorted(index.of_size(size - 1))
-            if not previous:
-                continue
-            for candidate in _prune_lineage_candidates(
-                apriori_gen(previous), taxonomy
-            ):
-                if candidate not in queued:
-                    queued.add(candidate)
-                    fresh.append(candidate)
+        with obs.span("gen.candidates") as span:
+            for size in sorted(to_generate):
+                if max_size is not None and size > max_size:
+                    continue
+                previous = sorted(index.of_size(size - 1))
+                if not previous:
+                    continue
+                for candidate in _prune_lineage_candidates(
+                    apriori_gen(previous), taxonomy
+                ):
+                    if candidate not in queued:
+                        queued.add(candidate)
+                        fresh.append(candidate)
+            span.annotate("candidates", len(fresh))
         to_generate = set()
 
         if not fresh and not deferred:

@@ -43,11 +43,12 @@ from __future__ import annotations
 import sys
 from collections import OrderedDict
 from collections.abc import Collection, Iterable
-from dataclasses import dataclass
 
 from .._util import check_positive
 from ..errors import DatabaseError
 from ..itemset import Itemset
+from ..obs import api as obs
+from ..obs.registry import MetricsRegistry, stats_property
 from ..taxonomy.tree import Taxonomy
 from . import bitpack
 
@@ -63,48 +64,96 @@ def _entry_bytes(bitmap) -> int:
     return bitmap.nbytes + _ENTRY_OVERHEAD
 
 
-@dataclass(slots=True)
 class CacheStats:
     """Observable accounting of vertical-cache activity.
 
-    One accumulator is typically threaded through a whole mining run
-    (``MiningConfig.engine = "cached"``) and absorbed into
-    :class:`repro.core.negmining.MiningStats` at the end.
+    Since the observability layer (DESIGN.md §8) every field is a view
+    over a :class:`~repro.obs.registry.MetricsRegistry` — reads and
+    writes (``stats.hits += 1``) go straight to named registry metrics,
+    so the same numbers feed :class:`repro.core.negmining.MiningStats`,
+    the ``--metrics`` summary and the trace file without hand-threaded
+    copies. By default each instance owns a private registry (the
+    classic standalone-accumulator behavior); pass ``registry=`` to
+    record into a shared one (e.g. the active observability session's),
+    and ``prefix=`` to namespace the metrics (worker processes record
+    under ``worker.``).
 
     Attributes
     ----------
     hits:
-        Counting passes served from an already-built index.
+        Counting passes served from an already-built index
+        (``cache.hits``).
     misses:
-        Counting passes that had to build (or rebuild) an index.
+        Counting passes that had to build (or rebuild) an index
+        (``cache.misses``).
     invalidations:
-        Rebuilds forced by a fingerprint mismatch (data changed under
-        the cache).
+        Rebuilds forced by a fingerprint mismatch — data changed under
+        the cache (``cache.invalidations``).
     evictions:
-        Bitmaps dropped by the LRU memory budget.
+        Bitmaps dropped by the LRU memory budget (``cache.evictions``).
     rebuilt_items:
-        Evicted base bitmaps restored by a targeted physical pass.
+        Evicted base bitmaps restored by a targeted physical pass
+        (``cache.rebuilt_items``).
     bytes:
-        Approximate current footprint of the most recently used index.
+        High-water-mark footprint of the index (gauge ``cache.bytes``;
+        merging registries keeps the maximum).
     kernel_batches:
         Vectorized candidate batches executed by the bit-packed NumPy
-        kernel (:mod:`repro.mining.bitpack`) — nonzero only under the
-        ``"numpy"`` engine or the packed cached backend.
+        kernel (``kernel.batches``) — nonzero only under the ``"numpy"``
+        engine or the packed cached backend.
+    kernel_words:
+        64-bit words gathered and intersected by those batches
+        (``kernel.words``) — the kernel's work volume.
     """
 
-    hits: int = 0
-    misses: int = 0
-    invalidations: int = 0
-    evictions: int = 0
-    rebuilt_items: int = 0
-    bytes: int = 0
-    kernel_batches: int = 0
+    #: field name -> (metric kind, registry metric name)
+    _FIELDS = {
+        "hits": ("counter", "cache.hits"),
+        "misses": ("counter", "cache.misses"),
+        "invalidations": ("counter", "cache.invalidations"),
+        "evictions": ("counter", "cache.evictions"),
+        "rebuilt_items": ("counter", "cache.rebuilt_items"),
+        "bytes": ("gauge", "cache.bytes"),
+        "kernel_batches": ("counter", "kernel.batches"),
+        "kernel_words": ("counter", "kernel.words"),
+    }
+
+    __slots__ = ("registry", "_prefix")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        prefix: str = "",
+        **values: int,
+    ) -> None:
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._prefix = prefix
+        for name, value in values.items():
+            if name not in self._FIELDS:
+                raise TypeError(
+                    f"CacheStats has no field {name!r}; "
+                    f"choose from {tuple(self._FIELDS)}"
+                )
+            setattr(self, name, value)
 
     @property
     def hit_rate(self) -> float:
         """Fraction of counting passes served without a physical build."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)}" for name in self._FIELDS
+        )
+        return f"CacheStats({fields})"
+
+
+for _name, (_kind, _metric) in CacheStats._FIELDS.items():
+    setattr(CacheStats, _name, stats_property(_metric, _kind))
+del _name, _kind, _metric
 
 
 class VerticalIndex:
@@ -191,7 +240,10 @@ class VerticalIndex:
         index = cls(len(database), budget_bytes, packed=packed)
         index._source = database
         index._token = database.cache_token()
-        index._ingest(database.physical_scan(), None)
+        with obs.span("cache.build") as span:
+            span.annotate("rows", index.n_rows)
+            span.annotate("packed", packed)
+            index._ingest(database.physical_scan(), None)
         index._enforce_budget()
         return index
 
@@ -373,7 +425,9 @@ class VerticalIndex:
                 "vertical index has evicted items but no data source to "
                 "rebuild them from"
             )
-        self._ingest(self._source.physical_scan(), missing)
+        with obs.span("cache.rebuild") as span:
+            span.annotate("items", len(missing))
+            self._ingest(self._source.physical_scan(), missing)
         if stats is not None:
             stats.rebuilt_items += len(missing)
 
@@ -483,12 +537,16 @@ def get_shard_indexes(
     if stats is not None:
         stats.misses += 1
     token = database.cache_token()
-    rows = tuple(database.physical_scan())
-    shards = plan_shards(rows, shard_rows=shard_rows, n_shards=n_shards)
-    indexes = [
-        VerticalIndex.from_rows(shard.rows, packed=packed)
-        for shard in shards
-    ]
+    with obs.span("cache.shard_build") as span:
+        rows = tuple(database.physical_scan())
+        shards = plan_shards(rows, shard_rows=shard_rows, n_shards=n_shards)
+        indexes = [
+            VerticalIndex.from_rows(shard.rows, packed=packed)
+            for shard in shards
+        ]
+        span.annotate("rows", len(rows))
+        span.annotate("shards", len(indexes))
+        span.annotate("packed", packed)
     if use_cache:
         try:
             database._shard_cache = (token, layout, indexes)

@@ -1,0 +1,105 @@
+"""Trace sinks: where finished spans and final metrics go.
+
+The sink protocol is three methods, all optional failures-not-allowed
+cheap calls:
+
+``emit(event: dict)``
+    Called once per finished span with a JSON-able event dict
+    (``name``, ``parent``, ``depth``, ``start_s``, ``wall_s``,
+    ``cpu_s``, ``pid``, ``scope``, plus span attributes under
+    ``attrs``).
+``finish(registry)``
+    Called once when the observability session closes, with the final
+    merged :class:`~repro.obs.registry.MetricsRegistry`.
+``close()``
+    Release any resources (file handles). Idempotent.
+
+Three implementations ship:
+
+- :class:`NullSink` — discards everything; the default. Instrumented
+  code never checks "is tracing on?"; it always emits, and the null
+  sink makes that free.
+- :class:`JsonlSink` — appends one JSON object per line to a trace
+  file (the artifact the CI bench-regression job uploads), and the
+  full metrics snapshot as a final ``{"type": "metrics"}`` line.
+- :class:`SummarySink` — ignores individual spans; prints the
+  registry's human-readable summary to a stream at session end
+  (the CLI's ``--metrics summary``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from .registry import MetricsRegistry
+
+
+class NullSink:
+    """Discard spans and metrics; the zero-cost default."""
+
+    __slots__ = ()
+
+    def emit(self, event: dict) -> None:
+        pass
+
+    def finish(self, registry: MetricsRegistry) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Write span events (and a final metrics line) as JSON-lines.
+
+    One JSON object per line: span events carry ``"type": "span"``,
+    the closing metrics snapshot ``"type": "metrics"``. The file is
+    opened eagerly so configuration errors (bad path) surface at
+    session start, not mid-mine.
+    """
+
+    __slots__ = ("path", "_handle")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = open(path, "w", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        record = dict(event)
+        record["type"] = "span"
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def finish(self, registry: MetricsRegistry) -> None:
+        record = {"type": "metrics", "metrics": registry.snapshot()}
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class SummarySink:
+    """Print the final metrics summary to a stream; ignore spans."""
+
+    __slots__ = ("stream", "as_json")
+
+    def __init__(self, stream=None, as_json: bool = False) -> None:
+        self.stream = stream
+        self.as_json = as_json
+
+    def emit(self, event: dict) -> None:
+        pass
+
+    def finish(self, registry: MetricsRegistry) -> None:
+        stream = self.stream if self.stream is not None else sys.stderr
+        if self.as_json:
+            stream.write(registry.to_json() + "\n")
+        else:
+            stream.write("--- metrics ---\n")
+            stream.write(registry.summary() + "\n")
+
+    def close(self) -> None:
+        pass

@@ -1,0 +1,116 @@
+"""Tracing spans: nestable timed regions of the mining pipeline.
+
+A :class:`Span` measures one named region — a counting pass, a cache
+rebuild, a candidate-generation phase — with monotonic wall time
+(``time.perf_counter``) and process CPU time (``time.process_time``).
+Spans nest: the active-span stack lives in :mod:`repro.obs.api`, and a
+span records its parent's name and its own depth so trace consumers can
+reconstruct the tree from a flat JSON-lines file.
+
+Spans carry attributes (``annotate``): rows scanned, candidates counted,
+engine name — whatever the instrumented site knows. On exit a span
+reports itself to the owning :class:`~repro.obs.api.Observability`,
+which feeds the duration histogram (``span.<name>``) and any configured
+trace sink.
+
+When observability is disabled, instrumented code still says
+``with obs_span("count.pass") as span: span.annotate(...)`` — but gets
+the module-level :data:`NULL_SPAN` singleton back, whose methods are
+empty and allocate nothing. The disabled path is therefore a couple of
+attribute lookups per span, cheap enough to leave in per-pass hot code
+(``benchmarks/bench_obs_overhead.py`` pins the cost below 2%).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One timed, annotated region; use as a context manager.
+
+    Not created directly by instrumented code — ask the obs API
+    (:func:`repro.obs.span`) so nesting depth, parent linkage and
+    reporting are handled. ``wall_s``/``cpu_s`` are populated on exit.
+    """
+
+    __slots__ = (
+        "name",
+        "parent",
+        "depth",
+        "attrs",
+        "start_s",
+        "wall_s",
+        "cpu_s",
+        "_owner",
+        "_cpu_start",
+    )
+
+    def __init__(self, name: str, owner) -> None:
+        self.name = name
+        self.parent: str | None = None
+        self.depth = 0
+        self.attrs: dict[str, object] = {}
+        self.start_s = 0.0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self._owner = owner
+        self._cpu_start = 0.0
+
+    def annotate(self, key: str, value) -> None:
+        """Attach one attribute to the span (last write wins)."""
+        self.attrs[key] = value
+
+    def add(self, key: str, value: int) -> None:
+        """Add *value* to the integer attribute *key* (from zero)."""
+        self.attrs[key] = self.attrs.get(key, 0) + value
+
+    def __enter__(self) -> "Span":
+        self._owner._push(self)
+        self.start_s = time.perf_counter()
+        self._cpu_start = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter()
+        self.cpu_s = time.process_time() - self._cpu_start
+        self.wall_s = end - self.start_s
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._owner._pop(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(name={self.name!r}, depth={self.depth}, "
+            f"wall_s={self.wall_s:.6f})"
+        )
+
+
+class _NullSpan:
+    """The do-nothing span handed out when observability is off.
+
+    A single shared instance (:data:`NULL_SPAN`); every method is a
+    no-op and nothing is allocated per call — the zero-allocation
+    property is pinned by ``tests/unit/test_obs.py``.
+    """
+
+    __slots__ = ()
+
+    def annotate(self, key: str, value) -> None:
+        pass
+
+    def add(self, key: str, value: int) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NULL_SPAN"
+
+
+#: Shared disabled-path span; identity-comparable (``span is NULL_SPAN``).
+NULL_SPAN = _NullSpan()

@@ -22,35 +22,63 @@ follow :class:`repro.parallel.pool.WorkerPool`'s retry-then-serial ladder.
 from __future__ import annotations
 
 from collections.abc import Collection, Iterable
-from dataclasses import dataclass
 
 from .._util import check_fraction
 from ..itemset import Itemset
 from ..mining import counting, vertical
 from ..mining.itemset_index import LargeItemsetIndex
 from ..mining.partition import mine_local_partition
+from ..obs import api as obs
+from ..obs.registry import MetricsRegistry, stats_property
 from ..taxonomy.tree import Taxonomy
 from .pool import PoolConfig, PoolStats, WorkerPool, resolve_n_jobs
 from .shards import plan_shards
 
 
-@dataclass(slots=True)
 class ParallelStats:
     """Accumulated shard/worker accounting across parallel operations.
 
     One instance is typically threaded through a whole mining run (see
     ``MiningConfig.n_jobs``) and absorbs the pool statistics of every
-    sharded counting pass.
+    sharded counting pass. Since the observability layer (DESIGN.md §8)
+    every field is a view over a
+    :class:`~repro.obs.registry.MetricsRegistry` under ``parallel.*``
+    metric names — by default a private registry (the classic
+    standalone-accumulator behavior); pass ``registry=`` to record into
+    a shared one and ``prefix=`` to namespace the metrics.
     """
 
-    shards: int = 0
-    worker_tasks: int = 0
-    workers_launched: int = 0
-    worker_retries: int = 0
-    worker_timeouts: int = 0
-    worker_crashes: int = 0
-    worker_fallbacks: int = 0
-    serial_tasks: int = 0
+    #: field name -> registry counter name
+    _FIELDS = {
+        "shards": "parallel.shards",
+        "worker_tasks": "parallel.worker_tasks",
+        "workers_launched": "parallel.workers_launched",
+        "worker_retries": "parallel.worker_retries",
+        "worker_timeouts": "parallel.worker_timeouts",
+        "worker_crashes": "parallel.worker_crashes",
+        "worker_fallbacks": "parallel.worker_fallbacks",
+        "serial_tasks": "parallel.serial_tasks",
+    }
+
+    __slots__ = ("registry", "_prefix")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        prefix: str = "",
+        **values: int,
+    ) -> None:
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._prefix = prefix
+        for name, value in values.items():
+            if name not in self._FIELDS:
+                raise TypeError(
+                    f"ParallelStats has no field {name!r}; "
+                    f"choose from {tuple(self._FIELDS)}"
+                )
+            setattr(self, name, value)
 
     def absorb(self, pool_stats: PoolStats) -> None:
         """Fold one pool's lifetime statistics into this accumulator."""
@@ -62,30 +90,73 @@ class ParallelStats:
         self.worker_fallbacks += pool_stats.fallbacks
         self.serial_tasks += pool_stats.serial_tasks
 
-
-def _count_shard(payload) -> dict[Itemset, int]:
-    """Worker task: count all candidates within one shard of rows."""
-    rows, candidates, taxonomy, engine, restrict = payload
-    return counting.count_supports(
-        rows,
-        candidates,
-        taxonomy=taxonomy,
-        engine=engine,
-        restrict_to_candidate_items=restrict,
-    )
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)}" for name in self._FIELDS
+        )
+        return f"ParallelStats({fields})"
 
 
-def _count_shard_cached(payload) -> dict[Itemset, int]:
+for _name, _metric in ParallelStats._FIELDS.items():
+    setattr(ParallelStats, _name, stats_property(_metric))
+del _name, _metric
+
+
+def _count_shard(payload):
+    """Worker task: count all candidates within one shard of rows.
+
+    Returns ``(counts, registry)`` — *registry* holds the shard's
+    ``worker.*``-scoped metrics when the driver requested observation
+    (the trailing payload flag), else ``None``. The driver merges
+    shipped registries into its own; driver-scope totals stay untouched,
+    so parallel and serial runs report identical ``counting.*`` numbers.
+    """
+    rows, candidates, taxonomy, engine, restrict, observe = payload
+    if not observe:
+        counts = counting.count_supports(
+            rows,
+            candidates,
+            taxonomy=taxonomy,
+            engine=engine,
+            restrict_to_candidate_items=restrict,
+        )
+        return counts, None
+    with obs.worker_collection() as registry:
+        with obs.span("parallel.shard") as span:
+            span.annotate("rows", len(rows))
+            span.annotate("candidates", len(candidates))
+            counts = counting.count_supports(
+                rows,
+                candidates,
+                taxonomy=taxonomy,
+                engine=engine,
+                restrict_to_candidate_items=restrict,
+            )
+    return counts, registry
+
+
+def _count_shard_cached(payload):
     """Worker task: count candidates against a shipped shard-local index.
 
     The parent builds each shard's :class:`~repro.mining.vertical.
     VerticalIndex` once (one physical pass for the whole plan) and ships
     the prebuilt bitmaps on every counting pass, so workers never
     re-derive item bitsets from raw rows — the cross-level reuse that
-    makes ``engine="cached"`` compose with ``n_jobs > 1``.
+    makes ``engine="cached"`` compose with ``n_jobs > 1``. Returns
+    ``(counts, registry)`` exactly like :func:`_count_shard`.
     """
-    shard_index, candidates, taxonomy = payload
-    return shard_index.count(candidates, taxonomy=taxonomy)
+    shard_index, candidates, taxonomy, observe = payload
+    if not observe:
+        return shard_index.count(candidates, taxonomy=taxonomy), None
+    with obs.worker_collection() as registry:
+        with obs.span("parallel.shard") as span:
+            span.annotate("rows", shard_index.n_rows)
+            span.annotate("candidates", len(candidates))
+            stats = vertical.CacheStats(registry=registry, prefix="worker.")
+            counts = shard_index.count(
+                candidates, taxonomy=taxonomy, stats=stats
+            )
+    return counts, registry
 
 
 def _mine_shard(payload) -> list[Itemset]:
@@ -206,6 +277,7 @@ def parallel_count_supports(
             restrict_to_candidate_items=restrict_to_candidate_items,
         )
     pool = WorkerPool(pool_config or PoolConfig(n_jobs=jobs))
+    observe = obs.enabled()
     payloads = [
         (
             shard.rows,
@@ -213,12 +285,17 @@ def parallel_count_supports(
             taxonomy,
             engine,
             restrict_to_candidate_items,
+            observe,
         )
         for shard in shards
     ]
-    partials = pool.map(_count_shard, payloads)
+    with obs.span("parallel.map") as span:
+        span.annotate("shards", len(shards))
+        span.annotate("jobs", jobs)
+        partials = pool.map(_count_shard, payloads)
     totals: dict[Itemset, int] = dict.fromkeys(candidate_list, 0)
-    for partial in partials:
+    for partial, worker_registry in partials:
+        obs.merge_registry(worker_registry)
         for items, count in partial.items():
             totals[items] += count
     if stats is not None:
@@ -270,10 +347,19 @@ def _count_cached_sharded(
         ]
     else:
         pool = WorkerPool(pool_config or PoolConfig(n_jobs=jobs))
+        observe = obs.enabled()
         payloads = [
-            (index, candidate_list, taxonomy) for index in indexes
+            (index, candidate_list, taxonomy, observe)
+            for index in indexes
         ]
-        partials = pool.map(_count_shard_cached, payloads)
+        with obs.span("parallel.map") as span:
+            span.annotate("shards", len(indexes))
+            span.annotate("jobs", jobs)
+            pairs = pool.map(_count_shard_cached, payloads)
+        partials = []
+        for partial, worker_registry in pairs:
+            obs.merge_registry(worker_registry)
+            partials.append(partial)
         if stats is not None:
             stats.absorb(pool.stats)
     totals: dict[Itemset, int] = dict.fromkeys(candidate_list, 0)

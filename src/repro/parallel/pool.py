@@ -36,6 +36,7 @@ from multiprocessing.connection import wait as _connection_wait
 
 from .._util import check_nonnegative, check_positive
 from ..errors import ConfigError
+from ..obs import api as _obs
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -120,6 +121,11 @@ class PoolStats:
 
 def _child(func: Callable, payload, connection) -> None:
     """Worker entry point: run one task, report over the pipe, exit."""
+    # A forked child inherits the parent's observability state, including
+    # open trace-file handles it must never write to or close; start
+    # clean. Tasks that should measure open their own worker-scope
+    # collection and ship the registry back in their result.
+    _obs.detach()
     try:
         result = func(payload)
     except BaseException as exc:  # noqa: BLE001 — report, parent decides

@@ -173,5 +173,5 @@ def _materialize(source) -> tuple[Itemset, ...]:
         return tuple(source)
     raise ConfigError(
         f"cannot shard {type(source).__name__}: expected a database with "
-        f"scan() or an iterable of rows"
+        "scan() or an iterable of rows"
     )

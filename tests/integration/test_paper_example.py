@@ -22,7 +22,6 @@ Bryers, Healthy Choice and Evian together, while sup(Frozen yogurt) =
 level 3 uses its own consistent supports.
 """
 
-import random
 
 import pytest
 

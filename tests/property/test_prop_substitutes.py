@@ -1,7 +1,6 @@
 """Property-based tests for substitute-knowledge candidate generation."""
 
 import random
-from itertools import combinations
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

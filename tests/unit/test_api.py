@@ -25,6 +25,7 @@ class TestMiningConfig:
             ("miner", "other"),
             ("algorithm", "other"),
             ("engine", "other"),
+            ("metrics", "verbose"),
         ],
     )
     def test_invalid_fields_rejected(self, field, value):
@@ -125,3 +126,37 @@ class TestMineNegativeRules:
             mine_negative_rules(
                 database, soft_drinks_taxonomy, minsup=2.0
             )
+
+    def test_trace_and_metrics_observability(
+        self, soft_drinks_taxonomy, soft_drinks_database, tmp_path, capsys
+    ):
+        """trace_path writes valid JSONL; metrics="json" prints a
+        parseable registry snapshot covering the counting passes."""
+        import json
+
+        trace = tmp_path / "mine-trace.jsonl"
+        result = mine_negative_rules(
+            soft_drinks_database, soft_drinks_taxonomy,
+            minsup=0.05, minri=0.4,
+            trace_path=str(trace), metrics="json",
+        )
+        assert result.rules  # observability must not change the mining
+
+        records = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+        ]
+        assert records, "trace file is empty"
+        assert records[-1]["type"] == "metrics"
+        span_names = {
+            record["name"] for record in records
+            if record["type"] == "span"
+        }
+        assert "mine.rule_gen" in span_names
+        assert any(name.startswith("count.") for name in span_names)
+
+        snapshot = json.loads(capsys.readouterr().err)
+        counters = snapshot["counters"]
+        assert counters["counting.passes"] >= 1
+        assert counters["counting.candidates"] >= 1
+        assert counters["mine.runs"] == 1

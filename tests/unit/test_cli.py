@@ -117,6 +117,32 @@ class TestMine:
         ]
         assert parallel_rules == serial_rules
 
+    def test_trace_and_metrics_flags(self, dataset_files, tmp_path,
+                                     capsys):
+        import json
+
+        baskets, taxonomy = dataset_files
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "mine",
+                "--baskets", baskets,
+                "--taxonomy", taxonomy,
+                "--minsup", "0.2",
+                "--minri", "0.3",
+                "--trace", str(trace),
+                "--metrics", "summary",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "--- metrics ---" in captured.err
+        assert "counting.passes" in captured.err
+        lines = trace.read_text().splitlines()
+        assert lines
+        for line in lines:
+            json.loads(line)  # every line is valid JSON
+
     def test_config_error_exits_2(self, dataset_files, capsys):
         baskets, taxonomy = dataset_files
         code = main(
