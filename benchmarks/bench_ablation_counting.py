@@ -14,7 +14,8 @@ import time
 import pytest
 
 from repro.core.candidates import generate_negative_candidates
-from repro.mining.counting import ENGINES, count_supports
+from repro.core.session import MiningSession
+from repro.mining.engines import engine_names
 from repro.mining.generalized import mine_generalized
 
 from .common import MINRI, dataset, support_sweep
@@ -31,18 +32,13 @@ def _setup(kind="short"):
     return data, candidates
 
 
-@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("engine", engine_names())
 def test_counting_engine(benchmark, engine):
     data, candidates = _setup()
+    session = MiningSession(data.database, data.taxonomy, engine)
 
     def count():
-        return count_supports(
-            data.database.scan(),
-            candidates,
-            taxonomy=data.taxonomy,
-            engine=engine,
-            restrict_to_candidate_items=True,
-        )
+        return session.count(candidates, restrict_to_candidate_items=True)
 
     counts = benchmark.pedantic(count, rounds=1, iterations=1)
     benchmark.extra_info.update(
@@ -58,14 +54,11 @@ def main() -> None:
         f"|D|={len(data.database)} ==="
     )
     reference = None
-    for engine in ENGINES:
+    for engine in engine_names():
+        session = MiningSession(data.database, data.taxonomy, engine)
         started = time.perf_counter()
-        counts = count_supports(
-            data.database.scan(),
-            candidates,
-            taxonomy=data.taxonomy,
-            engine=engine,
-            restrict_to_candidate_items=True,
+        counts = session.count(
+            candidates, restrict_to_candidate_items=True
         )
         elapsed = time.perf_counter() - started
         agrees = reference is None or counts == reference

@@ -29,22 +29,9 @@ import sys
 import time
 from pathlib import Path
 
-#: Serial engines × index backend; ``cached-packed`` is the ``"cached"``
-#: engine with ``packed=True``.
-CONFIGURATIONS = (
-    ("bitmap", {}),
-    ("numpy", {}),
-    ("cached", {}),
-    ("cached-packed", {"packed": True}),
-    ("hashtree", {}),
-    ("index", {}),
-    ("brute", {}),
-)
-
-
 def _level_candidates(dataset, minsup: float, taxonomy):
     """The two shared passes: all singles, then pairs of large singles."""
-    from repro.mining.counting import count_supports
+    from repro.core.session import MiningSession
 
     database = dataset.database
     nodes = set(database.items)
@@ -55,9 +42,7 @@ def _level_candidates(dataset, minsup: float, taxonomy):
             )
         )
     singles = [(node,) for node in sorted(nodes)]
-    counts = count_supports(
-        database, singles, taxonomy=taxonomy, engine="bitmap"
-    )
+    counts = MiningSession(database, taxonomy).count(singles)
     min_count = minsup * len(database)
     large = [items[0] for items, count in counts.items()
              if count >= min_count]
@@ -72,34 +57,25 @@ def _level_candidates(dataset, minsup: float, taxonomy):
     return singles, pairs
 
 
-def _time_cell(dataset, taxonomy, passes, engine: str, options: dict):
+def _time_cell(dataset, taxonomy, passes, label: str, options: dict):
     """Run both passes on one engine; returns (counts, measured point)."""
+    from repro.core.session import MiningSession
     from repro.mining import vertical
-    from repro.mining.counting import count_supports
-    from repro.mining.vertical import CacheStats
 
     database = dataset.database
     database.reset_scans()
     vertical.invalidate(database)
-    stats = CacheStats()
-    base = "cached" if engine.startswith("cached") else engine
+    session = MiningSession(database, taxonomy, **options)
     merged: dict = {}
     start = time.perf_counter()
     for candidates in passes:
         merged.update(
-            count_supports(
-                database,
-                candidates,
-                taxonomy=taxonomy,
-                engine=base,
-                restrict_to_candidate_items=True,
-                cache_stats=stats,
-                **options,
-            )
+            session.count(candidates, restrict_to_candidate_items=True)
         )
     wall = time.perf_counter() - start
+    stats = session.cache_stats
     point = {
-        "engine": engine,
+        "engine": label,
         "wall_s": round(wall, 4),
         "passes": len(passes),
         "wall_per_pass_s": round(wall / len(passes), 5),
@@ -134,10 +110,16 @@ def main(argv: list[str] | None = None) -> int:
     os.environ.setdefault(
         "REPRO_BENCH_SCALE", "0.02" if args.quick else "0.1"
     )
-    from benchmarks.common import dataset, fold_report, paper_row
+    from benchmarks.common import (
+        dataset,
+        engine_matrix_configurations,
+        fold_report,
+        paper_row,
+    )
 
     tall = dataset("tall")
     minsups = [0.10] if args.quick else [0.10, 0.06]
+    configurations = engine_matrix_configurations()
 
     cells = []
     per_pass: dict[str, list[float]] = {}
@@ -146,7 +128,7 @@ def main(argv: list[str] | None = None) -> int:
         for minsup in minsups:
             passes = _level_candidates(tall, minsup, taxonomy)
             reference = None
-            for engine, options in CONFIGURATIONS:
+            for engine, options in configurations:
                 counts, point = _time_cell(
                     tall, taxonomy, passes, engine, options
                 )

@@ -3,9 +3,10 @@
 Every hot counting path funnels through instrumentation points in
 :mod:`repro.obs`. When no trace file and no metrics sink are configured
 (the default), each point reduces to one module-global ``is None`` test,
-so the instrumented public entry (:func:`repro.mining.counting.
-count_supports`) should cost the same as the uninstrumented engine
-router (``counting._dispatch``, the pre-instrumentation body it wraps).
+so the instrumented pass entry (:func:`repro.mining.engines.count_pass`,
+which every :class:`~repro.core.session.MiningSession` pass goes
+through) should cost the same as calling the engine's uninstrumented
+``count()`` method directly.
 
 Three measurements:
 
@@ -21,13 +22,13 @@ Three measurements:
     around 0.001 %: the disabled path is one module-global ``is None``
     test per pass, against milliseconds of counting.
 ``noop path measured`` (evidence, not gated)
-    Identical passes timed through ``count_supports`` (observability
-    disabled) and directly through ``_dispatch``, the uninstrumented
-    engine router it wraps — median within-pair ratio, GC off,
-    alternating order. On a quiet machine this lands within fractions
-    of a percent of zero; on a contended one it is noise-dominated
-    (±2-3 % either side of zero), which is exactly why the gate prices
-    the per-call cost instead of trusting this delta.
+    Identical passes timed through ``count_pass`` (observability
+    disabled) and directly through the engine's ``count()`` — median
+    within-pair ratio, GC off, alternating order. On a quiet machine
+    this lands within fractions of a percent of zero; on a contended
+    one it is noise-dominated (±2-3 % either side of zero), which is
+    exactly why the gate prices the per-call cost instead of trusting
+    this delta.
 ``enabled path`` (informational)
     The same passes with a live metrics registry, quantifying what
     turning observability *on* costs.
@@ -55,7 +56,7 @@ def _build_workload(dataset):
     return taxonomy, [singles, pairs]
 
 
-def _time_passes(fn, database, passes, taxonomy, loops: int = 3) -> float:
+def _time_passes(fn, passes, loops: int = 3) -> float:
     """Wall time of running all passes through *fn*, *loops* times.
 
     One sample is several hundred milliseconds long on purpose: the
@@ -65,21 +66,7 @@ def _time_passes(fn, database, passes, taxonomy, loops: int = 3) -> float:
     start = time.perf_counter()
     for _ in range(loops):
         for candidates in passes:
-            fn(
-                database,
-                candidates,
-                taxonomy,
-                "bitmap",
-                True,   # restrict_to_candidate_items
-                None,   # n_jobs
-                None,   # shard_rows
-                None,   # parallel_stats
-                True,   # use_cache
-                None,   # cache_bytes
-                None,   # cache_stats
-                False,  # packed
-                None,   # batch_words
-            )
+            fn(candidates)
     return time.perf_counter() - start
 
 
@@ -126,20 +113,24 @@ def main(argv: list[str] | None = None) -> int:
 
     os.environ.setdefault("REPRO_BENCH_SCALE", "0.1")
     from benchmarks.common import dataset, paper_row
-    from repro.mining.counting import _dispatch, count_supports
+    from repro.mining.engines import count_pass, create_engine
     from repro.obs.api import obs_session
 
     tall = dataset("tall")
     database = tall.database
     taxonomy, passes = _build_workload(tall)
 
-    def instrumented(*call_args):
-        return count_supports(
-            call_args[0],
-            call_args[1],
-            taxonomy=call_args[2],
-            engine=call_args[3],
-            restrict_to_candidate_items=call_args[4],
+    engine = create_engine("bitmap")
+    state = engine.prepare(database, taxonomy)
+
+    def raw(candidates):
+        return engine.count(
+            state, candidates, restrict_to_candidate_items=True
+        )
+
+    def instrumented(candidates):
+        return count_pass(
+            engine, state, candidates, restrict_to_candidate_items=True
         )
 
     # Machine-speed drift (frequency scaling, GC pauses, allocator
@@ -148,20 +139,20 @@ def main(argv: list[str] | None = None) -> int:
     # alternating order (cancelling any drift slower than one pair),
     # and the median of the within-pair ratios is the verdict. A warmup
     # pair is discarded.
-    _time_passes(_dispatch, database, passes, taxonomy, loops=1)
-    _time_passes(instrumented, database, passes, taxonomy, loops=1)
+    _time_passes(raw, passes, loops=1)
+    _time_passes(instrumented, passes, loops=1)
     bases, noops, ratios = [], [], []
     gc.disable()
     try:
         for index in range(args.repeats):
             first, second = (
-                (_dispatch, instrumented)
+                (raw, instrumented)
                 if index % 2 == 0
-                else (instrumented, _dispatch)
+                else (instrumented, raw)
             )
-            one = _time_passes(first, database, passes, taxonomy)
-            two = _time_passes(second, database, passes, taxonomy)
-            if first is _dispatch:
+            one = _time_passes(first, passes)
+            two = _time_passes(second, passes)
+            if first is raw:
                 a, b = one, two
             else:
                 a, b = two, one
@@ -177,15 +168,14 @@ def main(argv: list[str] | None = None) -> int:
 
     with obs_session(metrics="summary", stream=open(os.devnull, "w")):
         enabled = min(
-            _time_passes(instrumented, database, passes, taxonomy)
-            for _ in range(3)
+            _time_passes(instrumented, passes) for _ in range(3)
         )
     enabled_overhead = enabled / base - 1.0
 
     span_ns, incr_ns = _per_call_ns()
 
     # The gate: price every instrumentation point one timed sample hits
-    # (one count_supports wrapper per pass, generously costed at a full
+    # (one count_pass wrapper per pass, generously costed at a full
     # disabled span enter/exit plus a disabled incr) against the
     # measured sample time. This bounds the disabled-path overhead
     # without inheriting the pass timings' machine noise.
@@ -204,8 +194,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     paper_row(
         "noop path measured",
-        dispatch_s=round(base, 5),
-        count_supports_s=round(noop, 5),
+        raw_count_s=round(base, 5),
+        count_pass_s=round(noop, 5),
         median_delta_pct=round(overhead * 100, 2),
     )
     paper_row(

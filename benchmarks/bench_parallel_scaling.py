@@ -18,7 +18,7 @@ import time
 import pytest
 
 from repro.core.candidates import generate_negative_candidates
-from repro.mining.counting import count_supports
+from repro.core.session import MiningSession
 from repro.mining.generalized import mine_generalized
 from repro.parallel.engine import ParallelStats, parallel_count_supports
 
@@ -39,13 +39,8 @@ def _setup(kind="short"):
 
 def _count(data, candidates, n_jobs, stats=None):
     if n_jobs == 1:
-        return count_supports(
-            data.database.scan(),
-            candidates,
-            taxonomy=data.taxonomy,
-            engine="bitmap",
-            restrict_to_candidate_items=True,
-        )
+        session = MiningSession(data.database, data.taxonomy)
+        return session.count(candidates, restrict_to_candidate_items=True)
     return parallel_count_supports(
         data.database.scan(),
         candidates,

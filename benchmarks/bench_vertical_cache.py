@@ -44,14 +44,16 @@ def _run_engine(
     dataset, minsups, engine: str, use_cache: bool
 ) -> dict:
     """One full mining sweep; returns the measured point."""
+    from repro.core.session import MiningSession
     from repro.mining import vertical
     from repro.mining.generalized import mine_generalized
-    from repro.mining.vertical import CacheStats
 
     database = dataset.database
     database.reset_scans()
     vertical.invalidate(database)
-    cache_stats = CacheStats()
+    session = MiningSession(
+        database, dataset.taxonomy, engine, use_cache=use_cache
+    )
     start = time.perf_counter()
     large = 0
     for minsup in minsups:
@@ -59,12 +61,11 @@ def _run_engine(
             database,
             dataset.taxonomy,
             minsup,
-            engine=engine,
-            use_cache=use_cache,
-            cache_stats=cache_stats,
+            session=session,
         )
         large += len(index)
     wall = time.perf_counter() - start
+    cache_stats = session.cache_stats
     logical = database.logical_scans
     return {
         "engine": engine if use_cache else f"{engine}-rebuild",

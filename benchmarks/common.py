@@ -58,6 +58,32 @@ def dataset(kind: str) -> SyntheticDataset:
     return generate_dataset(params, seed=SEED)
 
 
+def engine_matrix_configurations() -> list[tuple[str, dict]]:
+    """The serial engine × backend cells, derived from the registry.
+
+    One cell per registered serial (shardable) engine, labelled by its
+    name, plus a ``<name>-packed`` cell for every engine that supports
+    both a cached and a bit-packed backend. Each entry is
+    ``(label, session_kwargs)`` — the kwargs to build a
+    :class:`~repro.core.session.MiningSession` for that cell. Adding an
+    engine to the registry adds its row here (and in the regression
+    gate's baseline) with no benchmark edit.
+    """
+    from repro.mining.engines import registered_engines
+
+    cells: list[tuple[str, dict]] = []
+    for name, cls in registered_engines().items():
+        caps = cls.capabilities
+        if not caps.shardable:
+            continue  # the parallel wrapper is benchmarked separately
+        cells.append((name, {"engine": name}))
+        if caps.caching and caps.packed:
+            cells.append(
+                (f"{name}-packed", {"engine": name, "packed": True})
+            )
+    return cells
+
+
 def paper_row(label: str, **columns) -> None:
     """Print one row of a paper-style results table to stdout."""
     rendered = "  ".join(

@@ -19,7 +19,7 @@ from repro.core.negmining import (
 )
 from repro.core.rulegen import generate_negative_rules
 from repro.core.interest import deviation_threshold
-from repro.mining.counting import count_supports
+from repro.core.session import MiningSession
 from repro.mining.generalized import mine_generalized
 from repro.mining.itemset_index import LargeItemsetIndex
 from repro.synthetic.generator import SyntheticDataset
@@ -61,11 +61,8 @@ def improved_negative_phase(
     candidates = generate_negative_candidates(
         index, pruned, minsup, MINRI
     )
-    counts = count_supports(
-        database.scan(),
-        list(candidates),
-        taxonomy=taxonomy,
-        restrict_to_candidate_items=True,
+    counts = MiningSession(database, taxonomy).count(
+        list(candidates), restrict_to_candidate_items=True
     )
     negatives = select_negatives(
         candidates, counts, total, threshold, figure3_literal=False

@@ -23,8 +23,8 @@ from repro.core.substitutes import (
     generate_substitute_candidates,
     merge_candidate_sets,
 )
+from repro.core.session import MiningSession
 from repro.data.database import TransactionDatabase
-from repro.mining.counting import count_supports
 from repro.mining.generalized import mine_generalized
 from repro.taxonomy import taxonomy_from_nested
 
@@ -86,9 +86,7 @@ def main() -> None:
         taxonomy_candidates, substitute_candidates
     )
 
-    counts = count_supports(
-        database.scan(), list(merged), taxonomy=taxonomy
-    )
+    counts = MiningSession(database, taxonomy).count(list(merged))
     negatives = select_negatives(
         merged,
         counts,

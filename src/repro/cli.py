@@ -15,6 +15,8 @@ Subcommands
 ``analyze``
     Taxonomy diagnostics: structural profile, coarse-category report,
     per-category balance against the data (Section 2.1.3).
+``engines``
+    List the registered counting engines with their capability flags.
 """
 
 from __future__ import annotations
@@ -24,7 +26,8 @@ import sys
 from collections.abc import Sequence
 
 from .core.api import MiningConfig, mine_negative_rules
-from .mining.counting import ENGINES
+from .core.session import MiningSession
+from .mining.engines import capability_table, validate_spec
 from .obs.api import METRICS_MODES
 from .data.io import (
     load_basket_file,
@@ -44,6 +47,19 @@ from .mining.generalized import mine_generalized
 from .mining.rules import generate_rules
 from .synthetic.generator import generate_dataset
 from .synthetic.params import SHORT, TALL, GeneratorParams
+
+
+def _engine_spec(value: str) -> str:
+    """argparse type for ``--engine``: any registered spec.
+
+    Plain names (``bitmap``) and compositions (``parallel:numpy``) both
+    pass; anything else fails parsing with the registry's message.
+    """
+    try:
+        validate_spec(value)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -86,7 +102,11 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--algorithm",
                       choices=("basic", "cumulate", "estmerge"),
                       default="cumulate")
-    mine.add_argument("--engine", choices=ENGINES, default="bitmap")
+    mine.add_argument("--engine", type=_engine_spec, default="bitmap",
+                      metavar="SPEC",
+                      help="counting engine spec: a registered name or "
+                           "'parallel:<inner>' (list with "
+                           "'python -m repro engines')")
     mine.add_argument("--max-size", type=int, default=None)
     mine.add_argument("--jobs", type=int, default=1, dest="n_jobs",
                       help="worker processes for sharded counting "
@@ -146,6 +166,13 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_data_arguments(analyze)
     analyze.add_argument("--coarse-fanout", type=int, default=20,
                          help="flag categories with this many children")
+
+    engines = commands.add_parser(
+        "engines", help="list registered counting engines"
+    )
+    engines.add_argument("--markdown", action="store_true",
+                         help="emit a GitHub-markdown table (the README's "
+                              "engine table is generated with this)")
     return parser
 
 
@@ -215,9 +242,10 @@ def _command_mine(args: argparse.Namespace) -> int:
 def _command_positive(args: argparse.Namespace) -> int:
     database = load_basket_file(args.baskets)
     taxonomy = load_taxonomy_file(args.taxonomy)
+    session = MiningSession(database, taxonomy, n_jobs=args.n_jobs)
     index = mine_generalized(
         database, taxonomy, args.minsup, algorithm=args.algorithm,
-        n_jobs=args.n_jobs,
+        session=session,
     )
     rules = generate_rules(index, args.minconf)
     print(f"large itemsets : {len(index)}")
@@ -273,12 +301,18 @@ def _command_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_engines(args: argparse.Namespace) -> int:
+    print(capability_table(markdown=args.markdown))
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "mine": _command_mine,
     "positive": _command_positive,
     "inspect": _command_inspect,
     "analyze": _command_analyze,
+    "engines": _command_engines,
 }
 
 

@@ -16,8 +16,8 @@ from .._util import check_fraction, check_positive
 from ..data.database import TransactionDatabase
 from ..data.filedb import FileBackedDatabase
 from ..errors import ConfigError
+from ..mining.engines import validate_spec
 from ..mining.generalized import ALGORITHMS
-from ..mining.counting import ENGINES
 from ..mining.itemset_index import LargeItemsetIndex
 from ..obs import api as obs
 from ..obs.api import METRICS_MODES
@@ -31,6 +31,7 @@ from .negmining import (
     NegativeItemset,
 )
 from .rulegen import NegativeRule, generate_negative_rules
+from .session import MiningSession
 
 MINERS = ("improved", "naive")
 
@@ -52,9 +53,11 @@ class MiningConfig:
         ``"estmerge"`` (Improved miner only; Naive is level-wise by
         nature).
     engine:
-        Support-counting engine: ``"bitmap"``, ``"cached"``,
-        ``"numpy"``, ``"hashtree"``, ``"index"``, ``"brute"``,
-        ``"parallel"``.
+        Support-counting engine spec: a registered engine name
+        (``"bitmap"``, ``"cached"``, ``"numpy"``, ``"hashtree"``,
+        ``"index"``, ``"brute"``, ``"parallel"``) or a composition
+        ``"parallel:<inner>"`` (e.g. ``"parallel:numpy"``). Run
+        ``python -m repro engines`` for the full capability table.
     max_size:
         Optional cap on itemset size.
     max_candidates_in_memory:
@@ -142,10 +145,7 @@ class MiningConfig:
                 f"unknown algorithm {self.algorithm!r}; "
                 f"choose from {ALGORITHMS}"
             )
-        if self.engine not in ENGINES:
-            raise ConfigError(
-                f"unknown engine {self.engine!r}; choose from {ENGINES}"
-            )
+        validate_spec(self.engine)
         check_positive(self.n_jobs, "n_jobs")
         if self.shard_rows is not None:
             check_positive(self.shard_rows, "shard_rows")
@@ -285,10 +285,9 @@ def mine_negative_rules(
     else:
         database = TransactionDatabase(transactions)
 
-    with obs.obs_session(
-        trace_path=final.trace_path, metrics=final.metrics
-    ):
-        output = _run_miner(database, taxonomy, final)
+    session = MiningSession.from_config(database, taxonomy, final)
+    with session.observed():
+        output = _run_miner(database, taxonomy, final, session)
         with obs.span("mine.rule_gen") as span:
             rules = generate_negative_rules(
                 output.negatives,
@@ -308,7 +307,10 @@ def mine_negative_rules(
 
 
 def _run_miner(
-    database: TransactionDatabase, taxonomy: Taxonomy, config: MiningConfig
+    database: TransactionDatabase,
+    taxonomy: Taxonomy,
+    config: MiningConfig,
+    session: MiningSession,
 ) -> MinerOutput:
     if config.miner == "naive":
         miner: NaiveNegativeMiner | ImprovedNegativeMiner = (
@@ -317,15 +319,10 @@ def _run_miner(
                 taxonomy,
                 config.minsup,
                 config.minri,
-                engine=config.engine,
+                session=session,
                 max_size=config.max_size,
                 figure3_literal=config.figure3_literal,
                 max_sibling_replacements=config.max_sibling_replacements,
-                n_jobs=config.n_jobs,
-                shard_rows=config.shard_rows,
-                use_cache=config.use_cache,
-                cache_bytes=config.cache_bytes,
-                packed=config.packed,
             )
         )
     else:
@@ -336,17 +333,12 @@ def _run_miner(
             config.minsup,
             config.minri,
             algorithm=config.algorithm,
-            engine=config.engine,
+            session=session,
             max_size=config.max_size,
             max_candidates_in_memory=config.max_candidates_in_memory,
             prune_taxonomy=config.prune_taxonomy,
             figure3_literal=config.figure3_literal,
             max_sibling_replacements=config.max_sibling_replacements,
             rng=rng,
-            n_jobs=config.n_jobs,
-            shard_rows=config.shard_rows,
-            use_cache=config.use_cache,
-            cache_bytes=config.cache_bytes,
-            packed=config.packed,
         )
     return miner.mine()

@@ -31,7 +31,6 @@ from dataclasses import dataclass, field
 from .._util import check_fraction, check_positive
 from ..data.database import TransactionDatabase
 from ..itemset import Itemset
-from ..mining.counting import count_supports
 from ..mining.generalized import iter_generalized_levels, mine_generalized
 from ..mining.itemset_index import LargeItemsetIndex
 from ..mining.vertical import CacheStats
@@ -41,6 +40,7 @@ from ..taxonomy.prune import restrict_to_items
 from ..taxonomy.tree import Taxonomy
 from .candidates import NegativeCandidate, generate_negative_candidates
 from .interest import deviation_threshold
+from .session import MiningSession
 
 
 @dataclass(frozen=True, slots=True)
@@ -199,24 +199,16 @@ class NaiveNegativeMiner:
         The data and the domain knowledge.
     minsup, minri:
         Fractional minimum support and minimum rule interest.
-    engine:
-        Counting engine for both phases.
+    session:
+        The :class:`~repro.core.session.MiningSession` every counting
+        pass goes through — engine choice, cache policy and parallel
+        policy all live there. ``None`` builds a serial default-engine
+        session over *database*/*taxonomy*.
     max_size:
         Optional cap on itemset size.
     figure3_literal:
         Use Figure 3's literal low-support predicate instead of the body
         text's deviation predicate (see module docstring).
-    n_jobs, shard_rows:
-        Sharded-counting controls for every pass (see
-        :mod:`repro.parallel`); ``n_jobs=1`` (default) is fully serial.
-    use_cache, cache_bytes:
-        Vertical-index cache controls for ``engine="cached"`` (see
-        :mod:`repro.mining.vertical`): persistent reuse of the index
-        attached to the database, and an optional LRU memory budget.
-    packed:
-        ``engine="cached"`` only: store the vertical index bit-packed and
-        count with the NumPy kernel (:mod:`repro.mining.bitpack`).
-        Identical output, faster counting.
     """
 
     def __init__(
@@ -225,15 +217,10 @@ class NaiveNegativeMiner:
         taxonomy: Taxonomy,
         minsup: float,
         minri: float,
-        engine: str = "bitmap",
+        session: MiningSession | None = None,
         max_size: int | None = None,
         figure3_literal: bool = False,
         max_sibling_replacements: int | None = None,
-        n_jobs: int = 1,
-        shard_rows: int | None = None,
-        use_cache: bool = True,
-        cache_bytes: int | None = None,
-        packed: bool = False,
     ) -> None:
         check_fraction(minsup, "minsup")
         check_fraction(minri, "minri")
@@ -241,29 +228,26 @@ class NaiveNegativeMiner:
         self._taxonomy = taxonomy
         self._minsup = minsup
         self._minri = minri
-        self._engine = engine
+        self._session = (
+            session
+            if session is not None
+            else MiningSession(database, taxonomy)
+        )
         self._max_size = max_size
         self._figure3_literal = figure3_literal
         self._max_sibling_replacements = max_sibling_replacements
-        self._n_jobs = check_positive(n_jobs, "n_jobs")
-        self._shard_rows = shard_rows
-        self._use_cache = use_cache
-        self._cache_bytes = cache_bytes
-        self._packed = packed
-        self._parallel_stats = ParallelStats()
-        self._cache_stats = CacheStats()
 
     def mine(self) -> MinerOutput:
         """Run the per-level loop and return all results."""
         database = self._database
+        session = self._session
         total = len(database)
         threshold = deviation_threshold(self._minsup, self._minri)
         start_physical = database.scans
         start_logical = getattr(database, "logical_scans", database.scans)
         # Fresh per-run accumulators: a second mine() must never report
         # the first run's cache/shard activity.
-        self._parallel_stats = ParallelStats()
-        self._cache_stats = CacheStats()
+        session.begin_run()
 
         index = LargeItemsetIndex()
         all_candidates: dict[Itemset, NegativeCandidate] = {}
@@ -274,15 +258,8 @@ class NaiveNegativeMiner:
             database,
             self._taxonomy,
             self._minsup,
-            engine=self._engine,
+            session=session,
             max_size=self._max_size,
-            n_jobs=self._n_jobs,
-            shard_rows=self._shard_rows,
-            parallel_stats=self._parallel_stats,
-            use_cache=self._use_cache,
-            cache_bytes=self._cache_bytes,
-            cache_stats=self._cache_stats,
-            packed=self._packed,
         )
         for level_number, level in enumerate(levels, start=1):
             for items, support in level.items():
@@ -303,19 +280,8 @@ class NaiveNegativeMiner:
             if not candidates:
                 continue
             all_candidates.update(candidates)
-            counts = count_supports(
-                database,
-                list(candidates),
-                taxonomy=self._taxonomy,
-                engine=self._engine,
-                restrict_to_candidate_items=True,
-                n_jobs=self._n_jobs,
-                shard_rows=self._shard_rows,
-                parallel_stats=self._parallel_stats,
-                use_cache=self._use_cache,
-                cache_bytes=self._cache_bytes,
-                cache_stats=self._cache_stats,
-                packed=self._packed,
+            counts = session.count(
+                list(candidates), restrict_to_candidate_items=True
             )
             batches += 1
             negatives.extend(
@@ -331,11 +297,11 @@ class NaiveNegativeMiner:
         logical_now = getattr(database, "logical_scans", database.scans)
         stats = _build_stats(
             logical_now - start_logical, index, all_candidates, negatives,
-            batches, self._parallel_stats,
+            batches, session.parallel_stats,
             physical_passes=database.scans - start_physical,
-            cache=self._cache_stats,
+            cache=session.cache_stats,
         )
-        _publish_run(stats, self._parallel_stats, self._cache_stats)
+        session.publish_run(stats)
         return MinerOutput(index, all_candidates, negatives, stats)
 
 
@@ -344,7 +310,7 @@ class ImprovedNegativeMiner:
 
     Parameters
     ----------
-    database, taxonomy, minsup, minri, engine, max_size, figure3_literal:
+    database, taxonomy, minsup, minri, session, max_size, figure3_literal:
         As for :class:`NaiveNegativeMiner`.
     algorithm:
         Generalized miner for step 1 (``"basic"``, ``"cumulate"``,
@@ -360,17 +326,6 @@ class ImprovedNegativeMiner:
         exposed for the A3 ablation.
     rng:
         Randomness for the EstMerge sample, when that algorithm is chosen.
-    n_jobs, shard_rows:
-        Sharded-counting controls for every pass (see
-        :mod:`repro.parallel`); ``n_jobs=1`` (default) is fully serial.
-    use_cache, cache_bytes:
-        Vertical-index cache controls for ``engine="cached"`` (see
-        :mod:`repro.mining.vertical`): persistent reuse of the index
-        attached to the database, and an optional LRU memory budget.
-    packed:
-        ``engine="cached"`` only: store the vertical index bit-packed and
-        count with the NumPy kernel (:mod:`repro.mining.bitpack`).
-        Identical output, faster counting.
     """
 
     def __init__(
@@ -380,18 +335,13 @@ class ImprovedNegativeMiner:
         minsup: float,
         minri: float,
         algorithm: str = "cumulate",
-        engine: str = "bitmap",
+        session: MiningSession | None = None,
         max_size: int | None = None,
         max_candidates_in_memory: int | None = None,
         prune_taxonomy: bool = True,
         figure3_literal: bool = False,
         max_sibling_replacements: int | None = None,
         rng: random.Random | None = None,
-        n_jobs: int = 1,
-        shard_rows: int | None = None,
-        use_cache: bool = True,
-        cache_bytes: int | None = None,
-        packed: bool = False,
     ) -> None:
         check_fraction(minsup, "minsup")
         check_fraction(minri, "minri")
@@ -404,32 +354,29 @@ class ImprovedNegativeMiner:
         self._minsup = minsup
         self._minri = minri
         self._algorithm = algorithm
-        self._engine = engine
+        self._session = (
+            session
+            if session is not None
+            else MiningSession(database, taxonomy)
+        )
         self._max_size = max_size
         self._batch_size = max_candidates_in_memory
         self._prune_taxonomy = prune_taxonomy
         self._figure3_literal = figure3_literal
         self._max_sibling_replacements = max_sibling_replacements
         self._rng = rng
-        self._n_jobs = check_positive(n_jobs, "n_jobs")
-        self._shard_rows = shard_rows
-        self._use_cache = use_cache
-        self._cache_bytes = cache_bytes
-        self._packed = packed
-        self._parallel_stats = ParallelStats()
-        self._cache_stats = CacheStats()
 
     def mine(self) -> MinerOutput:
         """Run the three phases and return all results."""
         database = self._database
+        session = self._session
         total = len(database)
         threshold = deviation_threshold(self._minsup, self._minri)
         start_physical = database.scans
         start_logical = getattr(database, "logical_scans", database.scans)
         # Fresh per-run accumulators: a second mine() must never report
         # the first run's cache/shard activity.
-        self._parallel_stats = ParallelStats()
-        self._cache_stats = CacheStats()
+        session.begin_run()
 
         with obs.span("mine.positive") as span:
             index = mine_generalized(
@@ -437,16 +384,9 @@ class ImprovedNegativeMiner:
                 self._taxonomy,
                 self._minsup,
                 algorithm=self._algorithm,
-                engine=self._engine,
+                session=session,
                 max_size=self._max_size,
                 rng=self._rng,
-                n_jobs=self._n_jobs,
-                shard_rows=self._shard_rows,
-                parallel_stats=self._parallel_stats,
-                use_cache=self._use_cache,
-                cache_bytes=self._cache_bytes,
-                cache_stats=self._cache_stats,
-                packed=self._packed,
             )
             span.annotate("algorithm", self._algorithm)
             span.annotate("large_itemsets", len(index))
@@ -476,19 +416,8 @@ class ImprovedNegativeMiner:
                 # Counting uses the *full* taxonomy: transactions may
                 # contain small items whose ancestors still matter for
                 # other rows.
-                counts = count_supports(
-                    database,
-                    batch,
-                    taxonomy=self._taxonomy,
-                    engine=self._engine,
-                    restrict_to_candidate_items=True,
-                    n_jobs=self._n_jobs,
-                    shard_rows=self._shard_rows,
-                    parallel_stats=self._parallel_stats,
-                    use_cache=self._use_cache,
-                    cache_bytes=self._cache_bytes,
-                    cache_stats=self._cache_stats,
-                    packed=self._packed,
+                counts = session.count(
+                    batch, restrict_to_candidate_items=True
                 )
                 batches += 1
                 negatives.extend(
@@ -505,11 +434,11 @@ class ImprovedNegativeMiner:
         logical_now = getattr(database, "logical_scans", database.scans)
         stats = _build_stats(
             logical_now - start_logical, index, candidates, negatives,
-            batches, self._parallel_stats,
+            batches, session.parallel_stats,
             physical_passes=database.scans - start_physical,
-            cache=self._cache_stats,
+            cache=session.cache_stats,
         )
-        _publish_run(stats, self._parallel_stats, self._cache_stats)
+        session.publish_run(stats)
         return MinerOutput(index, candidates, negatives, stats)
 
 
@@ -564,32 +493,3 @@ def _build_stats(
         stats.kernel_batches = cache.kernel_batches
         stats.kernel_words = cache.kernel_words
     return stats
-
-
-def _publish_run(
-    stats: MiningStats,
-    parallel: ParallelStats,
-    cache: CacheStats,
-) -> None:
-    """Fold one ``mine()`` run's accounting into the active obs session.
-
-    The miners accumulate cache/parallel activity in private per-run
-    registries (so a second ``mine()`` never reports the first run's
-    numbers); when an observability session is active, those registries
-    are merged into it here and the run's headline figures land under
-    ``mine.*`` counters.
-    """
-    state = obs.current()
-    if state is None:
-        return
-    registry = state.registry
-    if parallel.registry is not registry:
-        registry.merge(parallel.registry)
-    if cache.registry is not registry:
-        registry.merge(cache.registry)
-    registry.incr("mine.runs")
-    registry.incr("mine.data_passes", stats.data_passes)
-    registry.incr("mine.physical_passes", stats.physical_passes)
-    registry.incr("mine.large_itemsets", stats.large_itemsets)
-    registry.incr("mine.candidates", stats.candidates_generated)
-    registry.incr("mine.negative_itemsets", stats.negative_itemsets)

@@ -1,0 +1,212 @@
+"""MiningSession: one execution context from the CLI down to the kernel.
+
+Before this module existed, every layer of the pipeline threaded the
+same ~8 engine kwargs (``engine``, ``n_jobs``, ``use_cache``,
+``cache_bytes``, ``cache_stats``, ``packed``, ``batch_words``, …) from
+:class:`~repro.core.api.MiningConfig` through the miners down to
+``count_supports``. A :class:`MiningSession` binds all of it once —
+database, taxonomy, the resolved :class:`~repro.mining.engines.
+CountingEngine`, cache/parallel policy and the observability sinks — and
+is the only object passed down. ``count_supports`` survives as a
+deprecated compat shim over the same machinery
+(:mod:`repro.mining.counting`).
+
+Lifecycle
+---------
+``MiningSession.from_config`` resolves the config's engine spec through
+the registry (including ``"parallel:<inner>"`` compositions and the
+``n_jobs > 1`` auto-wrap). ``prepare()`` runs once per session for the
+bound database, so engines with per-database state build it a single
+time. Each miner ``mine()`` run brackets itself with :meth:`begin_run`
+(fresh per-run stats accumulators — a second run never reports the
+first run's numbers) and :meth:`publish_run` (folds the run's private
+registries into the active observability session).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Collection
+from typing import Any
+
+from ..itemset import Itemset
+from ..mining.engines import (
+    DEFAULT_ENGINE,
+    CountingEngine,
+    EnginePolicy,
+    EngineState,
+    count_pass,
+    create_engine,
+)
+from ..mining.vertical import CacheStats
+from ..obs import api as obs
+from ..parallel.engine import ParallelStats
+from ..taxonomy.tree import Taxonomy
+
+_UNSET = object()
+
+
+class MiningSession:
+    """Database + taxonomy + resolved engine + policy, bound once.
+
+    Parameters
+    ----------
+    transactions:
+        The scan-counted database (required for the caching engines to
+        persist their index) or plain rows.
+    taxonomy:
+        Default taxonomy for :meth:`count`; ``None`` for flat mining.
+    engine:
+        An engine spec (``"bitmap"``, ``"parallel:numpy"``, …) or an
+        already-built :class:`CountingEngine`.
+    n_jobs, shard_rows:
+        Parallel policy. ``n_jobs > 1`` auto-wraps a serial engine spec
+        in the parallel wrapper; ``None`` leaves serial engines serial
+        (and means one worker per CPU for explicit ``parallel`` specs).
+    use_cache, cache_bytes, packed, batch_words:
+        Cache/kernel policy consumed by the engines that understand it.
+    trace_path, metrics:
+        Observability sinks for :meth:`observed` (see
+        :mod:`repro.obs`).
+    """
+
+    def __init__(
+        self,
+        transactions: Any,
+        taxonomy: Taxonomy | None = None,
+        engine: str | CountingEngine = DEFAULT_ENGINE,
+        *,
+        n_jobs: int | None = None,
+        shard_rows: int | None = None,
+        use_cache: bool = True,
+        cache_bytes: int | None = None,
+        packed: bool = False,
+        batch_words: int | None = None,
+        trace_path: str | None = None,
+        metrics: str = "none",
+    ) -> None:
+        self.transactions = transactions
+        self.taxonomy = taxonomy
+        self.engine = create_engine(
+            engine,
+            EnginePolicy(
+                n_jobs=n_jobs,
+                shard_rows=shard_rows,
+                use_cache=use_cache,
+                cache_bytes=cache_bytes,
+                packed=packed,
+                batch_words=batch_words,
+            ),
+        )
+        self.trace_path = trace_path
+        self.metrics = metrics
+        self._state: EngineState | None = None
+        self.cache_stats = CacheStats()
+        self.parallel_stats = ParallelStats()
+
+    @classmethod
+    def from_config(
+        cls, transactions: Any, taxonomy: Taxonomy | None, config
+    ) -> "MiningSession":
+        """Build the session a :class:`MiningConfig` describes."""
+        return cls(
+            transactions,
+            taxonomy,
+            engine=config.engine,
+            n_jobs=config.n_jobs,
+            shard_rows=config.shard_rows,
+            use_cache=config.use_cache,
+            cache_bytes=config.cache_bytes,
+            packed=config.packed,
+            trace_path=config.trace_path,
+            metrics=config.metrics,
+        )
+
+    # -- counting -----------------------------------------------------
+
+    def count(
+        self,
+        candidates: Collection[Itemset],
+        *,
+        transactions: Any = None,
+        taxonomy: Taxonomy | None | object = _UNSET,
+        restrict_to_candidate_items: bool = False,
+        serial: bool = False,
+    ) -> dict[Itemset, int]:
+        """Count one logical pass with the session's engine.
+
+        *transactions* / *taxonomy* override the session's defaults for
+        this pass only (the EstMerge sample, a flat count under a
+        generalized session). *serial* unwraps the parallel wrapper for
+        passes too small to shard profitably.
+        """
+        engine = self.engine
+        if serial and engine.wraps:
+            engine = engine.inner
+        source = self.transactions if transactions is None else transactions
+        tax = self.taxonomy if taxonomy is _UNSET else taxonomy
+        if (
+            engine is self.engine
+            and source is self.transactions
+            and tax is self.taxonomy
+        ):
+            if self._state is None:
+                self._state = engine.prepare(source, tax)
+            state = self._state
+        else:
+            state = engine.prepare(source, tax)
+        return count_pass(
+            engine,
+            state,
+            candidates,
+            restrict_to_candidate_items=restrict_to_candidate_items,
+            cache_stats=self.cache_stats,
+            parallel_stats=self.parallel_stats,
+        )
+
+    # -- run lifecycle ------------------------------------------------
+
+    def begin_run(self) -> None:
+        """Start a fresh mining run: reset the per-run accumulators.
+
+        A second ``mine()`` on the same session must never report the
+        first run's cache/shard activity.
+        """
+        self.cache_stats = CacheStats()
+        self.parallel_stats = ParallelStats()
+
+    def observed(self) -> contextlib.AbstractContextManager:
+        """An observability session with this session's sinks."""
+        return obs.obs_session(
+            trace_path=self.trace_path, metrics=self.metrics
+        )
+
+    def publish_run(self, stats) -> None:
+        """Fold one run's accounting into the active obs session.
+
+        The session accumulates cache/parallel activity in private
+        per-run registries; when an observability session is active,
+        those registries are merged into it here and the run's headline
+        figures land under ``mine.*`` counters. *stats* is any object
+        with the :class:`~repro.core.negmining.MiningStats` counters.
+        """
+        state = obs.current()
+        if state is None:
+            return
+        registry = state.registry
+        if self.parallel_stats.registry is not registry:
+            registry.merge(self.parallel_stats.registry)
+        if self.cache_stats.registry is not registry:
+            registry.merge(self.cache_stats.registry)
+        registry.incr("mine.runs")
+        registry.incr("mine.data_passes", stats.data_passes)
+        registry.incr("mine.physical_passes", stats.physical_passes)
+        registry.incr("mine.large_itemsets", stats.large_itemsets)
+        registry.incr("mine.candidates", stats.candidates_generated)
+        registry.incr("mine.negative_itemsets", stats.negative_itemsets)
+
+    def __repr__(self) -> str:
+        return (
+            f"MiningSession(engine={self.engine.spec!r}, "
+            f"taxonomy={'yes' if self.taxonomy is not None else 'no'})"
+        )

@@ -19,8 +19,18 @@ from collections.abc import Collection
 from .._util import check_fraction
 from ..data.database import TransactionDatabase
 from ..itemset import Itemset
-from .counting import count_supports
 from .itemset_index import LargeItemsetIndex
+
+
+def _default_session(database):
+    """A serial default-engine session over *database*.
+
+    Imported lazily: :mod:`repro.core.session` sits above the mining
+    package in the import graph.
+    """
+    from ..core.session import MiningSession
+
+    return MiningSession(database)
 
 
 def apriori_gen(large_prev: Collection[Itemset]) -> list[Itemset]:
@@ -68,7 +78,7 @@ def _all_subsets_large(
 def find_large_itemsets(
     database: TransactionDatabase,
     minsup: float,
-    engine: str = "bitmap",
+    session=None,
     max_size: int | None = None,
 ) -> LargeItemsetIndex:
     """Mine all large itemsets of *database* at fractional support *minsup*.
@@ -80,8 +90,10 @@ def find_large_itemsets(
         :func:`repro.mining.generalized.mine_generalized` for that).
     minsup:
         Fractional minimum support in ``(0, 1]``.
-    engine:
-        Counting engine name (see :mod:`repro.mining.counting`).
+    session:
+        The :class:`~repro.core.session.MiningSession` to count through
+        (engine, cache and parallel policy); ``None`` uses a serial
+        default-engine session.
     max_size:
         Optional cap on itemset size (``None`` mines to exhaustion).
 
@@ -91,12 +103,16 @@ def find_large_itemsets(
         Every large itemset with its fractional support.
     """
     check_fraction(minsup, "minsup")
+    if session is None:
+        session = _default_session(database)
     total = len(database)
     min_count = minsup * total
 
     index = LargeItemsetIndex()
-    item_counts = count_supports(
-        database, [(item,) for item in database.items], engine=engine
+    item_counts = session.count(
+        [(item,) for item in database.items],
+        transactions=database,
+        taxonomy=None,
     )
     current: list[Itemset] = []
     for single, count in item_counts.items():
@@ -109,7 +125,9 @@ def find_large_itemsets(
         candidates = apriori_gen(current)
         if not candidates:
             break
-        counts = count_supports(database, candidates, engine=engine)
+        counts = session.count(
+            candidates, transactions=database, taxonomy=None
+        )
         current = []
         for candidate, count in counts.items():
             if count >= min_count:

@@ -29,8 +29,7 @@ from collections import defaultdict
 from .._util import check_fraction, check_positive
 from ..data.database import TransactionDatabase
 from ..itemset import Itemset
-from .apriori import apriori_gen
-from .counting import count_supports
+from .apriori import _default_session, apriori_gen
 from .itemset_index import LargeItemsetIndex
 
 #: A transaction's image: the ids of the current-level candidates it
@@ -162,7 +161,7 @@ def _advance(
 def find_large_itemsets_hybrid(
     database: TransactionDatabase,
     minsup: float,
-    engine: str = "bitmap",
+    session=None,
     switch_budget: int = 100_000,
     max_size: int | None = None,
 ) -> LargeItemsetIndex:
@@ -172,8 +171,9 @@ def find_large_itemsets_hybrid(
     ----------
     database, minsup, max_size:
         As for the other miners.
-    engine:
-        Counting engine for the Apriori phase.
+    session:
+        :class:`~repro.core.session.MiningSession` used for the Apriori
+        phase's counting; ``None`` uses a serial default-engine session.
     switch_budget:
         Switch to the Tid representation at the end of the first level
         whose image would hold at most this many (transaction, candidate)
@@ -187,12 +187,16 @@ def find_large_itemsets_hybrid(
     """
     check_fraction(minsup, "minsup")
     check_positive(switch_budget, "switch_budget")
+    if session is None:
+        session = _default_session(database)
     total = len(database)
     min_count = minsup * total
     index = LargeItemsetIndex()
 
-    item_counts = count_supports(
-        database, [(item,) for item in database.items], engine=engine
+    item_counts = session.count(
+        [(item,) for item in database.items],
+        transactions=database,
+        taxonomy=None,
     )
     current_level = []
     for single, count in sorted(item_counts.items()):
@@ -205,7 +209,9 @@ def find_large_itemsets_hybrid(
         candidates = apriori_gen(current_level)
         if not candidates:
             break
-        counts = count_supports(database, candidates, engine=engine)
+        counts = session.count(
+            candidates, transactions=database, taxonomy=None
+        )
         current_level = []
         membership_entries = 0
         for candidate, count in counts.items():

@@ -1,433 +1,125 @@
-"""Pluggable support-counting engines.
+"""Deprecated compat shim over the engine registry.
 
-Counting the support of a candidate set against the database is the inner
-loop of every miner here (positive and negative). The engines listed in
-:data:`ENGINES` are provided — however many that tuple holds at any point,
-all of them return identical counts (property-tested):
+Historically this module held every counting engine and the
+``count_supports`` free function that routed between them through a
+string ``engine=`` kwarg plus ~8 companion kwargs. The engines now live
+in :mod:`repro.mining.engines` behind the :class:`~repro.mining.engines.
+CountingEngine` protocol, and callers are expected to bind policy once
+in a :class:`~repro.core.session.MiningSession` and call
+``session.count()``.
 
-* ``"bitmap"`` (default) — vertical counting: one pass builds a per-item
-  transaction bitset (a Python ``int``), and each candidate's count is the
-  popcount of the AND of its items' bitsets. By far the fastest of the
-  pure-Python engines; the 1998 paper predates the vertical-layout
-  literature, so this engine is an engineering substitution (documented in
-  DESIGN.md) — the paper-faithful hash tree remains available and
-  equivalent.
-* ``"numpy"`` — the bitmap layout packed into ``uint64`` word arrays and
-  counted in vectorized batches (``np.bitwise_and.reduce`` + popcount;
-  see :mod:`repro.mining.bitpack` and DESIGN.md §7; the README's
-  counting-performance table has measured numbers). Taxonomy candidates
-  are
-  matched by descendant-OR instead of per-row ancestor extension (so,
-  like ``"cached"``, it ignores ``restrict_to_candidate_items`` and
-  tolerates transaction items unknown to the taxonomy). The fastest
-  serial engine per pass; still rebuilds its packed matrix every pass.
-* ``"hashtree"`` — the classic Apriori hash tree of Section 2.4 (see
-  :mod:`repro.mining.hash_tree`). Candidates are grouped by size and one
-  tree is built per size.
-* ``"index"`` — candidates bucketed by their smallest item; for each
-  transaction only buckets of present items are probed. Simple and fast for
-  small candidate sets.
-* ``"brute"`` — test every candidate against every transaction. The oracle
-  the others are verified against.
-* ``"cached"`` — vertical counting with the rebuild amortized away: one
-  physical scan materializes a persistent :class:`~repro.mining.vertical.
-  VerticalIndex` attached to the database, and every later pass (any
-  Apriori level, the Improved miner's negative-candidate count, EstMerge
-  sample estimates) intersects cached bitmaps instead of re-reading rows.
-  Generalized counting ORs descendant bitmaps lazily, so no per-row
-  ``ancestor_closure`` extension happens at all. With ``packed=True`` the
-  index stores NumPy word arrays and counts with the same vectorized
-  kernel as ``"numpy"``. See :mod:`repro.mining.vertical`.
-* ``"parallel"`` — shard the pass into contiguous row ranges, count each
-  shard with a serial engine in a worker process and sum the partial
-  counts (see :mod:`repro.parallel`). Selected either explicitly or by
-  passing ``n_jobs > 1`` with any serial engine (including ``"numpy"``
-  as the per-shard kernel, and packed shard-local indexes under
-  ``"cached"`` + ``packed=True``).
+:func:`count_supports` is kept as a thin delegating shim so existing
+code keeps working: the plain form
+``count_supports(rows, candidates, taxonomy)`` stays supported (and
+silent), while passing any of the legacy engine-policy kwargs
+(``engine=``, ``n_jobs=``, ``use_cache=``, …) emits a
+:class:`DeprecationWarning`. The kwarg path is scheduled for removal
+(see CHANGES.md for the horizon); internal code no longer uses it and
+CI runs one test leg with ``-W error::DeprecationWarning`` to keep it
+that way.
 
-Candidates must be non-empty itemsets: an empty candidate has no
-well-defined first item for the bucketed engines and its support (every
-transaction) is never meaningful to a miner, so every engine rejects it
-with :class:`~repro.errors.ConfigError` rather than answering
-inconsistently.
-
-The free function :func:`count_supports` adds the generalized-mining twist:
-when a taxonomy is supplied, each transaction is extended with item
-ancestors before matching, optionally filtered to the ancestors that can
-actually occur in a candidate (the *Cumulate* optimization).
-
-*transactions* may be either the rows of one pass (``database.scan()``)
-or the scan-counted database itself. Passing the database is required for
-the ``"cached"`` engine (the cache is keyed by a database fingerprint)
-and equivalent for every other engine — ``count_supports`` simply calls
-``scan()`` itself, preserving pass accounting.
+``ENGINES`` / ``SERIAL_ENGINES`` / ``DEFAULT_ENGINE`` are re-exported
+from the registry for compatibility.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from collections.abc import Collection, Iterable, Iterator
+import warnings
+from collections.abc import Collection
 
-from ..errors import ConfigError
 from ..itemset import Itemset
-from ..obs import api as obs
 from ..taxonomy.tree import Taxonomy
-from . import bitpack, vertical
-from .hash_tree import HashTree
-
-ENGINES = (
-    "bitmap", "cached", "numpy", "hashtree", "index", "brute", "parallel"
+from .engines import (  # noqa: F401  (compat re-exports)
+    DEFAULT_ENGINE,
+    ENGINES,
+    SERIAL_ENGINES,
+    EnginePolicy,
+    count_pass,
+    create_engine,
 )
 
-#: The engines that count rows in-process; ``"parallel"`` delegates each
-#: shard to one of these.
-SERIAL_ENGINES = ("bitmap", "cached", "numpy", "hashtree", "index", "brute")
+_UNSET = object()
 
-DEFAULT_ENGINE = "bitmap"
-
-
-def _count_bitmap(
-    transactions: Iterable[Itemset], candidates: Collection[Itemset]
-) -> dict[Itemset, int]:
-    """Vertical counting with per-item transaction bitsets.
-
-    Builds ``mask[item]`` — an arbitrary-precision integer whose bit ``t``
-    is set when transaction ``t`` contains the item — restricted to items
-    that occur in some candidate, then intersects masks per candidate and
-    popcounts.
-    """
-    if not candidates:
-        return {}
-    wanted = set()
-    for candidate in candidates:
-        wanted.update(candidate)
-    masks: dict[int, int] = {}
-    get_mask = masks.get
-    for position, row in enumerate(transactions):
-        bit = 1 << position
-        for item in row:
-            if item in wanted:
-                masks[item] = get_mask(item, 0) | bit
-    counts: dict[Itemset, int] = {}
-    for candidate in candidates:
-        # Micro-fast path: a candidate whose items never occurred in this
-        # pass needs no mask intersection (and no popcount) at all.
-        mask = get_mask(candidate[0])
-        if mask is None:
-            counts[candidate] = 0
-            continue
-        for item in candidate[1:]:
-            other = get_mask(item)
-            if other is None:
-                mask = 0
-                break
-            mask &= other
-            if not mask:
-                break
-        counts[candidate] = mask.bit_count()
-    return counts
-
-
-def _count_brute(
-    transactions: Iterable[Itemset], candidates: Collection[Itemset]
-) -> dict[Itemset, int]:
-    if not candidates:
-        return {}
-    counts = dict.fromkeys(candidates, 0)
-    candidate_list = list(counts)
-    for row in transactions:
-        row_set = set(row)
-        for candidate in candidate_list:
-            if all(item in row_set for item in candidate):
-                counts[candidate] += 1
-    return counts
-
-
-def _count_index(
-    transactions: Iterable[Itemset], candidates: Collection[Itemset]
-) -> dict[Itemset, int]:
-    if not candidates:
-        return {}
-    counts = dict.fromkeys(candidates, 0)
-    by_first: dict[int, list[Itemset]] = defaultdict(list)
-    for candidate in counts:
-        by_first[candidate[0]].append(candidate)
-    for row in transactions:
-        row_set = set(row)
-        for item in row:
-            for candidate in by_first.get(item, ()):
-                if all(member in row_set for member in candidate[1:]):
-                    counts[candidate] += 1
-    return counts
-
-
-def _count_hashtree(
-    transactions: Iterable[Itemset], candidates: Collection[Itemset]
-) -> dict[Itemset, int]:
-    if not candidates:
-        return {}
-    by_size: dict[int, list[Itemset]] = defaultdict(list)
-    for candidate in candidates:
-        by_size[len(candidate)].append(candidate)
-    trees = {
-        size: HashTree(members) for size, members in by_size.items()
-    }
-    for row in transactions:
-        for tree in trees.values():
-            tree.add_transaction(row)
-    counts: dict[Itemset, int] = {}
-    for tree in trees.values():
-        counts.update(tree.counts())
-    return counts
-
-
-_ENGINE_FUNCS = {
-    "bitmap": _count_bitmap,
-    "brute": _count_brute,
-    "index": _count_index,
-    "hashtree": _count_hashtree,
-}
-
-
-def _extended(
-    transactions: Iterable[Itemset],
-    taxonomy: Taxonomy,
-    keep: frozenset[int] | None,
-) -> Iterator[Itemset]:
-    """Yield transactions extended with ancestors (optionally filtered).
-
-    *keep*, when given, restricts the extended transaction to items that can
-    appear in some candidate — Cumulate's "filter the ancestors" and "drop
-    useless items" optimizations rolled into one.
-    """
-    for row in transactions:
-        extended = taxonomy.ancestor_closure(row)
-        if keep is not None:
-            extended = extended & keep
-        yield tuple(sorted(extended))
+#: (kwarg name, EnginePolicy field?) for the deprecated policy kwargs.
+_POLICY_KWARGS = (
+    "engine",
+    "n_jobs",
+    "shard_rows",
+    "use_cache",
+    "cache_bytes",
+    "packed",
+    "batch_words",
+)
 
 
 def count_supports(
     transactions,
     candidates: Collection[Itemset],
     taxonomy: Taxonomy | None = None,
-    engine: str = DEFAULT_ENGINE,
+    engine=_UNSET,
     restrict_to_candidate_items: bool = False,
-    n_jobs: int | None = None,
-    shard_rows: int | None = None,
-    parallel_stats=None,
-    use_cache: bool = True,
-    cache_bytes: int | None = None,
-    cache_stats=None,
-    packed: bool = False,
-    batch_words: int | None = None,
+    n_jobs=_UNSET,
+    shard_rows=_UNSET,
+    parallel_stats=_UNSET,
+    use_cache=_UNSET,
+    cache_bytes=_UNSET,
+    cache_stats=_UNSET,
+    packed=_UNSET,
+    batch_words=_UNSET,
 ) -> dict[Itemset, int]:
-    """Count how many transactions contain each candidate.
+    """Count how many transactions contain each candidate (deprecated
+    kwargs path).
 
-    Parameters
-    ----------
-    transactions:
-        The rows of one database pass (e.g. ``database.scan()``), or the
-        scan-counted database itself. Passing the database lets the
-        ``"cached"`` engine serve the pass from its vertical index
-        (recording a logical pass without a physical read); every other
-        engine simply calls ``scan()`` on it, which is equivalent to
-        passing ``database.scan()``.
-    candidates:
-        Canonical non-empty itemsets to count; mixed sizes are allowed.
-        An empty *collection* short-circuits to ``{}`` without touching
-        *transactions* (no mask/tree setup, no row consumption, no pass
-        recorded); an empty *candidate* inside the collection raises
-        :class:`~repro.errors.ConfigError` (see module docstring).
-    taxonomy:
-        When given, rows are extended with ancestors first so that
-        category-level candidates are counted generalized (the cached
-        engine instead ORs descendant bitmaps — identical counts).
-    engine:
-        One of :data:`ENGINES`.
-    restrict_to_candidate_items:
-        With a taxonomy: intersect each extended row with the set of items
-        occurring in any candidate (Cumulate optimization; changes no
-        counts, only speed). The cached and numpy engines ignore it: they
-        never materialize extended rows in the first place.
-    n_jobs:
-        Worker processes for sharded counting. ``None`` keeps the serial
-        path (except under ``engine="parallel"``, where it means one
-        worker per CPU); any value above 1 routes the pass through
-        :func:`repro.parallel.engine.parallel_count_supports` with this
-        *engine* as the per-shard engine.
-    shard_rows:
-        Target rows per shard for the parallel path.
-    parallel_stats:
-        Optional :class:`repro.parallel.engine.ParallelStats` accumulator
-        recording shard/worker/retry counts.
-    use_cache:
-        Cached engine only: reuse the index attached to the database.
-        ``False`` rebuilds every pass (the rebuild-per-pass baseline).
-    cache_bytes:
-        Cached engine only: LRU memory budget for the vertical index.
-    cache_stats:
-        Optional :class:`repro.mining.vertical.CacheStats` accumulator
-        (also records ``kernel_batches`` for the numpy/packed kernels).
-    packed:
-        Cached engine only: store the vertical index as bit-packed NumPy
-        word arrays and count with the vectorized kernel of
-        :mod:`repro.mining.bitpack` instead of big-int bitmaps. Counts
-        are identical; only speed and memory layout change.
-    batch_words:
-        Numpy/packed kernels only: memory budget, in 64-bit words, for
-        one gathered candidate batch (default
-        :data:`repro.mining.bitpack.DEFAULT_BATCH_WORDS`).
+    The plain form — *transactions*, *candidates*, optional *taxonomy*
+    and *restrict_to_candidate_items* — counts with the default engine
+    and stays fully supported. Every other kwarg mirrors a
+    :class:`~repro.core.session.MiningSession` /
+    :class:`~repro.mining.engines.EnginePolicy` field and is deprecated:
+    bind the policy once in a session and call ``session.count()``
+    instead. Passing any of them warns; behavior is unchanged
+    (``n_jobs > 1`` still auto-shards, ``engine="parallel"`` still means
+    one worker per CPU).
 
-    Returns
-    -------
-    dict
-        Absolute count per candidate. Every candidate appears as a key,
-        with 0 when unsupported.
+    Returns the absolute count per candidate; every candidate appears
+    as a key, with 0 when unsupported.
     """
-    if engine not in ENGINES:
-        raise ConfigError(
-            f"unknown counting engine {engine!r}; choose from {ENGINES}"
+    legacy = {
+        name: value
+        for name, value in (
+            ("engine", engine),
+            ("n_jobs", n_jobs),
+            ("shard_rows", shard_rows),
+            ("parallel_stats", parallel_stats),
+            ("use_cache", use_cache),
+            ("cache_bytes", cache_bytes),
+            ("cache_stats", cache_stats),
+            ("packed", packed),
+            ("batch_words", batch_words),
         )
-    if not candidates:
-        return {}
-    for candidate in candidates:
-        if not candidate:
-            raise ConfigError(
-                "cannot count an empty candidate itemset; candidates "
-                "must contain at least one item"
-            )
-    state = obs.current()
-    if state is None:
-        # Observability off: straight to the engines, zero added work.
-        return _dispatch(
-            transactions,
-            candidates,
-            taxonomy,
-            engine,
-            restrict_to_candidate_items,
-            n_jobs,
-            shard_rows,
-            parallel_stats,
-            use_cache,
-            cache_bytes,
-            cache_stats,
-            packed,
-            batch_words,
+        if value is not _UNSET
+    }
+    if legacy:
+        warnings.warn(
+            "count_supports(" + ", ".join(sorted(legacy)) + "=...) is "
+            "deprecated: bind the engine policy once in a "
+            "repro.core.session.MiningSession and call session.count() "
+            "(see CHANGES.md for the removal horizon)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    prefix = "" if state.scope == "driver" else state.scope + "."
-    try:
-        n_rows = len(transactions)
-    except TypeError:
-        n_rows = None
-    # Top-level counts only: the parallel engine's serial-fallback path
-    # re-enters count_supports for the same logical pass, and counting it
-    # twice would break parallel == serial metric totals.
-    if not state.in_span("count."):
-        registry = state.registry
-        registry.incr(prefix + "counting.passes")
-        registry.incr(prefix + "counting.candidates", len(candidates))
-        if n_rows is not None:
-            registry.incr(prefix + "counting.rows", n_rows)
-    if cache_stats is None and (engine in ("cached", "numpy") or packed):
-        cache_stats = vertical.CacheStats(
-            registry=state.registry, prefix=prefix
-        )
-    if parallel_stats is None and (
-        engine == "parallel" or (n_jobs is not None and n_jobs > 1)
-    ):
-        from ..parallel.engine import ParallelStats
-
-        parallel_stats = ParallelStats(
-            registry=state.registry, prefix=prefix
-        )
-    with obs.span("count." + engine) as span:
-        span.annotate("candidates", len(candidates))
-        if n_rows is not None:
-            span.annotate("rows", n_rows)
-        return _dispatch(
-            transactions,
-            candidates,
-            taxonomy,
-            engine,
-            restrict_to_candidate_items,
-            n_jobs,
-            shard_rows,
-            parallel_stats,
-            use_cache,
-            cache_bytes,
-            cache_stats,
-            packed,
-            batch_words,
-        )
-
-
-def _dispatch(
-    transactions,
-    candidates: Collection[Itemset],
-    taxonomy: Taxonomy | None,
-    engine: str,
-    restrict_to_candidate_items: bool,
-    n_jobs: int | None,
-    shard_rows: int | None,
-    parallel_stats,
-    use_cache: bool,
-    cache_bytes: int | None,
-    cache_stats,
-    packed: bool,
-    batch_words: int | None,
-) -> dict[Itemset, int]:
-    """Route one validated counting pass to its engine."""
-    if engine == "parallel" or (n_jobs is not None and n_jobs > 1):
-        # Imported lazily: repro.parallel.engine imports this module.
-        from ..parallel.engine import parallel_count_supports
-
-        return parallel_count_supports(
-            transactions,
-            candidates,
-            taxonomy=taxonomy,
-            base_engine=engine,
-            restrict_to_candidate_items=restrict_to_candidate_items,
-            n_jobs=n_jobs,
-            shard_rows=shard_rows,
-            stats=parallel_stats,
-            use_cache=use_cache,
-            cache_stats=cache_stats,
-            packed=packed,
-            batch_words=batch_words,
-        )
-    if engine == "cached":
-        return vertical.count_with_index(
-            transactions,
-            candidates,
-            taxonomy=taxonomy,
-            budget_bytes=cache_bytes,
-            use_cache=use_cache,
-            stats=cache_stats,
-            packed=packed,
-            batch_words=batch_words,
-        )
-    if engine == "numpy":
-        numpy_rows: Iterable[Itemset] = (
-            transactions.scan()
-            if hasattr(transactions, "scan")
-            else transactions
-        )
-        return bitpack.count_rows(
-            numpy_rows,
-            candidates,
-            taxonomy=taxonomy,
-            batch_words=batch_words,
-            stats=cache_stats,
-        )
-    rows: Iterable[Itemset] = (
-        transactions.scan() if hasattr(transactions, "scan") else transactions
+    policy = EnginePolicy(
+        **{
+            name: legacy[name]
+            for name in _POLICY_KWARGS
+            if name in legacy and name != "engine"
+        }
     )
-    if taxonomy is not None:
-        keep: frozenset[int] | None = None
-        if restrict_to_candidate_items:
-            keep = frozenset(
-                item for candidate in candidates for item in candidate
-            )
-        rows = _extended(rows, taxonomy, keep)
-    return _ENGINE_FUNCS[engine](rows, candidates)
+    resolved = create_engine(legacy.get("engine", DEFAULT_ENGINE), policy)
+    return count_pass(
+        resolved,
+        resolved.prepare(transactions, taxonomy),
+        candidates,
+        restrict_to_candidate_items=restrict_to_candidate_items,
+        cache_stats=legacy.get("cache_stats"),
+        parallel_stats=legacy.get("parallel_stats"),
+    )

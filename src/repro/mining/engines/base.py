@@ -1,0 +1,398 @@
+"""The counting-engine protocol, capability flags and registry.
+
+Every support-counting backend is a :class:`CountingEngine`: a small
+object configured once (from an :class:`EnginePolicy`), asked to
+``prepare()`` an :class:`EngineState` for a database/taxonomy pair, and
+then invoked through ``count(state, candidates)`` for each logical pass.
+Engines self-register under a name with :func:`register_engine`, which is
+the single source of truth the CLI, the benchmarks and the property tests
+enumerate — a newly registered engine is automatically validated,
+listed by ``python -m repro engines`` and covered by the
+registry-parametrized equivalence test.
+
+Specs
+-----
+An engine *spec* is either a plain registered name (``"bitmap"``,
+``"numpy"``, …) or a composition ``"parallel:<inner>"`` selecting the
+sharding wrapper around a serial engine (``"parallel:numpy"`` counts
+shards with the bit-packed kernel). :func:`create_engine` resolves a spec
+plus a policy into a ready engine object; it also auto-wraps any
+shardable engine in the parallel wrapper when the policy asks for more
+than one worker, which is how ``n_jobs=4`` with ``engine="bitmap"``
+keeps working exactly as before the registry existed.
+
+Validation
+----------
+The precheck every engine used to duplicate lives here once
+(:func:`validate_candidates` / :func:`count_pass`): unknown engine names
+are rejected at spec resolution, an empty candidate *collection*
+short-circuits to ``{}`` without touching the data, and an empty
+candidate *itemset* raises :class:`~repro.errors.ConfigError` — an empty
+candidate has no well-defined first item for the bucketed engines and
+its support (every transaction) is never meaningful to a miner. A new
+engine cannot forget any of this because :func:`count_pass` runs it
+before the engine is ever called.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar
+
+from ..._util import check_positive
+from ...errors import ConfigError
+from ...itemset import Itemset
+from ...obs import api as obs
+from ...taxonomy.tree import Taxonomy
+from .. import vertical
+
+
+@dataclass(frozen=True, slots=True)
+class Capabilities:
+    """Declared properties of one counting engine.
+
+    Attributes
+    ----------
+    packed:
+        Counts through the bit-packed NumPy kernel
+        (:mod:`repro.mining.bitpack`), at least optionally.
+    caching:
+        Maintains a persistent per-database structure across passes
+        (physical passes can drop below logical passes).
+    shardable:
+        Row ranges can be counted independently and summed, so the
+        parallel wrapper may use it as a per-shard inner engine.
+    needs_numpy:
+        Requires NumPy at runtime.
+    """
+
+    packed: bool = False
+    caching: bool = False
+    shardable: bool = True
+    needs_numpy: bool = False
+
+    def describe(self) -> str:
+        """The set flags as a short comma-separated string."""
+        names = [f.name for f in fields(self) if getattr(self, f.name)]
+        return ", ".join(names) if names else "-"
+
+
+@dataclass(frozen=True, slots=True)
+class EnginePolicy:
+    """Execution policy an engine is configured from (once, up front).
+
+    This is the registry-side mirror of the engine-related
+    ``MiningConfig`` fields; :func:`create_engine` hands it to each
+    engine class's ``from_policy`` so the class picks out the fields it
+    understands and ignores the rest.
+    """
+
+    n_jobs: int | None = None
+    shard_rows: int | None = None
+    use_cache: bool = True
+    cache_bytes: int | None = None
+    packed: bool = False
+    batch_words: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_jobs is not None:
+            check_positive(self.n_jobs, "n_jobs")
+        if self.shard_rows is not None:
+            check_positive(self.shard_rows, "shard_rows")
+        if self.cache_bytes is not None:
+            check_positive(self.cache_bytes, "cache_bytes")
+        if self.batch_words is not None:
+            check_positive(self.batch_words, "batch_words")
+
+
+@dataclass(slots=True)
+class EngineState:
+    """One prepared (transactions, taxonomy) binding.
+
+    *transactions* is either the scan-counted database or the plain rows
+    of one pass — exactly the two forms ``count_supports`` always
+    accepted. ``prepare()`` exists so engines that build per-database
+    structures (the cached engine today, a disk-resident layout tomorrow)
+    have a place to do it once per session instead of once per pass.
+    """
+
+    transactions: Any
+    taxonomy: Taxonomy | None = None
+
+    def rows(self) -> Iterable[Itemset]:
+        """The rows of one pass (calls ``scan()`` on a database)."""
+        source = self.transactions
+        return source.scan() if hasattr(source, "scan") else source
+
+    def n_rows(self) -> int | None:
+        """Row count when knowable without consuming an iterator."""
+        try:
+            return len(self.transactions)
+        except TypeError:
+            return None
+
+
+class CountingEngine:
+    """Base class and protocol for support-counting backends.
+
+    Subclasses set :attr:`name` and :attr:`capabilities`, register with
+    :func:`register_engine`, and implement :meth:`count`. They may
+    override :meth:`from_policy` to consume policy fields and
+    :meth:`prepare` to build per-database state.
+    """
+
+    name: ClassVar[str] = ""
+    capabilities: ClassVar[Capabilities] = Capabilities()
+    #: True for wrapper engines (the parallel wrapper) that hold an inner
+    #: engine; create_engine never auto-wraps an engine twice.
+    wraps: ClassVar[bool] = False
+
+    @property
+    def spec(self) -> str:
+        """The spec string that would recreate this engine's shape."""
+        return self.name
+
+    @property
+    def wants_cache_stats(self) -> bool:
+        """Whether an obs session should auto-create CacheStats for it."""
+        return self.capabilities.caching or self.capabilities.packed
+
+    @property
+    def wants_parallel_stats(self) -> bool:
+        """Whether an obs session should auto-create ParallelStats."""
+        return False
+
+    @classmethod
+    def from_policy(
+        cls, policy: EnginePolicy, inner: "str | CountingEngine | None" = None
+    ) -> "CountingEngine":
+        """Build an engine from *policy*; non-wrappers reject *inner*."""
+        cls._reject_inner(inner)
+        return cls()
+
+    @classmethod
+    def _reject_inner(cls, inner: "str | CountingEngine | None") -> None:
+        if inner is not None:
+            raise ConfigError(
+                f"engine {cls.name!r} does not compose with an inner "
+                f"engine; only 'parallel:<engine>' specs are valid"
+            )
+
+    def prepare(
+        self, transactions: Any, taxonomy: Taxonomy | None = None
+    ) -> EngineState:
+        """Bind a database/taxonomy pair; called once per session."""
+        return EngineState(transactions, taxonomy)
+
+    def count(
+        self,
+        state: EngineState,
+        candidates: Collection[Itemset],
+        *,
+        restrict_to_candidate_items: bool = False,
+        cache_stats=None,
+        parallel_stats=None,
+    ) -> dict[Itemset, int]:
+        """Count one validated pass; implemented by each engine."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.spec!r}>"
+
+
+_REGISTRY: dict[str, type[CountingEngine]] = {}
+
+
+def register_engine(name: str):
+    """Class decorator: register a :class:`CountingEngine` under *name*."""
+
+    def decorate(cls: type[CountingEngine]) -> type[CountingEngine]:
+        if name in _REGISTRY:
+            raise ValueError(f"engine {name!r} is already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def registered_engines() -> dict[str, type[CountingEngine]]:
+    """Name -> engine class, in registration order (a copy)."""
+    return dict(_REGISTRY)
+
+
+def engine_names() -> tuple[str, ...]:
+    """All registered engine names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def serial_engine_names() -> tuple[str, ...]:
+    """The shardable (per-shard capable) engine names."""
+    return tuple(
+        name
+        for name, cls in _REGISTRY.items()
+        if cls.capabilities.shardable
+    )
+
+
+def all_engine_specs() -> tuple[str, ...]:
+    """Every reachable spec: plain names plus ``parallel:<inner>``.
+
+    This is what the registry-parametrized property test enumerates, so
+    a newly registered engine (and its parallel composition, when
+    shardable) is covered automatically.
+    """
+    specs = list(_REGISTRY)
+    if "parallel" in _REGISTRY:
+        specs.extend(
+            f"parallel:{name}" for name in serial_engine_names()
+        )
+    return tuple(specs)
+
+
+def parse_spec(spec: str) -> tuple[str, str | None]:
+    """Split ``"name"`` / ``"name:inner"``, validating both names."""
+    if not isinstance(spec, str):
+        raise ConfigError(
+            f"engine spec must be a string or CountingEngine, got "
+            f"{type(spec).__name__}"
+        )
+    name, _, inner = spec.partition(":")
+    _require_known(name)
+    if not _:
+        return name, None
+    if not _REGISTRY[name].wraps:
+        raise ConfigError(
+            f"engine {name!r} does not compose with an inner engine; "
+            f"only 'parallel:<engine>' specs are valid"
+        )
+    _require_known(inner)
+    return name, inner
+
+
+def _require_known(name: str) -> None:
+    if name not in _REGISTRY:
+        raise ConfigError(
+            f"unknown counting engine {name!r}; "
+            f"choose from {engine_names()}"
+        )
+
+
+def validate_spec(spec: "str | CountingEngine") -> str:
+    """Validate an engine spec and return it normalized (for configs)."""
+    if isinstance(spec, CountingEngine):
+        return spec.spec
+    parse_spec(spec)
+    return spec
+
+
+def create_engine(
+    spec: "str | CountingEngine",
+    policy: EnginePolicy | None = None,
+) -> CountingEngine:
+    """Resolve a spec + policy into a ready engine object.
+
+    A :class:`CountingEngine` instance passes through unchanged. When the
+    policy requests more than one worker and the resolved engine is a
+    shardable serial engine, it is wrapped in the parallel engine
+    automatically — ``engine="bitmap", n_jobs=4`` shards exactly as it
+    did before the registry existed.
+    """
+    if isinstance(spec, CountingEngine):
+        return spec
+    if policy is None:
+        policy = EnginePolicy()
+    name, inner = parse_spec(spec)
+    engine = _REGISTRY[name].from_policy(policy, inner=inner)
+    if (
+        not engine.wraps
+        and engine.capabilities.shardable
+        and policy.n_jobs is not None
+        and policy.n_jobs > 1
+        and "parallel" in _REGISTRY
+    ):
+        engine = _REGISTRY["parallel"].from_policy(policy, inner=engine)
+    return engine
+
+
+def validate_candidates(candidates: Collection[Itemset]) -> None:
+    """The registry-level candidate precheck shared by all engines.
+
+    Raises :class:`~repro.errors.ConfigError` for an empty candidate
+    itemset (see module docstring). Runs before any engine code, so no
+    engine can forget it.
+    """
+    for candidate in candidates:
+        if not candidate:
+            raise ConfigError(
+                "cannot count an empty candidate itemset; candidates "
+                "must contain at least one item"
+            )
+
+
+def count_pass(
+    engine: CountingEngine,
+    state: EngineState,
+    candidates: Collection[Itemset],
+    *,
+    restrict_to_candidate_items: bool = False,
+    cache_stats=None,
+    parallel_stats=None,
+) -> dict[Itemset, int]:
+    """Run one validated, instrumented counting pass through *engine*.
+
+    This is the single entry point every caller (MiningSession, the
+    ``count_supports`` compat shim, the parallel shard workers) funnels
+    through: it applies the registry-level precheck, then — only when an
+    observability session is active — records the driver/worker
+    ``counting.*`` metrics, auto-creates stats accumulators the engine
+    declares a use for, and wraps the pass in a ``count.<name>`` span.
+    With observability off it adds zero work beyond the precheck.
+    """
+    validate_candidates(candidates)
+    if not candidates:
+        # Never touch the data: no mask/tree setup, no row consumption,
+        # no pass recorded.
+        return {}
+    obs_state = obs.current()
+    if obs_state is None:
+        return engine.count(
+            state,
+            candidates,
+            restrict_to_candidate_items=restrict_to_candidate_items,
+            cache_stats=cache_stats,
+            parallel_stats=parallel_stats,
+        )
+    prefix = "" if obs_state.scope == "driver" else obs_state.scope + "."
+    n_rows = state.n_rows()
+    # Top-level counts only: the parallel engine's serial-fallback path
+    # re-enters count_pass for the same logical pass, and counting it
+    # twice would break parallel == serial metric totals.
+    if not obs_state.in_span("count."):
+        registry = obs_state.registry
+        registry.incr(prefix + "counting.passes")
+        registry.incr(prefix + "counting.candidates", len(candidates))
+        if n_rows is not None:
+            registry.incr(prefix + "counting.rows", n_rows)
+    if cache_stats is None and engine.wants_cache_stats:
+        cache_stats = vertical.CacheStats(
+            registry=obs_state.registry, prefix=prefix
+        )
+    if parallel_stats is None and engine.wants_parallel_stats:
+        from ...parallel.engine import ParallelStats
+
+        parallel_stats = ParallelStats(
+            registry=obs_state.registry, prefix=prefix
+        )
+    with obs.span("count." + engine.name) as span:
+        span.annotate("candidates", len(candidates))
+        if n_rows is not None:
+            span.annotate("rows", n_rows)
+        return engine.count(
+            state,
+            candidates,
+            restrict_to_candidate_items=restrict_to_candidate_items,
+            cache_stats=cache_stats,
+            parallel_stats=parallel_stats,
+        )

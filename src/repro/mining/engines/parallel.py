@@ -1,0 +1,118 @@
+"""The ``parallel`` engine: a composable sharding wrapper.
+
+Unlike the serial engines, ``parallel`` is not a counting strategy of
+its own — it wraps any shardable inner engine, splits each pass into
+contiguous row ranges, counts every shard with the inner engine in a
+worker process and sums the partial counts (bit-identical to a serial
+count; see :mod:`repro.parallel`). The spec syntax is
+``"parallel:<inner>"`` (``"parallel"`` alone wraps the default engine),
+so ``--engine parallel:numpy`` runs the bit-packed kernel per shard and
+``"parallel:cached"`` ships shard-local vertical indexes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+from dataclasses import replace
+
+from ...errors import ConfigError
+from ...itemset import Itemset
+from .base import (
+    Capabilities,
+    CountingEngine,
+    EnginePolicy,
+    EngineState,
+    create_engine,
+    register_engine,
+)
+
+#: The inner engine used by a bare ``"parallel"`` spec.
+DEFAULT_INNER = "bitmap"
+
+
+@register_engine("parallel")
+class ParallelEngine(CountingEngine):
+    """Shard the pass across worker processes; sum partial counts.
+
+    ``n_jobs=None`` means one worker per CPU; ``n_jobs=1`` (or a single
+    shard) degrades to an in-process serial count with no worker
+    transport. Worker failures follow the pool's retry-then-serial
+    ladder.
+    """
+
+    capabilities = Capabilities(shardable=False)
+    wraps = True
+
+    def __init__(
+        self,
+        inner: CountingEngine | None = None,
+        n_jobs: int | None = None,
+        shard_rows: int | None = None,
+        pool_config=None,
+    ) -> None:
+        if inner is None:
+            inner = create_engine(DEFAULT_INNER)
+        if inner.wraps or not inner.capabilities.shardable:
+            raise ConfigError(
+                f"engine 'parallel' cannot wrap {inner.spec!r}; the "
+                f"inner engine must be a shardable serial engine"
+            )
+        self.inner = inner
+        self.n_jobs = n_jobs
+        self.shard_rows = shard_rows
+        self.pool_config = pool_config
+
+    @classmethod
+    def from_policy(
+        cls, policy: EnginePolicy, inner=None
+    ) -> "ParallelEngine":
+        if inner is None:
+            inner = DEFAULT_INNER
+        if not isinstance(inner, CountingEngine):
+            # The inner engine runs one shard in one process: build it
+            # from the same policy, minus the parallelism fields.
+            inner = create_engine(
+                inner, replace(policy, n_jobs=None)
+            )
+        return cls(
+            inner,
+            n_jobs=policy.n_jobs,
+            shard_rows=policy.shard_rows,
+        )
+
+    @property
+    def spec(self) -> str:
+        return f"parallel:{self.inner.spec}"
+
+    @property
+    def wants_cache_stats(self) -> bool:
+        return self.inner.wants_cache_stats
+
+    @property
+    def wants_parallel_stats(self) -> bool:
+        return True
+
+    def count(
+        self,
+        state: EngineState,
+        candidates: Collection[Itemset],
+        *,
+        restrict_to_candidate_items: bool = False,
+        cache_stats=None,
+        parallel_stats=None,
+    ) -> dict[Itemset, int]:
+        # Imported lazily: repro.parallel.engine imports this package.
+        from ...parallel.engine import parallel_count_supports
+
+        return parallel_count_supports(
+            state.transactions,
+            candidates,
+            taxonomy=state.taxonomy,
+            engine=self.inner,
+            restrict_to_candidate_items=restrict_to_candidate_items,
+            n_jobs=self.n_jobs,
+            shard_rows=self.shard_rows,
+            pool_config=self.pool_config,
+            stats=parallel_stats,
+            cache_stats=cache_stats,
+        )

@@ -60,10 +60,22 @@ from ..itemset import Itemset
 from ..obs import api as obs
 from ..taxonomy.tree import Taxonomy
 from .apriori import apriori_gen
-from .counting import count_supports
 from .itemset_index import LargeItemsetIndex
 
 ALGORITHMS = ("basic", "cumulate", "estmerge")
+
+
+def _resolve_session(session, database, taxonomy):
+    """The caller's session, or a serial default-engine one.
+
+    Imported lazily: :mod:`repro.core.session` sits above the mining
+    package in the import graph.
+    """
+    if session is not None:
+        return session
+    from ..core.session import MiningSession
+
+    return MiningSession(database, taxonomy)
 
 
 def extend_database(
@@ -93,18 +105,11 @@ def mine_generalized(
     taxonomy: Taxonomy,
     minsup: float,
     algorithm: str = "cumulate",
-    engine: str = "bitmap",
+    session=None,
     max_size: int | None = None,
     sample_fraction: float = 0.1,
     estimation_slack: float = 0.9,
     rng: random.Random | None = None,
-    n_jobs: int | None = None,
-    shard_rows: int | None = None,
-    parallel_stats=None,
-    use_cache: bool = True,
-    cache_bytes: int | None = None,
-    cache_stats=None,
-    packed: bool = False,
 ) -> LargeItemsetIndex:
     """Mine all generalized large itemsets of *database* under *taxonomy*.
 
@@ -118,26 +123,16 @@ def mine_generalized(
         Fractional minimum support in ``(0, 1]``.
     algorithm:
         ``"basic"``, ``"cumulate"`` (default) or ``"estmerge"``.
-    engine:
-        Counting engine (see :mod:`repro.mining.counting`).
+    session:
+        The :class:`~repro.core.session.MiningSession` every counting
+        pass goes through (engine, cache and parallel policy); ``None``
+        uses a serial default-engine session over *database*.
     max_size:
         Optional cap on itemset size.
     sample_fraction, estimation_slack, rng:
         EstMerge tuning: sample size as a fraction of |D|, and the
         fraction of ``minsup`` above which a sampled estimate counts as
         "probably large". Ignored by the other algorithms.
-    n_jobs, shard_rows, parallel_stats:
-        Sharded-counting controls forwarded to
-        :func:`repro.mining.counting.count_supports` for every full
-        database pass (see :mod:`repro.parallel`).
-    use_cache, cache_bytes, cache_stats:
-        Vertical-index cache controls for ``engine="cached"`` (see
-        :mod:`repro.mining.vertical`): persistent-cache reuse, LRU
-        memory budget, and an optional stats accumulator.
-    packed:
-        ``engine="cached"`` only: store the vertical index bit-packed
-        and count with the vectorized NumPy kernel (see
-        :mod:`repro.mining.bitpack`). Identical output.
 
     Returns
     -------
@@ -151,23 +146,17 @@ def mine_generalized(
         raise ConfigError(
             f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
         )
+    session = _resolve_session(session, database, taxonomy)
     if algorithm == "estmerge":
         return _mine_estmerge(
             database,
             taxonomy,
             minsup,
-            engine,
+            session,
             max_size,
             sample_fraction,
             estimation_slack,
             rng,
-            n_jobs=n_jobs,
-            shard_rows=shard_rows,
-            parallel_stats=parallel_stats,
-            use_cache=use_cache,
-            cache_bytes=cache_bytes,
-            cache_stats=cache_stats,
-            packed=packed,
         )
     prune_lineage = algorithm == "cumulate"
     restrict = algorithm == "cumulate"
@@ -175,17 +164,10 @@ def mine_generalized(
         database,
         taxonomy,
         minsup,
-        engine,
+        session,
         max_size,
         prune_lineage,
         restrict,
-        n_jobs=n_jobs,
-        shard_rows=shard_rows,
-        parallel_stats=parallel_stats,
-        use_cache=use_cache,
-        cache_bytes=cache_bytes,
-        cache_stats=cache_stats,
-        packed=packed,
     )
 
 
@@ -193,29 +175,12 @@ def _large_singles(
     database: TransactionDatabase,
     taxonomy: Taxonomy,
     min_count: float,
-    engine: str,
-    n_jobs: int | None = None,
-    shard_rows: int | None = None,
-    parallel_stats=None,
-    use_cache: bool = True,
-    cache_bytes: int | None = None,
-    cache_stats=None,
-    packed: bool = False,
+    session,
 ) -> dict[Itemset, int]:
     """Pass 1: count every taxonomy node as a 1-itemset, keep the large."""
     singles = [(node,) for node in taxonomy.nodes]
-    counts = count_supports(
-        database,
-        singles,
-        taxonomy=taxonomy,
-        engine=engine,
-        n_jobs=n_jobs,
-        shard_rows=shard_rows,
-        parallel_stats=parallel_stats,
-        use_cache=use_cache,
-        cache_bytes=cache_bytes,
-        cache_stats=cache_stats,
-        packed=packed,
+    counts = session.count(
+        singles, transactions=database, taxonomy=taxonomy
     )
     return {
         single: count
@@ -238,17 +203,10 @@ def iter_generalized_levels(
     database: TransactionDatabase,
     taxonomy: Taxonomy,
     minsup: float,
-    engine: str = "bitmap",
+    session=None,
     max_size: int | None = None,
     prune_lineage: bool = True,
     restrict: bool = True,
-    n_jobs: int | None = None,
-    shard_rows: int | None = None,
-    parallel_stats=None,
-    use_cache: bool = True,
-    cache_bytes: int | None = None,
-    cache_stats=None,
-    packed: bool = False,
 ) -> "Iterator[dict[Itemset, float]]":
     """Yield the generalized large itemsets one level at a time.
 
@@ -256,25 +214,15 @@ def iter_generalized_levels(
     fractional supports; producing it costs exactly one pass over the
     data. The Naive negative miner consumes this generator so it can
     interleave its own negative-candidate counting pass after every level
-    (two passes per iteration, as in Section 2.2.1).
+    (two passes per iteration, as in Section 2.2.1). All counting goes
+    through *session* (``None`` = a serial default-engine session).
     """
     check_fraction(minsup, "minsup")
+    session = _resolve_session(session, database, taxonomy)
     total = len(database)
     min_count = minsup * total
 
-    large_singles = _large_singles(
-        database,
-        taxonomy,
-        min_count,
-        engine,
-        n_jobs=n_jobs,
-        shard_rows=shard_rows,
-        parallel_stats=parallel_stats,
-        use_cache=use_cache,
-        cache_bytes=cache_bytes,
-        cache_stats=cache_stats,
-        packed=packed,
-    )
+    large_singles = _large_singles(database, taxonomy, min_count, session)
     level = {
         single: count / total for single, count in large_singles.items()
     }
@@ -293,19 +241,11 @@ def iter_generalized_levels(
             span.annotate("candidates", len(candidates))
         if not candidates:
             return
-        counts = count_supports(
-            database,
+        counts = session.count(
             candidates,
+            transactions=database,
             taxonomy=taxonomy,
-            engine=engine,
             restrict_to_candidate_items=restrict,
-            n_jobs=n_jobs,
-            shard_rows=shard_rows,
-            parallel_stats=parallel_stats,
-            use_cache=use_cache,
-            cache_bytes=cache_bytes,
-            cache_stats=cache_stats,
-            packed=packed,
         )
         level = {
             candidate: count / total
@@ -323,17 +263,10 @@ def _mine_levelwise(
     database: TransactionDatabase,
     taxonomy: Taxonomy,
     minsup: float,
-    engine: str,
+    session,
     max_size: int | None,
     prune_lineage: bool,
     restrict: bool,
-    n_jobs: int | None = None,
-    shard_rows: int | None = None,
-    parallel_stats=None,
-    use_cache: bool = True,
-    cache_bytes: int | None = None,
-    cache_stats=None,
-    packed: bool = False,
 ) -> LargeItemsetIndex:
     """Shared level-wise loop for Basic and Cumulate."""
     index = LargeItemsetIndex()
@@ -341,17 +274,10 @@ def _mine_levelwise(
         database,
         taxonomy,
         minsup,
-        engine=engine,
+        session=session,
         max_size=max_size,
         prune_lineage=prune_lineage,
         restrict=restrict,
-        n_jobs=n_jobs,
-        shard_rows=shard_rows,
-        parallel_stats=parallel_stats,
-        use_cache=use_cache,
-        cache_bytes=cache_bytes,
-        cache_stats=cache_stats,
-        packed=packed,
     ):
         for candidate, support in level.items():
             index.add(candidate, support)
@@ -362,18 +288,11 @@ def _mine_estmerge(
     database: TransactionDatabase,
     taxonomy: Taxonomy,
     minsup: float,
-    engine: str,
+    session,
     max_size: int | None,
     sample_fraction: float,
     estimation_slack: float,
     rng: random.Random | None,
-    n_jobs: int | None = None,
-    shard_rows: int | None = None,
-    parallel_stats=None,
-    use_cache: bool = True,
-    cache_bytes: int | None = None,
-    cache_stats=None,
-    packed: bool = False,
 ) -> LargeItemsetIndex:
     """Sampling-guided variant; see module docstring for the contract.
 
@@ -398,19 +317,7 @@ def _mine_estmerge(
     sample = sample_database(database, sample_fraction, rng=rng)
     sample_threshold = estimation_slack * minsup * len(sample)
 
-    large_singles = _large_singles(
-        database,
-        taxonomy,
-        min_count,
-        engine,
-        n_jobs=n_jobs,
-        shard_rows=shard_rows,
-        parallel_stats=parallel_stats,
-        use_cache=use_cache,
-        cache_bytes=cache_bytes,
-        cache_stats=cache_stats,
-        packed=packed,
-    )
+    large_singles = _large_singles(database, taxonomy, min_count, session)
     for single, count in large_singles.items():
         index.add(single, count / total)
 
@@ -440,15 +347,13 @@ def _mine_estmerge(
 
         if fresh:
             # The sample is small by construction; estimating on it stays
-            # serial — sharding it would cost more than it saves.
-            estimates = count_supports(
-                sample,
+            # serial (the parallel wrapper is unwrapped) — sharding it
+            # would cost more than it saves.
+            estimates = session.count(
                 fresh,
+                transactions=sample,
                 taxonomy=taxonomy,
-                engine=engine,
-                use_cache=use_cache,
-                cache_stats=cache_stats,
-                packed=packed,
+                serial=True,
             )
             probably_large = [
                 candidate
@@ -469,19 +374,11 @@ def _mine_estmerge(
             if not deferred:
                 break
             continue
-        counts = count_supports(
-            database,
+        counts = session.count(
             to_count,
+            transactions=database,
             taxonomy=taxonomy,
-            engine=engine,
             restrict_to_candidate_items=True,
-            n_jobs=n_jobs,
-            shard_rows=shard_rows,
-            parallel_stats=parallel_stats,
-            use_cache=use_cache,
-            cache_bytes=cache_bytes,
-            cache_stats=cache_stats,
-            packed=packed,
         )
         for candidate, count in counts.items():
             if count >= min_count:

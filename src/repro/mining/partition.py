@@ -20,8 +20,7 @@ from __future__ import annotations
 from .._util import check_fraction, check_positive
 from ..data.database import TransactionDatabase
 from ..itemset import Itemset
-from .apriori import apriori_gen
-from .counting import count_supports
+from .apriori import _default_session, apriori_gen
 from .itemset_index import LargeItemsetIndex
 
 TidList = tuple[int, ...]
@@ -99,7 +98,7 @@ def find_large_itemsets_partition(
     database: TransactionDatabase,
     minsup: float,
     partitions: int = 4,
-    engine: str = "bitmap",
+    session=None,
     max_size: int | None = None,
 ) -> LargeItemsetIndex:
     """Mine large itemsets with the two-pass Partition algorithm.
@@ -115,8 +114,10 @@ def find_large_itemsets_partition(
     partitions:
         Number of partitions; clamped to |D| so each partition is
         non-empty.
-    engine:
-        Counting engine used for the global (phase 2) pass.
+    session:
+        :class:`~repro.core.session.MiningSession` used for the global
+        (phase 2) counting pass; ``None`` uses a serial default-engine
+        session.
     max_size:
         Optional cap on itemset size.
 
@@ -128,6 +129,8 @@ def find_large_itemsets_partition(
     """
     check_fraction(minsup, "minsup")
     check_positive(partitions, "partitions")
+    if session is None:
+        session = _default_session(database)
     total = len(database)
     parts = min(partitions, total)
 
@@ -151,7 +154,9 @@ def find_large_itemsets_partition(
     if not global_candidates:
         return index
     min_count = minsup * total
-    counts = count_supports(database, global_candidates, engine=engine)
+    counts = session.count(
+        sorted(global_candidates), transactions=database, taxonomy=None
+    )
     for candidate, count in counts.items():
         if count >= min_count:
             index.add(candidate, count / total)

@@ -25,9 +25,9 @@ from collections.abc import Collection, Iterable
 
 from .._util import check_fraction
 from ..itemset import Itemset
-from ..mining import counting, vertical
+from ..mining import vertical
+from ..mining.engines import CountingEngine, count_pass, create_engine
 from ..mining.itemset_index import LargeItemsetIndex
-from ..mining.partition import mine_local_partition
 from ..obs import api as obs
 from ..obs.registry import MetricsRegistry, stats_property
 from ..taxonomy.tree import Taxonomy
@@ -112,12 +112,12 @@ def _count_shard(payload):
     so parallel and serial runs report identical ``counting.*`` numbers.
     """
     rows, candidates, taxonomy, engine, restrict, observe = payload
+    state = engine.prepare(rows, taxonomy)
     if not observe:
-        counts = counting.count_supports(
-            rows,
+        counts = count_pass(
+            engine,
+            state,
             candidates,
-            taxonomy=taxonomy,
-            engine=engine,
             restrict_to_candidate_items=restrict,
         )
         return counts, None
@@ -125,11 +125,10 @@ def _count_shard(payload):
         with obs.span("parallel.shard") as span:
             span.annotate("rows", len(rows))
             span.annotate("candidates", len(candidates))
-            counts = counting.count_supports(
-                rows,
+            counts = count_pass(
+                engine,
+                state,
                 candidates,
-                taxonomy=taxonomy,
-                engine=engine,
                 restrict_to_candidate_items=restrict,
             )
     return counts, registry
@@ -161,31 +160,25 @@ def _count_shard_cached(payload):
 
 def _mine_shard(payload) -> list[Itemset]:
     """Worker task: phase-1 local mining of one Partition shard."""
+    # Imported lazily: repro.mining.partition sits above this module in
+    # the import graph (it counts through the engine registry).
+    from ..mining.partition import mine_local_partition
+
     rows, minsup, max_size = payload
     return sorted(mine_local_partition(list(rows), minsup, max_size))
-
-
-def _base_engine(engine: str) -> str:
-    """The serial engine shards delegate to (never ``"parallel"`` itself)."""
-    if engine == "parallel":
-        return counting.DEFAULT_ENGINE
-    return engine
 
 
 def parallel_count_supports(
     transactions: Iterable[Itemset],
     candidates: Collection[Itemset],
     taxonomy: Taxonomy | None = None,
-    base_engine: str = "bitmap",
+    engine: str | CountingEngine = "bitmap",
     restrict_to_candidate_items: bool = False,
     n_jobs: int | None = None,
     shard_rows: int | None = None,
     pool_config: PoolConfig | None = None,
     stats: ParallelStats | None = None,
-    use_cache: bool = True,
     cache_stats=None,
-    packed: bool = False,
-    batch_words: int | None = None,
 ) -> dict[Itemset, int]:
     """Sharded support counting; bit-identical to the serial engines.
 
@@ -195,17 +188,21 @@ def parallel_count_supports(
         The rows of one database pass (already scan-counted by the
         caller, exactly like the serial engines), or the scan-counted
         database itself. The database form is required for shard-local
-        caching under ``base_engine="cached"`` and equivalent otherwise
+        caching under ``engine="cached"`` and equivalent otherwise
         (one ``scan()`` is recorded here instead of at the caller).
     candidates:
         Canonical itemsets to count.
     taxonomy, restrict_to_candidate_items:
-        As for :func:`repro.mining.counting.count_supports`; ancestor
-        extension happens *inside* each worker so it parallelizes too.
-    base_engine:
-        Serial engine each shard delegates to (default bitmap). With
-        ``"cached"`` and a database, shard-local vertical indexes are
-        built once and re-shipped to workers on every later pass.
+        As for the serial engines; ancestor extension happens *inside*
+        each worker so it parallelizes too.
+    engine:
+        The engine each shard delegates to: a registry spec or a built
+        :class:`~repro.mining.engines.CountingEngine` (a parallel
+        wrapper is unwrapped to its inner engine). With a caching engine
+        and a database, shard-local vertical indexes are built once
+        (packed when the engine is configured packed) and re-shipped to
+        workers on every later pass; with ``"numpy"`` each worker packs
+        its own shard per pass.
     n_jobs:
         Worker processes; ``None`` = one per CPU, ``1`` = serial
         in-process.
@@ -218,17 +215,9 @@ def parallel_count_supports(
         *n_jobs* argument when given.
     stats:
         Optional :class:`ParallelStats` accumulator.
-    use_cache, cache_stats:
-        Cached base engine only: reuse of the shard-local index plan
-        attached to the database, and an optional
-        :class:`~repro.mining.vertical.CacheStats` accumulator.
-    packed, batch_words:
-        Bit-packed kernel controls (see :mod:`repro.mining.bitpack`).
-        With ``base_engine="cached"`` and ``packed=True``, shard-local
-        indexes are built packed and workers count them with the
-        vectorized kernel; with ``base_engine="numpy"`` each worker packs
-        its own shard per pass. *batch_words* bounds one gathered
-        candidate batch.
+    cache_stats:
+        Optional :class:`~repro.mining.vertical.CacheStats` accumulator
+        for the caching/packed engines.
 
     Returns
     -------
@@ -241,8 +230,11 @@ def parallel_count_supports(
     jobs = pool_config.n_jobs if pool_config is not None else (
         resolve_n_jobs(n_jobs)
     )
-    engine = _base_engine(base_engine)
-    if engine == "cached" and hasattr(transactions, "scan"):
+    if not isinstance(engine, CountingEngine):
+        engine = create_engine(engine)
+    if engine.wraps:
+        engine = engine.inner
+    if engine.capabilities.caching and hasattr(transactions, "scan"):
         return _count_cached_sharded(
             transactions,
             candidate_list,
@@ -251,10 +243,10 @@ def parallel_count_supports(
             shard_rows,
             pool_config,
             stats,
-            use_cache,
+            getattr(engine, "use_cache", True),
             cache_stats,
-            packed,
-            batch_words,
+            getattr(engine, "packed", False),
+            getattr(engine, "batch_words", None),
         )
     if hasattr(transactions, "scan"):
         transactions = transactions.scan()
@@ -269,12 +261,12 @@ def parallel_count_supports(
     if jobs == 1 or len(shards) <= 1:
         if stats is not None:
             stats.serial_tasks += len(shards)
-        return counting.count_supports(
-            rows,
+        return count_pass(
+            engine,
+            engine.prepare(rows, taxonomy),
             candidate_list,
-            taxonomy=taxonomy,
-            engine=engine,
             restrict_to_candidate_items=restrict_to_candidate_items,
+            cache_stats=cache_stats,
         )
     pool = WorkerPool(pool_config or PoolConfig(n_jobs=jobs))
     observe = obs.enabled()
@@ -379,7 +371,7 @@ def parallel_partition(
     n_jobs: int | None = None,
     partitions: int | None = None,
     shard_rows: int | None = None,
-    engine: str = "bitmap",
+    engine: str | CountingEngine = "bitmap",
     max_size: int | None = None,
     pool_config: PoolConfig | None = None,
     stats: ParallelStats | None = None,
@@ -448,7 +440,7 @@ def parallel_partition(
     counts = parallel_count_supports(
         database.scan(),
         sorted(global_candidates),
-        base_engine=engine,
+        engine=engine,
         n_jobs=jobs,
         shard_rows=shard_rows,
         pool_config=pool_config,

@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 
 from repro.data.database import TransactionDatabase
 from repro.itemset import itemset
-from repro.mining.counting import count_supports
+from repro.core.session import MiningSession
 from repro.mining.vertical import VerticalIndex
 from repro.taxonomy.builders import taxonomy_from_parents
 
@@ -55,17 +55,19 @@ leaf_transactions_strategy = st.lists(
 
 
 def brute(rows, candidates, taxonomy=None):
-    return count_supports(
-        list(rows), candidates, taxonomy=taxonomy, engine="brute"
-    )
+    return MiningSession(list(rows), taxonomy, "brute").count(candidates)
+
+
+def numpy_count(rows, candidates, taxonomy=None, **policy):
+    return MiningSession(rows, taxonomy, "numpy", **policy).count(candidates)
 
 
 @settings(max_examples=60, deadline=None)
 @given(transactions_strategy, candidates_strategy)
 def test_numpy_matches_brute_flat(transactions, candidates):
-    assert count_supports(
-        transactions, candidates, engine="numpy"
-    ) == brute(transactions, candidates)
+    assert numpy_count(transactions, candidates) == brute(
+        transactions, candidates
+    )
 
 
 @settings(max_examples=60, deadline=None)
@@ -81,8 +83,8 @@ def test_numpy_matches_brute_generalized(transactions, taxonomy, data):
             max_size=12,
         ).map(lambda cands: sorted(set(cands)))
     )
-    assert count_supports(
-        transactions, candidates, taxonomy=taxonomy, engine="numpy"
+    assert numpy_count(
+        transactions, candidates, taxonomy=taxonomy
     ) == brute(transactions, candidates, taxonomy=taxonomy)
 
 
@@ -93,21 +95,16 @@ def test_numpy_exact_at_word_boundaries(candidates, n_rows):
     transactions = [
         itemset([index % 26, (index * 7) % 26]) for index in range(n_rows)
     ]
-    assert count_supports(
-        transactions, candidates, engine="numpy"
-    ) == brute(transactions, candidates)
+    assert numpy_count(transactions, candidates) == brute(
+        transactions, candidates
+    )
 
 
 @settings(max_examples=40, deadline=None)
 @given(transactions_strategy, candidates_strategy)
 def test_numpy_tiny_batches_match_default(transactions, candidates):
-    default = count_supports(transactions, candidates, engine="numpy")
-    assert (
-        count_supports(
-            transactions, candidates, engine="numpy", batch_words=1
-        )
-        == default
-    )
+    default = numpy_count(transactions, candidates)
+    assert numpy_count(transactions, candidates, batch_words=1) == default
 
 
 @settings(max_examples=40, deadline=None)
@@ -146,17 +143,11 @@ def test_packed_tiny_budget_still_exact(transactions, candidates):
     """LRU eviction of packed rows rebuilds exactly, never approximates."""
     database = TransactionDatabase(transactions)
     expected = brute(transactions, candidates)
+    session = MiningSession(
+        database, engine="cached", cache_bytes=1, packed=True
+    )
     for _ in range(2):
-        assert (
-            count_supports(
-                database,
-                candidates,
-                engine="cached",
-                cache_bytes=1,
-                packed=True,
-            )
-            == expected
-        )
+        assert session.count(candidates) == expected
 
 
 @settings(max_examples=40, deadline=None)
@@ -164,11 +155,7 @@ def test_packed_tiny_budget_still_exact(transactions, candidates):
 def test_packed_cached_engine_across_passes(transactions, candidates):
     database = TransactionDatabase(transactions)
     expected = brute(transactions, candidates)
+    session = MiningSession(database, engine="cached", packed=True)
     for _ in range(3):
-        assert (
-            count_supports(
-                database, candidates, engine="cached", packed=True
-            )
-            == expected
-        )
+        assert session.count(candidates) == expected
     assert database.scans == 1

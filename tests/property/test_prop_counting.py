@@ -4,8 +4,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.itemset import itemset
-from repro.mining.counting import count_supports
+from repro.mining.engines import count_pass, create_engine
 from repro.mining.hash_tree import HashTree
+
+
+def count(engine_spec, transactions, candidates):
+    engine = create_engine(engine_spec)
+    return count_pass(
+        engine, engine.prepare(transactions, None), candidates
+    )
 
 transactions_strategy = st.lists(
     st.lists(
@@ -38,10 +45,7 @@ def oracle(transactions, candidates):
 def test_engines_match_oracle(transactions, candidates):
     expected = oracle(transactions, candidates)
     for engine in ("bitmap", "hashtree", "index", "brute"):
-        assert (
-            count_supports(transactions, candidates, engine=engine)
-            == expected
-        )
+        assert count(engine, transactions, candidates) == expected
 
 
 @settings(max_examples=60, deadline=None)
@@ -72,7 +76,7 @@ def test_hash_tree_parameters_never_change_counts(
 @settings(max_examples=40, deadline=None)
 @given(transactions_strategy, candidates_strategy)
 def test_counts_bounded_by_database_size(transactions, candidates):
-    counts = count_supports(transactions, candidates, engine="hashtree")
+    counts = count("hashtree", transactions, candidates)
     assert all(0 <= count <= len(transactions) for count in counts.values())
 
 
@@ -80,10 +84,10 @@ def test_counts_bounded_by_database_size(transactions, candidates):
 @given(transactions_strategy, candidates_strategy)
 def test_count_is_antitone_in_candidate_size(transactions, candidates):
     """A candidate can never out-count one of its own subsets."""
-    counts = count_supports(transactions, candidates, engine="brute")
+    counts = count("brute", transactions, candidates)
     by_items = dict(counts)
-    for candidate, count in counts.items():
+    for candidate, support in counts.items():
         for drop in range(len(candidate)):
             subset = candidate[:drop] + candidate[drop + 1:]
             if subset in by_items:
-                assert by_items[subset] >= count
+                assert by_items[subset] >= support

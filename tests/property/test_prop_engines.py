@@ -1,0 +1,102 @@
+"""Property-based tests: every registered engine agrees with brute force.
+
+The registry is the source of truth: the parametrization enumerates
+:func:`repro.mining.engines.all_engine_specs` — plain names plus every
+``parallel:<inner>`` composition — so a newly registered engine is
+covered by these bit-identity checks automatically, with and without a
+taxonomy. Parallel compositions run with ``n_jobs=1`` here (the
+in-process sharded path); real multiprocess agreement is covered by
+``test_prop_parallel.py``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.session import MiningSession
+from repro.itemset import itemset
+from repro.mining.engines import all_engine_specs
+from repro.taxonomy.builders import taxonomy_from_parents
+
+transactions_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=25), min_size=1, max_size=8
+    ).map(itemset),
+    min_size=1,
+    max_size=40,
+)
+candidates_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=25), min_size=1, max_size=4
+    ).map(itemset),
+    min_size=1,
+    max_size=25,
+).map(lambda cands: sorted(set(cands)))
+
+# Leaves 1..12 under categories 100..103 under roots 200..201, with the
+# shape drawn randomly per example.
+taxonomy_strategy = st.builds(
+    lambda mids, tops: taxonomy_from_parents(
+        {leaf: mid for leaf, mid in enumerate(mids, start=1)}
+        | {100 + index: top for index, top in enumerate(tops)}
+    ),
+    st.lists(
+        st.integers(min_value=100, max_value=103), min_size=12, max_size=12
+    ),
+    st.lists(
+        st.integers(min_value=200, max_value=201), min_size=4, max_size=4
+    ),
+)
+leaf_transactions_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=12), min_size=1, max_size=5
+    ).map(itemset),
+    min_size=1,
+    max_size=30,
+)
+
+
+def session_for(spec, transactions, taxonomy=None):
+    """A session over *spec*; parallel specs pinned to one in-process job."""
+    n_jobs = 1 if spec.startswith("parallel") else None
+    return MiningSession(transactions, taxonomy, spec, n_jobs=n_jobs)
+
+
+@pytest.mark.parametrize("spec", all_engine_specs())
+@settings(max_examples=25, deadline=None)
+@given(transactions_strategy, candidates_strategy)
+def test_engine_matches_brute(spec, transactions, candidates):
+    expected = MiningSession(transactions, engine="brute").count(candidates)
+    assert session_for(spec, transactions).count(candidates) == expected
+
+
+@pytest.mark.parametrize("spec", all_engine_specs())
+@settings(max_examples=15, deadline=None)
+@given(leaf_transactions_strategy, taxonomy_strategy, st.data())
+def test_engine_matches_brute_generalized(spec, transactions, taxonomy, data):
+    nodes = sorted(taxonomy.nodes)
+    candidates = data.draw(
+        st.lists(
+            st.lists(st.sampled_from(nodes), min_size=1, max_size=3).map(
+                itemset
+            ),
+            min_size=1,
+            max_size=12,
+        ).map(lambda cands: sorted(set(cands)))
+    )
+    expected = MiningSession(transactions, taxonomy, "brute").count(
+        candidates
+    )
+    counted = session_for(spec, transactions, taxonomy).count(candidates)
+    assert counted == expected
+
+
+@pytest.mark.parametrize("spec", all_engine_specs())
+@settings(max_examples=15, deadline=None)
+@given(transactions_strategy, candidates_strategy)
+def test_restriction_never_changes_counts(spec, transactions, candidates):
+    plain = session_for(spec, transactions).count(candidates)
+    restricted = session_for(spec, transactions).count(
+        candidates, restrict_to_candidate_items=True
+    )
+    assert restricted == plain

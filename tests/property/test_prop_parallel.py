@@ -11,11 +11,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.session import MiningSession
 from repro.itemset import itemset
-from repro.mining.counting import count_supports
 from repro.mining.partition import find_large_itemsets_partition
 from repro.parallel.engine import (
-    ParallelStats,
     parallel_count_supports,
     parallel_partition,
 )
@@ -62,13 +61,9 @@ node_candidates_strategy = st.lists(
 @settings(max_examples=50, deadline=None)
 @given(transactions=transactions_strategy, candidates=candidates_strategy)
 def test_serial_path_matches_brute(transactions, candidates):
-    expected = count_supports(transactions, candidates, engine="brute")
-    assert (
-        count_supports(
-            transactions, candidates, engine="parallel", n_jobs=1
-        )
-        == expected
-    )
+    expected = MiningSession(transactions, engine="brute").count(candidates)
+    session = MiningSession(transactions, engine="parallel", n_jobs=1)
+    assert session.count(candidates) == expected
 
 
 @settings(max_examples=50, deadline=None)
@@ -81,7 +76,7 @@ def test_shard_layout_never_changes_counts(
     transactions, candidates, shard_rows
 ):
     """Any shard size, merged in-process, equals one serial pass."""
-    expected = count_supports(transactions, candidates, engine="brute")
+    expected = MiningSession(transactions, engine="brute").count(candidates)
     counts = parallel_count_supports(
         transactions,
         candidates,
@@ -95,17 +90,10 @@ def test_shard_layout_never_changes_counts(
 @settings(max_examples=8, deadline=None)
 @given(transactions=transactions_strategy, candidates=candidates_strategy)
 def test_multiprocess_matches_brute(n_jobs, transactions, candidates):
-    expected = count_supports(transactions, candidates, engine="brute")
-    stats = ParallelStats()
-    counts = count_supports(
-        transactions,
-        candidates,
-        engine="parallel",
-        n_jobs=n_jobs,
-        parallel_stats=stats,
-    )
-    assert counts == expected
-    assert stats.shards >= 1
+    expected = MiningSession(transactions, engine="brute").count(candidates)
+    session = MiningSession(transactions, engine="parallel", n_jobs=n_jobs)
+    assert session.count(candidates) == expected
+    assert session.parallel_stats.shards >= 1
 
 
 @settings(max_examples=8, deadline=None)
@@ -115,12 +103,8 @@ def test_multiprocess_matches_brute(n_jobs, transactions, candidates):
 )
 def test_multiprocess_generalized_matches_brute(transactions, candidates):
     """Taxonomy extension inside workers equals serial extension."""
-    expected = count_supports(
-        transactions,
-        candidates,
-        taxonomy=TAXONOMY,
-        engine="brute",
-        restrict_to_candidate_items=True,
+    expected = MiningSession(transactions, TAXONOMY, "brute").count(
+        candidates, restrict_to_candidate_items=True
     )
     counts = parallel_count_supports(
         transactions,

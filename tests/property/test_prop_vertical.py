@@ -11,10 +11,9 @@ engine.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.session import MiningSession
 from repro.data.database import TransactionDatabase
 from repro.itemset import itemset
-from repro.mining.counting import count_supports
-from repro.mining.vertical import CacheStats
 from repro.parallel.engine import parallel_count_supports
 from repro.parallel.pool import PoolConfig
 from repro.taxonomy.builders import taxonomy_from_parents
@@ -58,8 +57,12 @@ leaf_transactions_strategy = st.lists(
 
 
 def brute(rows, candidates, taxonomy=None):
-    return count_supports(
-        list(rows), candidates, taxonomy=taxonomy, engine="brute"
+    return MiningSession(list(rows), taxonomy, "brute").count(candidates)
+
+
+def cached(database, candidates, taxonomy=None, **policy):
+    return MiningSession(database, taxonomy, "cached", **policy).count(
+        candidates
     )
 
 
@@ -68,10 +71,9 @@ def brute(rows, candidates, taxonomy=None):
 def test_cached_matches_brute_across_passes(transactions, candidates):
     database = TransactionDatabase(transactions)
     expected = brute(transactions, candidates)
+    session = MiningSession(database, engine="cached")
     for _ in range(3):
-        assert (
-            count_supports(database, candidates, engine="cached") == expected
-        )
+        assert session.count(candidates) == expected
     assert database.scans == 1
 
 
@@ -92,10 +94,7 @@ def test_cached_matches_brute_generalized(transactions, taxonomy, data):
     expected = brute(transactions, candidates, taxonomy=taxonomy)
     for _ in range(2):
         assert (
-            count_supports(
-                database, candidates, taxonomy=taxonomy, engine="cached"
-            )
-            == expected
+            cached(database, candidates, taxonomy=taxonomy) == expected
         )
 
 
@@ -103,16 +102,12 @@ def test_cached_matches_brute_generalized(transactions, taxonomy, data):
 @given(transactions_strategy, transactions_strategy, candidates_strategy)
 def test_mutation_never_serves_stale_counts(first, second, candidates):
     database = TransactionDatabase(first)
-    stats = CacheStats()
-    assert count_supports(
-        database, candidates, engine="cached", cache_stats=stats
-    ) == brute(first, candidates)
+    session = MiningSession(database, engine="cached")
+    assert session.count(candidates) == brute(first, candidates)
     # Swap the rows out from under the cache: the fingerprint must catch
     # it and rebuild — a stale count here would be silent corruption.
     database._transactions = tuple(second)
-    assert count_supports(
-        database, candidates, engine="cached", cache_stats=stats
-    ) == brute(second, candidates)
+    assert session.count(candidates) == brute(second, candidates)
 
 
 @settings(max_examples=40, deadline=None)
@@ -122,10 +117,7 @@ def test_tiny_budget_still_exact(transactions, candidates):
     expected = brute(transactions, candidates)
     for _ in range(2):
         assert (
-            count_supports(
-                database, candidates, engine="cached", cache_bytes=1
-            )
-            == expected
+            cached(database, candidates, cache_bytes=1) == expected
         )
 
 
@@ -133,11 +125,11 @@ def test_tiny_budget_still_exact(transactions, candidates):
 @given(transactions_strategy, candidates_strategy)
 def test_shard_local_caches_match_serial(transactions, candidates):
     database = TransactionDatabase(transactions)
-    serial = count_supports(database, candidates, engine="cached")
+    serial = cached(database, candidates)
     sharded = parallel_count_supports(
         TransactionDatabase(transactions),
         candidates,
-        base_engine="cached",
+        engine="cached",
         n_jobs=1,
         shard_rows=max(1, len(transactions) // 3),
     )
@@ -150,14 +142,14 @@ def test_shard_local_caches_match_serial_multiprocess(
     transactions, candidates
 ):
     database = TransactionDatabase(transactions)
-    serial = count_supports(database, candidates, engine="cached")
+    serial = cached(database, candidates)
     worker_db = TransactionDatabase(transactions)
     config = PoolConfig(n_jobs=2)
     for _ in range(2):  # second pass reuses the shipped shard indexes
         sharded = parallel_count_supports(
             worker_db,
             candidates,
-            base_engine="cached",
+            engine="cached",
             pool_config=config,
         )
         assert sharded == serial

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.session import MiningSession
 from repro.data.database import TransactionDatabase
 from repro.errors import ConfigError
 from repro.mining.apriori import apriori_gen, find_large_itemsets
@@ -79,9 +80,13 @@ class TestFindLargeItemsets:
 
     @pytest.mark.parametrize("engine", ["bitmap", "hashtree", "index", "brute"])
     def test_engines_equivalent(self, small_database, engine):
-        baseline = find_large_itemsets(small_database, 0.2, engine="brute")
+        baseline = find_large_itemsets(
+            small_database, 0.2, MiningSession(small_database, engine="brute")
+        )
         small_database.reset_scans()
-        other = find_large_itemsets(small_database, 0.2, engine=engine)
+        other = find_large_itemsets(
+            small_database, 0.2, MiningSession(small_database, engine=engine)
+        )
         assert other == baseline
 
     def test_pass_count_is_levels(self, small_database):

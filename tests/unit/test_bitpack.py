@@ -16,7 +16,7 @@ from repro.mining.bitpack import (
     words_for,
     zeros,
 )
-from repro.mining.counting import count_supports
+from repro.core.session import MiningSession
 from repro.mining.vertical import CacheStats
 from repro.taxonomy.builders import taxonomy_from_parents
 
@@ -28,9 +28,7 @@ TAXONOMY = taxonomy_from_parents({1: 100, 2: 100, 3: 101, 4: 101})
 
 
 def brute(rows, candidates, taxonomy=None):
-    return count_supports(
-        list(rows), candidates, taxonomy=taxonomy, engine="brute"
-    )
+    return MiningSession(list(rows), taxonomy, "brute").count(candidates)
 
 
 class TestWordHelpers:
@@ -164,16 +162,11 @@ class TestCountRows:
         )
 
     def test_kernel_batches_recorded_through_engine(self):
-        stats = CacheStats()
-        counts = count_supports(
-            list(ROWS),
-            CANDIDATES,
-            engine="numpy",
-            cache_stats=stats,
-            batch_words=1,
+        session = MiningSession(
+            list(ROWS), engine="numpy", batch_words=1
         )
-        assert counts == brute(ROWS, CANDIDATES)
-        assert stats.kernel_batches == len(CANDIDATES)
+        assert session.count(CANDIDATES) == brute(ROWS, CANDIDATES)
+        assert session.cache_stats.kernel_batches == len(CANDIDATES)
 
     def test_default_batch_budget_is_bounded(self):
         assert DEFAULT_BATCH_WORDS == 1 << 21

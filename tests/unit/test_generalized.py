@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.core.session import MiningSession
 from repro.data.database import TransactionDatabase
 from repro.errors import ConfigError
 from repro.mining.generalized import (
@@ -118,7 +119,12 @@ class TestAlgorithmEquivalence:
     def test_engines_equivalent(self, random_setup):
         taxonomy, database = random_setup
         results = [
-            mine_generalized(database, taxonomy, 0.05, engine=engine)
+            mine_generalized(
+                database,
+                taxonomy,
+                0.05,
+                session=MiningSession(database, taxonomy, engine),
+            )
             for engine in ("bitmap", "hashtree", "index", "brute")
         ]
         assert all(result == results[0] for result in results)

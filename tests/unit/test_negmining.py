@@ -8,6 +8,7 @@ from repro.core.negmining import (
     NaiveNegativeMiner,
     NegativeItemset,
 )
+from repro.core.session import MiningSession
 from repro.data.database import TransactionDatabase
 from repro.errors import ConfigError
 from repro.taxonomy.builders import taxonomy_from_nested
@@ -246,7 +247,8 @@ class TestCachedEngineMiners:
         ).mine()
         database.reset_scans()
         cached = ImprovedNegativeMiner(
-            database, taxonomy, 0.15, 0.4, engine="cached"
+            database, taxonomy, 0.15, 0.4,
+            session=MiningSession(database, taxonomy, "cached"),
         ).mine()
         assert cached.negatives == expected.negatives
         assert dict(cached.large_itemsets.items()) == dict(
@@ -261,7 +263,8 @@ class TestCachedEngineMiners:
         expected = NaiveNegativeMiner(database, taxonomy, 0.15, 0.4).mine()
         database.reset_scans()
         cached = NaiveNegativeMiner(
-            database, taxonomy, 0.15, 0.4, engine="cached"
+            database, taxonomy, 0.15, 0.4,
+            session=MiningSession(database, taxonomy, "cached"),
         ).mine()
         assert cached.negatives == expected.negatives
         assert cached.stats.data_passes == expected.stats.data_passes
@@ -269,7 +272,10 @@ class TestCachedEngineMiners:
 
     def test_use_cache_false_rebuilds_every_pass(self, database, taxonomy):
         run = ImprovedNegativeMiner(
-            database, taxonomy, 0.15, 0.4, engine="cached", use_cache=False
+            database, taxonomy, 0.15, 0.4,
+            session=MiningSession(
+                database, taxonomy, "cached", use_cache=False
+            ),
         ).mine()
         assert run.stats.cache_hits == 0
         assert run.stats.cache_misses == run.stats.data_passes

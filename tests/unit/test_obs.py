@@ -16,7 +16,7 @@ import pytest
 
 from repro.data.database import TransactionDatabase
 from repro.errors import ConfigError
-from repro.mining.counting import count_supports
+from repro.core.session import MiningSession
 from repro.mining.vertical import CacheStats
 from repro.obs import api as obs
 from repro.obs.registry import (
@@ -353,23 +353,19 @@ class TestParallelTotals:
     def _driver_counters(self, n_jobs):
         registry = MetricsRegistry()
         database = TransactionDatabase(small_rows())
+        session = MiningSession(database, engine="bitmap", n_jobs=n_jobs)
         with obs.obs_session(registry=registry):
-            counts = count_supports(
-                database,
-                list(self.CANDIDATES),
-                engine="bitmap",
-                n_jobs=n_jobs,
-            )
+            counts = session.count(list(self.CANDIDATES))
         driver = {
             name: registry.counter(name)
             for name in registry.names()
             if name.startswith("counting.")
         }
-        return counts, driver, registry
+        return counts, driver, registry, session
 
     def test_parallel_equals_serial_driver_totals(self):
-        serial_counts, serial_driver, _ = self._driver_counters(1)
-        parallel_counts, parallel_driver, parallel_registry = (
+        serial_counts, serial_driver, _, _ = self._driver_counters(1)
+        parallel_counts, parallel_driver, parallel_registry, session = (
             self._driver_counters(2)
         )
         assert parallel_counts == serial_counts
@@ -384,4 +380,7 @@ class TestParallelTotals:
             if name.startswith("worker.")
         ]
         assert worker  # shipped back and merged
-        assert parallel_registry.counter("parallel.shards") == 2
+        # Driver-side shard accounting stays in the session's per-run
+        # stats until publish_run folds it into the obs registry.
+        assert session.parallel_stats.shards == 2
+        assert parallel_registry.counter("parallel.shards") == 0

@@ -9,7 +9,7 @@ import repro.parallel.engine as engine_module
 from repro.core.api import MiningConfig, mine_negative_rules
 from repro.errors import ConfigError
 from repro.mining.apriori import find_large_itemsets
-from repro.mining.counting import count_supports
+from repro.core.session import MiningSession
 from repro.mining.partition import find_large_itemsets_partition
 from repro.parallel.engine import (
     ParallelStats,
@@ -34,7 +34,7 @@ class TestParallelCounting:
     @pytest.mark.parametrize("n_jobs", [1, 2, 4])
     def test_matches_serial_engine(self, small_database, n_jobs):
         rows = list(small_database)
-        expected = count_supports(rows, CANDIDATES, engine="bitmap")
+        expected = MiningSession(rows, engine="bitmap").count(CANDIDATES)
         stats = ParallelStats()
         counts = parallel_count_supports(
             rows, CANDIDATES, n_jobs=n_jobs, stats=stats
@@ -44,7 +44,7 @@ class TestParallelCounting:
 
     def test_shard_rows_sizing_changes_no_counts(self, small_database):
         rows = list(small_database)
-        expected = count_supports(rows, CANDIDATES, engine="bitmap")
+        expected = MiningSession(rows, engine="bitmap").count(CANDIDATES)
         stats = ParallelStats()
         counts = parallel_count_supports(
             rows, CANDIDATES, n_jobs=2, shard_rows=7, stats=stats
@@ -58,13 +58,9 @@ class TestParallelCounting:
         rows = list(soft_drinks_database)
         nodes = sorted(soft_drinks_taxonomy.nodes)
         candidates = [(node,) for node in nodes[:6]] + [tuple(nodes[:2])]
-        expected = count_supports(
-            rows,
-            candidates,
-            taxonomy=soft_drinks_taxonomy,
-            engine="brute",
-            restrict_to_candidate_items=True,
-        )
+        expected = MiningSession(
+            rows, soft_drinks_taxonomy, "brute"
+        ).count(candidates, restrict_to_candidate_items=True)
         counts = parallel_count_supports(
             rows,
             candidates,
@@ -81,20 +77,23 @@ class TestParallelCounting:
         counts = parallel_count_supports([], CANDIDATES, n_jobs=4)
         assert counts == dict.fromkeys(CANDIDATES, 0)
 
-    def test_count_supports_routes_parallel_engine(self, small_database):
+    def test_session_routes_parallel_engine(self, small_database):
         rows = list(small_database)
-        expected = count_supports(rows, CANDIDATES, engine="bitmap")
-        assert count_supports(rows, CANDIDATES, engine="parallel",
-                              n_jobs=2) == expected
-        assert count_supports(rows, CANDIDATES, engine="index",
-                              n_jobs=2) == expected
+        expected = MiningSession(rows, engine="bitmap").count(CANDIDATES)
+        assert MiningSession(
+            rows, engine="parallel", n_jobs=2
+        ).count(CANDIDATES) == expected
+        # A shardable serial spec with n_jobs > 1 auto-wraps.
+        assert MiningSession(
+            rows, engine="index", n_jobs=2
+        ).count(CANDIDATES) == expected
 
     def test_crashed_workers_retry_then_fall_back(
         self, small_database, monkeypatch
     ):
         monkeypatch.setattr(engine_module, "_count_shard", _crashy_count)
         rows = list(small_database)
-        expected = count_supports(rows, CANDIDATES, engine="bitmap")
+        expected = MiningSession(rows, engine="bitmap").count(CANDIDATES)
         stats = ParallelStats()
         counts = parallel_count_supports(
             rows,

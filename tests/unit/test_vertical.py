@@ -8,7 +8,7 @@ from repro.data.database import TransactionDatabase
 from repro.data.filedb import FileBackedDatabase
 from repro.errors import DatabaseError
 from repro.mining import vertical
-from repro.mining.counting import count_supports
+from repro.core.session import MiningSession
 from repro.mining.vertical import CacheStats, VerticalIndex
 from repro.taxonomy.builders import taxonomy_from_parents
 
@@ -20,9 +20,7 @@ TAXONOMY = taxonomy_from_parents({1: 100, 2: 100, 3: 101, 4: 101})
 
 
 def brute(rows, candidates, taxonomy=None):
-    return count_supports(
-        list(rows), candidates, taxonomy=taxonomy, engine="brute"
-    )
+    return MiningSession(list(rows), taxonomy, "brute").count(candidates)
 
 
 class TestVerticalIndex:
@@ -123,17 +121,11 @@ class TestFileBackedInvalidation:
         path = tmp_path / "baskets.txt"
         path.write_text("1 2\n2 3\n")
         database = FileBackedDatabase(path)
-        stats = CacheStats()
-        counts = count_supports(
-            database, [(1,), (2,)], engine="cached", cache_stats=stats
-        )
-        assert counts == {(1,): 1, (2,): 2}
+        session = MiningSession(database, engine="cached")
+        assert session.count([(1,), (2,)]) == {(1,): 1, (2,): 2}
         path.write_text("1 2\n1 3\n1 4\n")
-        counts = count_supports(
-            database, [(1,), (2,)], engine="cached", cache_stats=stats
-        )
-        assert counts == {(1,): 3, (2,): 1}
-        assert stats.invalidations == 1
+        assert session.count([(1,), (2,)]) == {(1,): 3, (2,): 1}
+        assert session.cache_stats.invalidations == 1
 
     def test_cache_token_requires_existing_file(self, tmp_path):
         path = tmp_path / "baskets.txt"
@@ -146,40 +138,31 @@ class TestFileBackedInvalidation:
 
 class TestCachedEngine:
     def test_plain_rows_one_shot(self):
-        stats = CacheStats()
-        counts = count_supports(
-            list(ROWS), CANDIDATES, engine="cached", cache_stats=stats
-        )
-        assert counts == brute(ROWS, CANDIDATES)
-        assert stats.misses == 1
+        session = MiningSession(list(ROWS), engine="cached")
+        assert session.count(CANDIDATES) == brute(ROWS, CANDIDATES)
+        assert session.cache_stats.misses == 1
 
     def test_database_pass_accounting(self):
         database = TransactionDatabase(ROWS)
+        session = MiningSession(database, engine="cached")
         for _ in range(3):
-            count_supports(database, CANDIDATES, engine="cached")
+            session.count(CANDIDATES)
         assert database.scans == 1
         assert database.logical_scans == 3
 
     def test_empty_candidates_touch_nothing(self):
         database = TransactionDatabase(ROWS)
-        assert count_supports(database, [], engine="cached") == {}
+        assert MiningSession(database, engine="cached").count([]) == {}
         assert database.scans == 0
         assert database.logical_scans == 0
 
     def test_cache_bytes_budget_stays_exact(self):
         database = TransactionDatabase(ROWS)
-        stats = CacheStats()
+        session = MiningSession(database, engine="cached", cache_bytes=1)
         for _ in range(2):
-            counts = count_supports(
-                database,
-                CANDIDATES,
-                engine="cached",
-                cache_bytes=1,
-                cache_stats=stats,
-            )
-            assert counts == brute(ROWS, CANDIDATES)
-        assert stats.evictions > 0
-        assert stats.rebuilt_items > 0
+            assert session.count(CANDIDATES) == brute(ROWS, CANDIDATES)
+        assert session.cache_stats.evictions > 0
+        assert session.cache_stats.rebuilt_items > 0
 
 
 class TestShardIndexes:
