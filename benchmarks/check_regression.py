@@ -1,10 +1,14 @@
-"""CI benchmark-regression gate for the counting engines.
+"""CI benchmark-regression gate for the counting engines and serving.
 
 Re-runs the quick engine matrix (``bench_engine_matrix --quick``) and
 compares each engine's mean wall-clock per logical pass against the
 committed baseline in ``BENCH_counting.json`` (the
 ``["quick"]["engine_matrix"]`` key, written by a ``--quick`` run on the
-maintainer's machine).
+maintainer's machine). It then does the same for the serving layer
+(``bench_serving --quick``): the cold and hot-LRU scoring paths are
+compared through their ``wall_per_10k_s`` figures (per-request latency
+times 10,000 — scaled so both sit above the measurement floor) under
+the ``["quick"]["serving"]`` key.
 
 Raw wall-clock is useless across machines, so both sides are normalized
 by their own geometric mean across the engines before comparing: a CI
@@ -17,14 +21,17 @@ and per-pass times below :data:`MEASUREMENT_FLOOR_S` are clamped to it
 (sub-5 ms cells jitter more between identical runs than the gate
 allows).
 
-Exits non-zero when any engine's normalized per-pass time exceeds
-``threshold`` times its baseline share. ``--inject ENGINE`` doubles that
-engine's measured time after the run, demonstrating that the gate trips.
+Exits non-zero when any engine's normalized per-pass time — or either
+serving mode's normalized per-10k-request time — exceeds ``threshold``
+times its baseline share. ``--inject KEY`` doubles that engine's (or
+serving mode's — ``cold``/``hot``) measured time after the run,
+demonstrating that the gate trips.
 
 Run::
 
     python -m benchmarks.check_regression
     python -m benchmarks.check_regression --inject numpy  # must fail
+    python -m benchmarks.check_regression --inject hot    # must fail
 """
 
 from __future__ import annotations
@@ -122,6 +129,32 @@ def _run_quick_matrix(out: Path, trace: str | None, repeats: int) -> dict:
     return report
 
 
+def _run_quick_serving(out: Path, repeats: int) -> dict:
+    """Run the quick serving benchmark *repeats* times; keep minima.
+
+    The element-wise minimum over repeats is taken per serving mode
+    (``cold``/``hot``), mirroring :func:`_run_quick_matrix`.
+    """
+    from benchmarks import bench_serving
+
+    argv = ["--quick", "--no-check", "--out", str(out)]
+    report: dict = {}
+    best: dict[str, float] = {}
+    for attempt in range(repeats):
+        code = bench_serving.main(argv)
+        if code != 0:
+            raise SystemExit(
+                f"serving benchmark run failed with exit code {code}"
+            )
+        report = json.loads(out.read_text())["quick"]["serving"]
+        for mode, value in report["wall_per_10k_s"].items():
+            best[mode] = min(best.get(mode, value), value)
+        print(f"[serving repeat {attempt + 1}/{repeats}] done")
+    report["wall_per_10k_s"] = best
+    report["repeats"] = repeats
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -140,10 +173,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--inject",
-        metavar="ENGINE",
+        metavar="KEY",
         default=None,
-        help="double this engine's measured time after the run "
-             "(self-test: the gate must fail)",
+        help="double this engine's or serving mode's (cold/hot) "
+             "measured time after the run (self-test: the gate must "
+             "fail)",
     )
     parser.add_argument(
         "--trace",
@@ -171,56 +205,78 @@ def main(argv: list[str] | None = None) -> int:
         current = _run_quick_matrix(
             Path(tmp) / "current.json", args.trace, args.repeats
         )
+        serving = _run_quick_serving(
+            Path(tmp) / "serving.json", args.repeats
+        )
 
     if args.update_baseline:
         from benchmarks.common import fold_report
 
         fold_report(args.baseline, "engine_matrix", current, quick=True)
-        print(f"re-baselined quick engine_matrix in {args.baseline}")
+        fold_report(args.baseline, "serving", serving, quick=True)
+        print(
+            f"re-baselined quick engine_matrix and serving in "
+            f"{args.baseline}"
+        )
         return 0
 
     baseline_doc = json.loads(args.baseline.read_text())
-    try:
-        baseline = baseline_doc["quick"]["engine_matrix"]
-    except KeyError:
-        raise SystemExit(
-            f"{args.baseline} has no ['quick']['engine_matrix'] baseline; "
-            "run 'python -m benchmarks.check_regression "
-            "--update-baseline' and commit the result"
-        ) from None
-
-    if current["scale"] != baseline["scale"]:
-        raise SystemExit(
-            f"scale mismatch: run at {current['scale']} vs baseline "
-            f"{baseline['scale']} — is REPRO_BENCH_SCALE set?"
-        )
-
-    measured = dict(current["mean_wall_per_pass_s"])
-    if args.inject:
-        if args.inject not in measured:
-            raise SystemExit(f"unknown engine {args.inject!r}")
-        measured[args.inject] *= 2.0
-        print(f"[inject] doubled {args.inject} to {measured[args.inject]}")
-
-    rows, failed = compare(
-        baseline["mean_wall_per_pass_s"], measured, args.threshold
+    failed: list[str] = []
+    gates = (
+        ("engine_matrix", "mean_wall_per_pass_s", current),
+        ("serving", "wall_per_10k_s", serving),
     )
-    width = max(len(row["engine"]) for row in rows)
-    for row in rows:
-        print(
-            f"{row['engine']:<{width}}  "
-            f"base={row['baseline_per_pass_s']:.5f}s  "
-            f"now={row['current_per_pass_s']:.5f}s  "
-            f"ratio={row['normalized_ratio']:.3f}  {row['verdict']}"
-        )
+    for key, field, run in gates:
+        try:
+            baseline = baseline_doc["quick"][key]
+        except KeyError:
+            raise SystemExit(
+                f"{args.baseline} has no ['quick']['{key}'] baseline; "
+                "run 'python -m benchmarks.check_regression "
+                "--update-baseline' and commit the result"
+            ) from None
+
+        if run["scale"] != baseline["scale"]:
+            raise SystemExit(
+                f"{key} scale mismatch: run at {run['scale']} vs "
+                f"baseline {baseline['scale']} — is REPRO_BENCH_SCALE "
+                "set?"
+            )
+
+        measured = dict(run[field])
+        if args.inject and args.inject in measured:
+            measured[args.inject] *= 2.0
+            print(
+                f"[inject] doubled {args.inject} to "
+                f"{measured[args.inject]}"
+            )
+
+        rows, bad = compare(baseline[field], measured, args.threshold)
+        failed.extend(f"{key}:{name}" for name in bad)
+        width = max(len(row["engine"]) for row in rows)
+        for row in rows:
+            print(
+                f"{key} {row['engine']:<{width}}  "
+                f"base={row['baseline_per_pass_s']:.5f}s  "
+                f"now={row['current_per_pass_s']:.5f}s  "
+                f"ratio={row['normalized_ratio']:.3f}  {row['verdict']}"
+            )
+
+    if args.inject and not any(
+        args.inject in run[field] for _, field, run in gates
+    ):
+        raise SystemExit(f"unknown engine or mode {args.inject!r}")
     if failed:
         print(
-            f"FAIL: engines regressed beyond {args.threshold}x the "
-            f"baseline profile: {', '.join(failed)}",
+            f"FAIL: regressed beyond {args.threshold}x the baseline "
+            f"profile: {', '.join(failed)}",
             file=sys.stderr,
         )
         return 1
-    print(f"ok: no engine beyond {args.threshold}x the baseline profile")
+    print(
+        f"ok: no engine or serving mode beyond {args.threshold}x the "
+        "baseline profile"
+    )
     return 0
 
 

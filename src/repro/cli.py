@@ -17,11 +17,20 @@ Subcommands
     per-category balance against the data (Section 2.1.3).
 ``engines``
     List the registered counting engines with their capability flags.
+``compile``
+    Mine rules and compile them into a serving rule index (one JSON
+    file).
+``serve``
+    Serve a compiled rule index over TCP (newline-delimited JSON).
+``score``
+    Query a running rule server: score a basket, request on-target
+    selective mining, or fetch server stats.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
@@ -45,6 +54,13 @@ from .taxonomy.analysis import (
 )
 from .mining.generalized import mine_generalized
 from .mining.rules import generate_rules
+from .serve import (
+    RuleIndex,
+    RuleService,
+    SelectiveContext,
+    request_once,
+)
+from .serve.service import run_service
 from .synthetic.generator import generate_dataset
 from .synthetic.params import SHORT, TALL, GeneratorParams
 
@@ -173,6 +189,67 @@ def _build_parser() -> argparse.ArgumentParser:
     engines.add_argument("--markdown", action="store_true",
                          help="emit a GitHub-markdown table (the README's "
                               "engine table is generated with this)")
+
+    compile_ = commands.add_parser(
+        "compile",
+        help="mine rules and compile a serving rule index",
+    )
+    _add_data_arguments(compile_)
+    compile_.add_argument("--minsup", type=float, default=0.01)
+    compile_.add_argument("--minri", type=float, default=0.5)
+    compile_.add_argument("--minconf", type=float, default=0.5,
+                          help="confidence threshold for the positive "
+                               "rules compiled alongside the negatives")
+    compile_.add_argument("--engine", type=_engine_spec, default="bitmap",
+                          metavar="SPEC")
+    compile_.add_argument("--max-size", type=int, default=None)
+    compile_.add_argument("--max-sibling-replacements", type=int,
+                          default=None, dest="max_sibling_replacements")
+    compile_.add_argument("--out", required=True,
+                          help="output rule-index JSON file")
+
+    serve = commands.add_parser(
+        "serve", help="serve a compiled rule index over TCP"
+    )
+    serve.add_argument("--index", required=True,
+                       help="rule-index JSON file written by 'compile'")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7407)
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="hot-basket LRU cache entries (0 disables)")
+    serve.add_argument("--baskets", default=None,
+                       help="basket file: enables on-demand selective "
+                            "generation ('score --target')")
+    serve.add_argument("--minsup", type=float, default=0.01,
+                       help="selective generation support threshold")
+    serve.add_argument("--minri", type=float, default=0.5,
+                       help="selective generation interest threshold")
+    serve.add_argument("--minconf", type=float, default=0.5)
+    serve.add_argument("--engine", type=_engine_spec, default="bitmap",
+                       metavar="SPEC",
+                       help="counting engine for selective generation "
+                            "(any registered spec)")
+    serve.add_argument("--max-neighbors", type=int, default=32,
+                       dest="max_neighbors",
+                       help="selective neighborhood budget")
+
+    score = commands.add_parser(
+        "score", help="query a running rule server"
+    )
+    score.add_argument("--host", default="127.0.0.1")
+    score.add_argument("--port", type=int, default=7407)
+    group = score.add_mutually_exclusive_group(required=True)
+    group.add_argument("--basket", default=None,
+                       help="comma-separated item ids or names to score")
+    group.add_argument("--target", default=None,
+                       help="item id or name for on-target selective "
+                            "mining")
+    group.add_argument("--stats", action="store_true",
+                       help="fetch server statistics")
+    score.add_argument("--limit", type=int, default=None,
+                       help="return at most this many matches "
+                            "(strongest first)")
+    score.add_argument("--timeout", type=float, default=10.0)
     return parser
 
 
@@ -303,7 +380,118 @@ def _command_analyze(args: argparse.Namespace) -> int:
 
 def _command_engines(args: argparse.Namespace) -> int:
     print(capability_table(markdown=args.markdown))
+    if args.markdown:
+        print()
+        print(
+            "Serving: `repro serve`'s on-target selective generation "
+            "counts through the same registry — any spec above (e.g. "
+            "`bitmap`, `cached`, `parallel:numpy`) is valid for its "
+            "`--engine` flag."
+        )
+    else:
+        print()
+        print(
+            "serving: 'repro serve' selective generation accepts any "
+            "spec above via --engine"
+        )
     return 0
+
+
+def _command_compile(args: argparse.Namespace) -> int:
+    database = load_basket_file(args.baskets)
+    taxonomy = load_taxonomy_file(args.taxonomy)
+    config = MiningConfig(
+        minsup=args.minsup,
+        minri=args.minri,
+        engine=args.engine,
+        max_size=args.max_size,
+        max_sibling_replacements=args.max_sibling_replacements,
+    )
+    result = mine_negative_rules(database, taxonomy, config=config)
+    positives = generate_rules(result.large_itemsets, args.minconf)
+    index = RuleIndex(
+        negative_rules=result.rules,
+        positive_rules=positives,
+        taxonomy=taxonomy,
+        large_itemsets=result.large_itemsets,
+    )
+    index.save(args.out)
+    print(
+        f"compiled {index.negative_count} negative + "
+        f"{index.positive_count} positive rules to {args.out}"
+    )
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    index = RuleIndex.load(args.index)
+    selective = None
+    if args.baskets is not None:
+        if index.taxonomy is None:
+            print(
+                "error: selective generation needs a taxonomy, but the "
+                "index was compiled without one",
+                file=sys.stderr,
+            )
+            return 2
+        database = load_basket_file(args.baskets)
+        session = MiningSession(
+            database, index.taxonomy, engine=args.engine
+        )
+        selective = SelectiveContext(
+            database=database,
+            taxonomy=index.taxonomy,
+            minsup=args.minsup,
+            minri=args.minri,
+            minconf=args.minconf,
+            session=session,
+            max_neighbors=args.max_neighbors,
+        )
+    service = RuleService(
+        index, cache_size=args.cache_size, selective=selective
+    )
+    run_service(service, args.host, args.port)
+    return 0
+
+
+def _parse_basket_entry(entry: str) -> int | str:
+    entry = entry.strip()
+    try:
+        return int(entry)
+    except ValueError:
+        return entry
+
+
+def _command_score(args: argparse.Namespace) -> int:
+    if args.stats:
+        payload: dict = {"op": "stats"}
+    elif args.target is not None:
+        payload = {"op": "select",
+                   "target": _parse_basket_entry(args.target)}
+    else:
+        payload = {
+            "op": "score",
+            "basket": [
+                _parse_basket_entry(entry)
+                for entry in args.basket.split(",")
+                if entry.strip()
+            ],
+        }
+        if args.limit is not None:
+            payload["limit"] = args.limit
+    try:
+        response = request_once(
+            args.host, args.port, payload, timeout=args.timeout
+        )
+    except OSError as error:
+        print(
+            f"error: cannot reach server at {args.host}:{args.port} "
+            f"({error})",
+            file=sys.stderr,
+        )
+        return 2
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 2 if "error" in response else 0
 
 
 _COMMANDS = {
@@ -313,6 +501,9 @@ _COMMANDS = {
     "inspect": _command_inspect,
     "analyze": _command_analyze,
     "engines": _command_engines,
+    "compile": _command_compile,
+    "serve": _command_serve,
+    "score": _command_score,
 }
 
 

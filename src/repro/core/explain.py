@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from ..itemset import Itemset
 from ..mining.itemset_index import LargeItemsetIndex
+from ..serialize import header
 from ..taxonomy.tree import Taxonomy
 from .candidates import CASE_CHILDREN
 from .negmining import NegativeItemset
@@ -59,6 +60,34 @@ class Derivation:
     @property
     def deviation(self) -> float:
         return self.expected_support - self.actual_support
+
+    def as_dict(self) -> dict:
+        """The derivation under the shared versioned-payload envelope.
+
+        Machine-readable twin of :func:`format_derivation` — same
+        content, same schema conventions as the rule payloads (see
+        :mod:`repro.serialize`), so reports and the serving layer emit
+        derivations without ad-hoc dict building.
+        """
+        return {
+            **header("derivation"),
+            "items": list(self.items),
+            "source": list(self.source),
+            "case": self.case,
+            "base_support": self.base_support,
+            "replacements": [
+                {
+                    "new_item": replacement.new_item,
+                    "source_item": replacement.source_item,
+                    "new_support": replacement.new_support,
+                    "source_support": replacement.source_support,
+                }
+                for replacement in self.replacements
+            ],
+            "expected_support": self.expected_support,
+            "actual_support": self.actual_support,
+            "deviation": self.deviation,
+        }
 
 
 def derive(

@@ -27,6 +27,7 @@ from .._util import check_fraction
 from ..itemset import Itemset, difference
 from ..mining.apriori import apriori_gen
 from ..mining.itemset_index import LargeItemsetIndex
+from ..serialize import check_payload, header
 from ..taxonomy.tree import Taxonomy
 from .interest import rule_interest
 from .negmining import NegativeItemset
@@ -61,6 +62,37 @@ class NegativeRule:
     def items(self) -> Itemset:
         """The underlying negative itemset."""
         return tuple(sorted(self.antecedent + self.consequent))
+
+    def as_dict(self) -> dict:
+        """A versioned JSON-able payload (see :mod:`repro.serialize`).
+
+        Round-trips through :meth:`from_dict`; the serving layer's rule
+        index persists rules in exactly this form.
+        """
+        return {
+            **header("negative-rule"),
+            "antecedent": list(self.antecedent),
+            "consequent": list(self.consequent),
+            "ri": self.ri,
+            "expected_support": self.expected_support,
+            "actual_support": self.actual_support,
+            "antecedent_support": self.antecedent_support,
+            "consequent_support": self.consequent_support,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "NegativeRule":
+        """Rebuild a rule from :meth:`as_dict` output."""
+        check_payload(payload, "negative-rule")
+        return cls(
+            antecedent=tuple(payload["antecedent"]),
+            consequent=tuple(payload["consequent"]),
+            ri=payload["ri"],
+            expected_support=payload["expected_support"],
+            actual_support=payload["actual_support"],
+            antecedent_support=payload["antecedent_support"],
+            consequent_support=payload["consequent_support"],
+        )
 
     def format(self, taxonomy: Taxonomy | None = None) -> str:
         """Render the rule, using taxonomy names when available."""

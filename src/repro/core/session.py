@@ -29,6 +29,7 @@ import contextlib
 from collections.abc import Collection
 from typing import Any
 
+from ..errors import ConfigError
 from ..itemset import Itemset
 from ..mining.engines import (
     DEFAULT_ENGINE,
@@ -44,6 +45,14 @@ from ..parallel.engine import ParallelStats
 from ..taxonomy.tree import Taxonomy
 
 _UNSET = object()
+
+#: Valid run kinds for :meth:`MiningSession.begin_run`. The kind
+#: prefixes the headline counters :meth:`MiningSession.publish_run`
+#: folds into the observability registry — ``mine.*`` for offline
+#: mining runs, ``serving.*`` for on-demand selective generation inside
+#: the serving layer — so a service process that also mines never
+#: pollutes the offline counters.
+RUN_KINDS = ("mine", "serving")
 
 
 class MiningSession:
@@ -101,6 +110,7 @@ class MiningSession:
         self.trace_path = trace_path
         self.metrics = metrics
         self._state: EngineState | None = None
+        self._run_kind = "mine"
         self.cache_stats = CacheStats()
         self.parallel_stats = ParallelStats()
 
@@ -166,12 +176,22 @@ class MiningSession:
 
     # -- run lifecycle ------------------------------------------------
 
-    def begin_run(self) -> None:
-        """Start a fresh mining run: reset the per-run accumulators.
+    def begin_run(self, kind: str = "mine") -> None:
+        """Start a fresh run of the given kind: reset the accumulators.
 
         A second ``mine()`` on the same session must never report the
-        first run's cache/shard activity.
+        first run's cache/shard activity. *kind* (one of
+        :data:`RUN_KINDS`) selects the counter prefix
+        :meth:`publish_run` reports under: the offline miners use the
+        default ``"mine"``; the serving layer's on-demand selective
+        generation uses ``"serving"`` so query-time mining stays
+        separate from offline runs in the metrics registry.
         """
+        if kind not in RUN_KINDS:
+            raise ConfigError(
+                f"unknown run kind {kind!r}; choose from {RUN_KINDS}"
+            )
+        self._run_kind = kind
         self.cache_stats = CacheStats()
         self.parallel_stats = ParallelStats()
 
@@ -187,8 +207,10 @@ class MiningSession:
         The session accumulates cache/parallel activity in private
         per-run registries; when an observability session is active,
         those registries are merged into it here and the run's headline
-        figures land under ``mine.*`` counters. *stats* is any object
-        with the :class:`~repro.core.negmining.MiningStats` counters.
+        figures land under ``<kind>.*`` counters — ``mine.*`` by
+        default, ``serving.*`` when the run was opened with
+        ``begin_run(kind="serving")``. *stats* is any object with the
+        :class:`~repro.core.negmining.MiningStats` counters.
         """
         state = obs.current()
         if state is None:
@@ -198,12 +220,13 @@ class MiningSession:
             registry.merge(self.parallel_stats.registry)
         if self.cache_stats.registry is not registry:
             registry.merge(self.cache_stats.registry)
-        registry.incr("mine.runs")
-        registry.incr("mine.data_passes", stats.data_passes)
-        registry.incr("mine.physical_passes", stats.physical_passes)
-        registry.incr("mine.large_itemsets", stats.large_itemsets)
-        registry.incr("mine.candidates", stats.candidates_generated)
-        registry.incr("mine.negative_itemsets", stats.negative_itemsets)
+        kind = self._run_kind
+        registry.incr(f"{kind}.runs")
+        registry.incr(f"{kind}.data_passes", stats.data_passes)
+        registry.incr(f"{kind}.physical_passes", stats.physical_passes)
+        registry.incr(f"{kind}.large_itemsets", stats.large_itemsets)
+        registry.incr(f"{kind}.candidates", stats.candidates_generated)
+        registry.incr(f"{kind}.negative_itemsets", stats.negative_itemsets)
 
     def __repr__(self) -> str:
         return (

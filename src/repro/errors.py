@@ -3,7 +3,8 @@
 Every error raised intentionally by the library derives from
 :class:`ReproError`, so callers can catch a single base class. Sub-classes
 distinguish the major failure domains: taxonomy construction, database
-construction/IO, mining configuration, and synthetic data generation.
+construction/IO, mining configuration, synthetic data generation, and
+the online rule-serving layer.
 """
 
 from __future__ import annotations
@@ -27,3 +28,8 @@ class ConfigError(ReproError):
 
 class GenerationError(ReproError):
     """Synthetic data generation failed (inconsistent parameters)."""
+
+
+class ServingError(ReproError):
+    """A serving-layer request is invalid (bad basket, unknown target,
+    selective generation unavailable, ...)."""

@@ -9,10 +9,12 @@ itemsets, with supports stored as fractions of |D|.
 
 from __future__ import annotations
 
+import json
 from collections.abc import Iterable, Iterator, Mapping
 
 from ..errors import ConfigError
 from ..itemset import Itemset, itemset
+from ..serialize import check_payload, header
 
 
 class LargeItemsetIndex:
@@ -100,6 +102,41 @@ class LargeItemsetIndex:
 
     def __len__(self) -> int:
         return len(self._supports)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """A JSON-able dict of the index (see :mod:`repro.serialize`).
+
+        Itemsets are emitted in deterministic sorted order as
+        ``[items, support]`` pairs — JSON keys cannot be tuples.
+        """
+        return {
+            **header("itemset-index"),
+            "itemsets": [
+                [list(items), support] for items, support in self.items()
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LargeItemsetIndex":
+        """Rebuild an index from :meth:`to_payload` output."""
+        check_payload(payload, "itemset-index")
+        index = cls()
+        for items, support in payload["itemsets"]:
+            index.add(items, support)
+        return index
+
+    def to_json(self) -> str:
+        """The index as one JSON document (round-trips via
+        :meth:`from_json`)."""
+        return json.dumps(self.to_payload())
+
+    @classmethod
+    def from_json(cls, text: str) -> "LargeItemsetIndex":
+        """Parse :meth:`to_json` output back into an equal index."""
+        return cls.from_payload(json.loads(text))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, LargeItemsetIndex):

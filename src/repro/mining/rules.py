@@ -19,6 +19,7 @@ from collections.abc import Iterator
 
 from .._util import check_fraction
 from ..itemset import Itemset, difference
+from ..serialize import check_payload, header
 from .apriori import apriori_gen
 from .itemset_index import LargeItemsetIndex
 
@@ -41,6 +42,32 @@ class AssociationRule:
     consequent: Itemset
     support: float
     confidence: float
+
+    def as_dict(self) -> dict:
+        """A versioned JSON-able payload (see :mod:`repro.serialize`).
+
+        The same envelope as :meth:`repro.core.rulegen.NegativeRule.
+        as_dict`, distinguished by ``kind``; round-trips through
+        :meth:`from_dict`.
+        """
+        return {
+            **header("positive-rule"),
+            "antecedent": list(self.antecedent),
+            "consequent": list(self.consequent),
+            "support": self.support,
+            "confidence": self.confidence,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AssociationRule":
+        """Rebuild a rule from :meth:`as_dict` output."""
+        check_payload(payload, "positive-rule")
+        return cls(
+            antecedent=tuple(payload["antecedent"]),
+            consequent=tuple(payload["consequent"]),
+            support=payload["support"],
+            confidence=payload["confidence"],
+        )
 
     def format(self, name_of=str) -> str:
         """Render the rule using a node-naming function."""

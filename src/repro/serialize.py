@@ -1,0 +1,54 @@
+"""Versioned payload serialization shared across the library.
+
+Every persistent artifact — rules, the large-itemset hash table, the
+compiled serving index — serializes to a plain ``dict`` carrying two
+header fields: ``"schema"`` (an integer version, :data:`SCHEMA_VERSION`)
+and ``"kind"`` (a short artifact tag such as ``"negative-rule"``).
+Readers validate both before touching the body, so a file written by a
+future incompatible version fails loudly with a :class:`ConfigError`
+instead of silently mis-parsing.
+
+The helpers here are intentionally tiny: :func:`header` builds the two
+header fields, :func:`check_payload` validates them. Each artifact owns
+its body format (``as_dict``/``from_dict`` on the rule types,
+``to_payload``/``from_payload`` on the index types); this module only
+pins the shared envelope.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigError
+
+#: Version stamped on (and required of) every serialized payload.
+#: Bump only on incompatible body changes; readers reject mismatches.
+SCHEMA_VERSION = 1
+
+
+def header(kind: str) -> dict:
+    """The envelope fields every serialized payload starts with."""
+    return {"schema": SCHEMA_VERSION, "kind": kind}
+
+
+def check_payload(payload: object, kind: str) -> dict:
+    """Validate the envelope of *payload*; return it for chaining.
+
+    Raises :class:`ConfigError` when *payload* is not a dict, carries a
+    different schema version, or is tagged with another kind.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigError(
+            f"expected a serialized {kind!r} payload (a dict), "
+            f"got {type(payload).__name__}"
+        )
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ConfigError(
+            f"unsupported {kind!r} schema version {schema!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    found = payload.get("kind")
+    if found != kind:
+        raise ConfigError(
+            f"payload is a serialized {found!r}, expected {kind!r}"
+        )
+    return payload

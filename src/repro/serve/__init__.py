@@ -1,0 +1,33 @@
+"""Online rule-serving layer: compiled index, matcher, service, selective.
+
+The mining side of the library produces rules *offline*; this package is
+the *online* half of the production story: compile a mined rule set into
+a compact inverted index (:mod:`.rule_index`), answer "which rules fire
+on this basket?" at high QPS (:mod:`.matcher`, :mod:`.service`), and
+mine rules around a single target item on demand instead of
+materializing the full rule set (:mod:`.selective`, after Hahsler,
+Buchta & Hornik, "Selective Association Rule Generation").
+
+See DESIGN.md §10 for the architecture.
+"""
+
+from __future__ import annotations
+
+from .matcher import BasketMatcher, Match, naive_match
+from .rule_index import IndexedRule, RuleIndex
+from .selective import SelectiveResult, mine_selective
+from .service import LRUCache, RuleService, SelectiveContext, request_once
+
+__all__ = [
+    "BasketMatcher",
+    "IndexedRule",
+    "LRUCache",
+    "Match",
+    "RuleIndex",
+    "RuleService",
+    "SelectiveContext",
+    "SelectiveResult",
+    "mine_selective",
+    "naive_match",
+    "request_once",
+]

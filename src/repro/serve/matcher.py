@@ -1,0 +1,139 @@
+"""Basket scoring: which compiled rules fire on a set of items.
+
+Given a basket (any iterable of item ids), the matcher returns every
+rule in the :class:`~repro.serve.rule_index.RuleIndex` whose antecedent
+is a subset of the basket. Matching is *taxonomy-aware*: each basket
+item is first expanded with its taxonomy ancestors (a customer who
+bought Evian holds "Bottled water" and "Beverages" too — the same
+extension generalized support counting applies to transactions), so
+rules phrased at any taxonomy level fire.
+
+The fast path walks the index's antecedent postings and counts, per
+rule slot, how many distinct antecedent items the expanded basket
+covers; a rule fires exactly when the count reaches its antecedent
+size. That is the classic inverted-index subset test — cost proportional
+to the postings touched, not to the rule set. :func:`naive_match` is the
+verification oracle: a plain subset scan over *every* rule, kept
+deliberately independent of the postings so property tests can assert
+the two produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..core.rulegen import NegativeRule
+from ..mining.rules import AssociationRule
+from .rule_index import RuleIndex
+
+
+@dataclass(frozen=True, slots=True)
+class Match:
+    """One fired rule.
+
+    Attributes
+    ----------
+    slot, kind:
+        The rule's position and kind (``"negative"``/``"positive"``)
+        in the index.
+    rule:
+        The original rule object.
+    consequent_present:
+        Whether the (expanded) basket already contains the whole
+        consequent — for a negative rule that is the anomaly the rule
+        predicts against; for a positive rule it means the
+        recommendation is already satisfied.
+    """
+
+    slot: int
+    kind: str
+    rule: NegativeRule | AssociationRule
+    consequent_present: bool
+
+
+def expand_basket(
+    basket: Iterable[int], index: RuleIndex
+) -> frozenset[int]:
+    """The basket plus every taxonomy ancestor of every known item.
+
+    Item ids unknown to the taxonomy are kept as-is (they simply cannot
+    fire generalized rules); without a taxonomy the basket is returned
+    unchanged. Duplicates collapse — matching is set semantics.
+    """
+    taxonomy = index.taxonomy
+    if taxonomy is None:
+        return frozenset(basket)
+    expanded: set[int] = set()
+    for item in basket:
+        expanded.add(item)
+        if item in taxonomy:
+            expanded.update(taxonomy.ancestors(item))
+    return frozenset(expanded)
+
+
+class BasketMatcher:
+    """Score baskets against one compiled rule index."""
+
+    __slots__ = ("_index",)
+
+    def __init__(self, index: RuleIndex) -> None:
+        self._index = index
+
+    @property
+    def index(self) -> RuleIndex:
+        return self._index
+
+    def match(self, basket: Iterable[int]) -> list[Match]:
+        """All rules whose antecedent the (expanded) basket covers.
+
+        Returns matches in slot order — negatives by descending RI
+        first, then positives by descending confidence — so the
+        strongest signals lead.
+        """
+        index = self._index
+        expanded = expand_basket(basket, index)
+        covered: dict[int, int] = {}
+        for item in expanded:
+            for slot in index.postings(item):
+                covered[slot] = covered.get(slot, 0) + 1
+        matches: list[Match] = []
+        for slot in sorted(covered):
+            entry = index.rule(slot)
+            if covered[slot] == len(entry.antecedent):
+                matches.append(
+                    Match(
+                        slot=slot,
+                        kind=entry.kind,
+                        rule=entry.rule,
+                        consequent_present=(
+                            expanded.issuperset(entry.consequent)
+                        ),
+                    )
+                )
+        return matches
+
+
+def naive_match(index: RuleIndex, basket: Iterable[int]) -> list[Match]:
+    """The verification oracle: subset-scan every rule in the index.
+
+    Shares only :func:`expand_basket` with the fast path; the firing
+    test itself is an independent ``issubset`` per rule, so agreement
+    with :meth:`BasketMatcher.match` genuinely checks the postings
+    construction and the counting logic.
+    """
+    expanded = expand_basket(basket, index)
+    matches: list[Match] = []
+    for entry in index.rules:
+        if expanded.issuperset(entry.antecedent):
+            matches.append(
+                Match(
+                    slot=entry.slot,
+                    kind=entry.kind,
+                    rule=entry.rule,
+                    consequent_present=expanded.issuperset(
+                        entry.consequent
+                    ),
+                )
+            )
+    return matches

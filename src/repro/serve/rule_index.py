@@ -1,0 +1,256 @@
+"""The compiled rule index: mined rules behind antecedent postings.
+
+A :class:`RuleIndex` freezes a mined rule set — strong negative rules
+(:class:`~repro.core.rulegen.NegativeRule`) and positive rules
+(:class:`~repro.mining.rules.AssociationRule`) — into the form the
+online scorer needs:
+
+* every rule gets a stable integer *slot* in a deterministic global
+  order (negatives by descending RI first, then positives by descending
+  confidence), so match results are reproducible and cache keys cheap;
+* an inverted index maps each antecedent item to the sorted slots of
+  the rules whose antecedent contains it (the serving-side sibling of
+  the large-itemset hash table of paper §2.4 — built for subset probes
+  instead of exact lookups);
+* the taxonomy rides along, because basket items must fire rules on
+  their ancestors, and so (optionally) does the large-itemset index,
+  for support lookups and on-target selective generation at serve time.
+
+The whole index serializes to one JSON document
+(:meth:`RuleIndex.save` / :meth:`RuleIndex.load`, schema-versioned via
+:mod:`repro.serialize`), so a rule set is mined once and served forever.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.rulegen import NegativeRule
+from ..errors import ConfigError
+from ..itemset import Itemset
+from ..mining.itemset_index import LargeItemsetIndex
+from ..mining.rules import AssociationRule
+from ..serialize import check_payload, header
+from ..taxonomy.tree import Taxonomy
+
+#: Rule kinds as stored in :class:`IndexedRule` and payloads.
+KIND_NEGATIVE = "negative"
+KIND_POSITIVE = "positive"
+
+_EMPTY: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class IndexedRule:
+    """One compiled rule: its slot, kind, and the original rule object."""
+
+    slot: int
+    kind: str
+    rule: NegativeRule | AssociationRule
+
+    @property
+    def antecedent(self) -> Itemset:
+        return self.rule.antecedent
+
+    @property
+    def consequent(self) -> Itemset:
+        return self.rule.consequent
+
+
+def _negative_order(rule: NegativeRule):
+    return (-rule.ri, rule.antecedent, rule.consequent)
+
+
+def _positive_order(rule: AssociationRule):
+    return (-rule.confidence, -rule.support, rule.antecedent,
+            rule.consequent)
+
+
+class RuleIndex:
+    """Compiled positive + negative rules keyed by antecedent items.
+
+    Parameters
+    ----------
+    negative_rules, positive_rules:
+        The mined rule set. Order does not matter — rules are re-sorted
+        into the canonical slot order at compile time.
+    taxonomy:
+        The taxonomy baskets are scored under (items fire rules on
+        their ancestors). ``None`` compiles a flat index.
+    large_itemsets:
+        Optional large-itemset index to carry along (support lookups,
+        serve-time diagnostics). Persisted with the rules.
+    """
+
+    __slots__ = ("_rules", "_postings", "_taxonomy", "_itemsets",
+                 "_negative_count")
+
+    def __init__(
+        self,
+        negative_rules: Iterable[NegativeRule] = (),
+        positive_rules: Iterable[AssociationRule] = (),
+        taxonomy: Taxonomy | None = None,
+        large_itemsets: LargeItemsetIndex | None = None,
+    ) -> None:
+        negatives = sorted(negative_rules, key=_negative_order)
+        positives = sorted(positive_rules, key=_positive_order)
+        compiled: list[IndexedRule] = []
+        for rule in negatives:
+            compiled.append(IndexedRule(len(compiled), KIND_NEGATIVE, rule))
+        for rule in positives:
+            compiled.append(IndexedRule(len(compiled), KIND_POSITIVE, rule))
+        postings: dict[int, list[int]] = {}
+        for entry in compiled:
+            if not entry.antecedent:
+                raise ConfigError(
+                    "cannot index a rule with an empty antecedent"
+                )
+            for item in entry.antecedent:
+                postings.setdefault(item, []).append(entry.slot)
+        self._rules: tuple[IndexedRule, ...] = tuple(compiled)
+        # Slots were appended in increasing order, so each posting list
+        # is already sorted.
+        self._postings: dict[int, tuple[int, ...]] = {
+            item: tuple(slots) for item, slots in postings.items()
+        }
+        self._taxonomy = taxonomy
+        self._itemsets = large_itemsets
+        self._negative_count = len(negatives)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def rules(self) -> tuple[IndexedRule, ...]:
+        """All compiled rules in slot order (negatives first)."""
+        return self._rules
+
+    def rule(self, slot: int) -> IndexedRule:
+        """The compiled rule at *slot*."""
+        return self._rules[slot]
+
+    def postings(self, item: int) -> tuple[int, ...]:
+        """Slots of the rules whose antecedent contains *item*."""
+        return self._postings.get(item, _EMPTY)
+
+    @property
+    def taxonomy(self) -> Taxonomy | None:
+        return self._taxonomy
+
+    @property
+    def large_itemsets(self) -> LargeItemsetIndex | None:
+        return self._itemsets
+
+    @property
+    def negative_count(self) -> int:
+        return self._negative_count
+
+    @property
+    def positive_count(self) -> int:
+        return len(self._rules) - self._negative_count
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __repr__(self) -> str:
+        return (
+            f"RuleIndex(negative={self.negative_count}, "
+            f"positive={self.positive_count}, "
+            f"items={len(self._postings)}, "
+            f"taxonomy={'yes' if self._taxonomy is not None else 'no'})"
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """A JSON-able dict of the whole index (rules + taxonomy)."""
+        payload: dict = {
+            **header("rule-index"),
+            "rules": [entry.rule.as_dict() for entry in self._rules],
+        }
+        if self._taxonomy is not None:
+            payload["taxonomy"] = _taxonomy_payload(self._taxonomy)
+        if self._itemsets is not None:
+            payload["large_itemsets"] = self._itemsets.to_payload()
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RuleIndex":
+        """Rebuild an index from :meth:`to_payload` output.
+
+        The postings are recompiled rather than persisted — they are
+        derived data, and recompiling keeps the file format independent
+        of the in-memory layout.
+        """
+        check_payload(payload, "rule-index")
+        negatives: list[NegativeRule] = []
+        positives: list[AssociationRule] = []
+        for entry in payload["rules"]:
+            if entry.get("kind") == "negative-rule":
+                negatives.append(NegativeRule.from_dict(entry))
+            else:
+                positives.append(AssociationRule.from_dict(entry))
+        taxonomy = None
+        if "taxonomy" in payload:
+            taxonomy = _taxonomy_from_payload(payload["taxonomy"])
+        itemsets = None
+        if "large_itemsets" in payload:
+            itemsets = LargeItemsetIndex.from_payload(
+                payload["large_itemsets"]
+            )
+        return cls(
+            negative_rules=negatives,
+            positive_rules=positives,
+            taxonomy=taxonomy,
+            large_itemsets=itemsets,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload())
+
+    @classmethod
+    def from_json(cls, text: str) -> "RuleIndex":
+        return cls.from_payload(json.loads(text))
+
+    def save(self, path: str | Path) -> None:
+        """Write the index as one JSON document at *path*."""
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RuleIndex":
+        """Read an index written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+
+def _taxonomy_payload(taxonomy: Taxonomy) -> dict:
+    """Serialize a taxonomy: parent edges, names, and the full node set.
+
+    The node list makes the round-trip exact even for isolated items
+    (valid leaves with neither parent nor children), which the parent
+    map alone cannot represent.
+    """
+    return {
+        **header("taxonomy"),
+        "parents": [
+            [child, parent]
+            for child, parent in sorted(taxonomy.parent_map().items())
+        ],
+        "names": [
+            [node, name]
+            for node, name in sorted(taxonomy.names_map().items())
+        ],
+        "nodes": list(taxonomy.nodes),
+    }
+
+
+def _taxonomy_from_payload(payload: dict) -> Taxonomy:
+    check_payload(payload, "taxonomy")
+    return Taxonomy(
+        parents={child: parent for child, parent in payload["parents"]},
+        names={node: name for node, name in payload["names"]},
+        extra_roots=payload["nodes"],
+    )

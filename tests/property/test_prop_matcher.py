@@ -1,0 +1,121 @@
+"""Property-based tests: the fast basket matcher vs the naive scan.
+
+:meth:`repro.serve.matcher.BasketMatcher.match` answers subset queries
+through the compiled antecedent postings;
+:func:`repro.serve.matcher.naive_match` answers them by scanning every
+rule with an independent ``issuperset`` test. The two must be
+*bit-identical* — same rules, same order, same ``consequent_present``
+flags — on any index (flat or taxonomy-aware) and any basket,
+including empty baskets and baskets holding item ids the index has
+never seen.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rulegen import NegativeRule
+from repro.mining.rules import AssociationRule
+from repro.serve import BasketMatcher, RuleIndex, naive_match
+from repro.taxonomy.tree import Taxonomy
+
+
+def _build_taxonomy(rng: random.Random) -> Taxonomy:
+    """A random two-level taxonomy over items 1..30 (roots 101..):
+    every item gets a parent category with probability 0.8."""
+    parents = {}
+    categories = list(range(101, 101 + rng.randint(1, 4)))
+    for item in range(1, 31):
+        if rng.random() < 0.8:
+            parents[item] = rng.choice(categories)
+    return Taxonomy(parents=parents, extra_roots=range(1, 31))
+
+
+def _random_itemset(rng: random.Random, nodes) -> tuple:
+    size = rng.randint(1, 3)
+    return tuple(sorted(rng.sample(nodes, size)))
+
+
+@st.composite
+def scenarios(draw):
+    """A random compiled index + a batch of baskets to score."""
+    seed = draw(st.integers(min_value=0, max_value=1_000_000))
+    with_taxonomy = draw(st.booleans())
+    rng = random.Random(seed)
+    taxonomy = _build_taxonomy(rng) if with_taxonomy else None
+    nodes = list(taxonomy.nodes) if taxonomy else list(range(1, 31))
+
+    negatives, positives = [], []
+    for _ in range(rng.randint(0, 12)):
+        antecedent = _random_itemset(rng, nodes)
+        consequent = _random_itemset(
+            rng, [n for n in nodes if n not in antecedent]
+        )
+        if rng.random() < 0.5:
+            negatives.append(NegativeRule(
+                antecedent=antecedent,
+                consequent=consequent,
+                ri=rng.uniform(0.1, 5.0),
+                expected_support=0.3,
+                actual_support=0.01,
+                antecedent_support=0.4,
+                consequent_support=0.4,
+            ))
+        else:
+            positives.append(AssociationRule(
+                antecedent=antecedent,
+                consequent=consequent,
+                support=rng.uniform(0.05, 0.5),
+                confidence=rng.uniform(0.3, 1.0),
+            ))
+    index = RuleIndex(
+        negative_rules=negatives,
+        positive_rules=positives,
+        taxonomy=taxonomy,
+    )
+
+    baskets = [[]]  # the empty basket is always in the batch
+    for _ in range(rng.randint(1, 8)):
+        size = rng.randint(1, 6)
+        basket = rng.sample(nodes, min(size, len(nodes)))
+        if rng.random() < 0.4:
+            basket.append(rng.randint(900, 950))  # unknown item id
+        rng.shuffle(basket)
+        baskets.append(basket)
+    return index, baskets
+
+
+@given(scenarios())
+@settings(max_examples=150, deadline=None)
+def test_matcher_is_bit_identical_to_naive_scan(scenario):
+    index, baskets = scenario
+    matcher = BasketMatcher(index)
+    for basket in baskets:
+        assert matcher.match(basket) == naive_match(index, basket)
+
+
+@given(scenarios())
+@settings(max_examples=60, deadline=None)
+def test_matcher_survives_json_round_trip(scenario):
+    """Persistence must not change what fires: the reloaded index
+    matches exactly like the original."""
+    index, baskets = scenario
+    reloaded = RuleIndex.from_json(index.to_json())
+    assert len(reloaded) == len(index)
+    matcher = BasketMatcher(reloaded)
+    for basket in baskets:
+        assert matcher.match(basket) == naive_match(index, basket)
+
+
+@given(scenarios())
+@settings(max_examples=60, deadline=None)
+def test_matches_are_subset_of_rules_and_sorted_by_slot(scenario):
+    index, baskets = scenario
+    matcher = BasketMatcher(index)
+    for basket in baskets:
+        matches = matcher.match(basket)
+        slots = [match.slot for match in matches]
+        assert slots == sorted(slots)
+        for match in matches:
+            assert index.rule(match.slot).rule is match.rule

@@ -201,3 +201,125 @@ class TestInspect:
         assert "TransactionDatabase" in out
         assert "Taxonomy" in out
         assert "covered" in out
+
+
+class TestEngines:
+    def test_plain_table_notes_serving(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "bitmap" in out
+        assert "repro serve" in out
+
+    def test_markdown_table_notes_serving(self, capsys):
+        assert main(["engines", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| engine |" in out
+        assert "Serving:" in out
+        assert "`parallel:numpy`" in out
+
+
+class TestCompile:
+    def test_writes_loadable_index(self, dataset_files, tmp_path,
+                                   capsys):
+        from repro.serve import RuleIndex
+
+        baskets, taxonomy = dataset_files
+        out_path = tmp_path / "index.json"
+        code = main(
+            [
+                "compile",
+                "--baskets", baskets,
+                "--taxonomy", taxonomy,
+                "--minsup", "0.2",
+                "--minri", "0.3",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "compiled" in capsys.readouterr().out
+        index = RuleIndex.load(out_path)
+        assert index.negative_count > 0
+        assert index.taxonomy is not None
+
+
+class TestServeAndScore:
+    @pytest.fixture
+    def server(self, dataset_files, tmp_path):
+        """A live rule server on an ephemeral port, torn down after."""
+        import asyncio
+        import threading
+
+        from repro.serve import RuleIndex, RuleService
+        from repro.serve.service import start_server
+
+        baskets, taxonomy = dataset_files
+        out_path = tmp_path / "index.json"
+        assert main(
+            [
+                "compile",
+                "--baskets", baskets,
+                "--taxonomy", taxonomy,
+                "--minsup", "0.2",
+                "--minri", "0.3",
+                "--out", str(out_path),
+            ]
+        ) == 0
+        service = RuleService(RuleIndex.load(out_path))
+        loop = asyncio.new_event_loop()
+        box = {}
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            server = loop.run_until_complete(
+                start_server(service, "127.0.0.1", 0)
+            )
+            box["port"] = server.sockets[0].getsockname()[1]
+            started.set()
+            loop.run_forever()
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            loop.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(10), "server did not start"
+        yield box["port"]
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+
+    def test_score_basket_by_name(self, server, capsys):
+        code = main(
+            [
+                "score",
+                "--port", str(server),
+                "--basket", "lemonade",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"matches"' in out
+        assert '"negative"' in out
+
+    def test_score_stats(self, server, capsys):
+        code = main(["score", "--port", str(server), "--stats"])
+        assert code == 0
+        assert '"rules"' in capsys.readouterr().out
+
+    def test_unknown_name_is_an_error_exit(self, server, capsys):
+        code = main(
+            [
+                "score",
+                "--port", str(server),
+                "--basket", "no-such-item",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_connection_refused_reports_cleanly(self, capsys):
+        code = main(
+            ["score", "--port", "1", "--basket", "1", "--timeout", "2"]
+        )
+        assert code == 2
+        assert "cannot reach server" in capsys.readouterr().err

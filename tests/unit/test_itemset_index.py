@@ -94,3 +94,43 @@ class TestLookup:
 
     def test_repr(self, index):
         assert "total=4" in repr(index)
+
+
+class TestPersistence:
+    @pytest.fixture
+    def index(self):
+        return LargeItemsetIndex(
+            {(1,): 0.9, (2,): 0.8, (1, 2): 0.7, (1, 2, 3): 0.2}
+        )
+
+    def test_json_round_trip(self, index):
+        clone = LargeItemsetIndex.from_json(index.to_json())
+        assert clone == index
+        assert len(clone) == len(index)  # __len__ parity
+        assert clone.support((1, 2, 3)) == 0.2
+
+    def test_empty_round_trip(self):
+        clone = LargeItemsetIndex.from_json(LargeItemsetIndex().to_json())
+        assert len(clone) == 0
+
+    def test_payload_is_versioned(self, index):
+        payload = index.to_payload()
+        assert payload["schema"] == 1
+        assert payload["kind"] == "itemset-index"
+
+    def test_wrong_kind_rejected(self, index):
+        payload = index.to_payload()
+        payload["kind"] = "rule-index"
+        with pytest.raises(ConfigError):
+            LargeItemsetIndex.from_payload(payload)
+
+    def test_unknown_schema_rejected(self, index):
+        payload = index.to_payload()
+        payload["schema"] = 999
+        with pytest.raises(ConfigError):
+            LargeItemsetIndex.from_payload(payload)
+
+    def test_payload_order_is_deterministic(self, index):
+        first = index.to_json()
+        second = LargeItemsetIndex(dict(reversed(list(index.items()))))
+        assert first == second.to_json()

@@ -1,0 +1,229 @@
+"""Unit tests for the rule-serving service and its asyncio server."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ServingError
+from repro.obs.api import obs_session
+from repro.obs.registry import MetricsRegistry
+from repro.serve import LRUCache, RuleIndex, RuleService, SelectiveContext
+from repro.serve.service import dispatch, start_server
+from repro.data.database import TransactionDatabase
+from repro.taxonomy.builders import taxonomy_from_nested
+
+from .test_rule_index import negative, positive
+
+
+class TestLRUCache:
+    def test_hit_and_miss_counting(self):
+        cache = LRUCache(maxsize=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_zero_size_disables_caching(self):
+        cache = LRUCache(maxsize=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ServingError):
+            LRUCache(maxsize=-1)
+
+    def test_hits_and_misses_reach_the_metrics_registry(self):
+        registry = MetricsRegistry()
+        with obs_session(registry=registry):
+            cache = LRUCache(maxsize=4, metric_prefix="serve.cache")
+            cache.get("a")
+            cache.put("a", 1)
+            cache.get("a")
+        assert registry.counter("serve.cache.misses") == 1
+        assert registry.counter("serve.cache.hits") == 1
+
+
+@pytest.fixture
+def taxonomy():
+    return taxonomy_from_nested(
+        {"drinks": {"soda": ["cola", "lemonade"], "water": ["still"]}}
+    )
+
+
+@pytest.fixture
+def service(taxonomy):
+    cola = taxonomy.id_of("cola")
+    still = taxonomy.id_of("still")
+    soda = taxonomy.id_of("soda")
+    water = taxonomy.id_of("water")
+    index = RuleIndex(
+        negative_rules=[negative([soda], [water], ri=1.2)],
+        positive_rules=[positive([still], [cola], confidence=0.9)],
+        taxonomy=taxonomy,
+    )
+    return RuleService(index, cache_size=8)
+
+
+class TestScore:
+    def test_taxonomy_aware_match(self, service, taxonomy):
+        # cola expands to soda; the {soda} =/=> {water} rule fires.
+        result = service.score(["cola"])
+        kinds = [match["kind"] for match in result["matches"]]
+        assert kinds == ["negative"]
+        assert result["total_matches"] == 1
+
+    def test_name_and_id_baskets_are_the_same_request(self, service,
+                                                      taxonomy):
+        by_name = service.score(["cola", "still"])
+        by_id = service.score(
+            [taxonomy.id_of("cola"), taxonomy.id_of("still")]
+        )
+        assert by_name == by_id
+        assert service.stats()["cache_hits"] == 1
+
+    def test_limit_truncates_but_reports_total(self, service):
+        result = service.score(["cola", "still"], limit=1)
+        assert len(result["matches"]) == 1
+        assert result["total_matches"] == 2
+
+    def test_unknown_name_rejected(self, service):
+        with pytest.raises(ServingError):
+            service.score(["cola", "no-such-item"])
+
+    def test_non_list_basket_rejected(self, service):
+        with pytest.raises(ServingError):
+            service.score("cola")
+
+    def test_unknown_ids_match_nothing(self, service):
+        assert service.score([987654])["matches"] == []
+
+    def test_score_batch(self, service):
+        result = service.score_batch([["cola"], [], ["still"]])
+        assert len(result["results"]) == 3
+        assert result["results"][1]["matches"] == []
+
+    def test_select_unavailable_without_context(self, service):
+        with pytest.raises(ServingError):
+            service.select("cola")
+
+
+class TestDispatch:
+    def test_ping(self, service):
+        assert dispatch(service, {"op": "ping"})["ok"] is True
+
+    def test_unknown_op_is_an_error_response(self, service):
+        response = dispatch(service, {"op": "frobnicate"})
+        assert "error" in response
+
+    def test_library_errors_become_error_responses(self, service):
+        response = dispatch(service, {"op": "score", "basket": "oops"})
+        assert "error" in response
+
+    def test_stats(self, service):
+        service.score(["cola"])
+        stats = dispatch(service, {"op": "stats"})
+        assert stats["rules"] == 2
+        assert stats["requests"] == 1
+        assert stats["selective_available"] is False
+
+
+class TestSelectEndpoint:
+    def test_select_mines_and_caches(self, taxonomy):
+        cola = taxonomy.id_of("cola")
+        lemonade = taxonomy.id_of("lemonade")
+        still = taxonomy.id_of("still")
+        rows = [[cola, still]] * 40 + [[lemonade]] * 40 + [[cola]] * 20
+        database = TransactionDatabase(rows)
+        index = RuleIndex(taxonomy=taxonomy)
+        service = RuleService(
+            index,
+            selective=SelectiveContext(
+                database=database, taxonomy=taxonomy,
+                minsup=0.2, minri=0.3,
+            ),
+        )
+        first = service.select("lemonade")
+        assert first["negative_rules"]  # the planted anti-correlation
+        again = service.select(lemonade)
+        assert again == first
+        assert service.stats()["selective_hits"] == 1
+
+
+def _roundtrip(host, port, payload):
+    async def _go():
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        writer.close()
+        await writer.wait_closed()
+        return json.loads(line.decode())
+
+    return _go
+
+
+class TestAsyncServer:
+    def test_concurrent_scoring_hits_the_lru(self, service):
+        registry = MetricsRegistry()
+
+        async def _run():
+            server = await start_server(service, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                basket = {"op": "score", "basket": ["cola", "still"]}
+                responses = await asyncio.gather(
+                    *[_roundtrip(host, port, basket)() for _ in range(8)]
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+            return responses
+
+        with obs_session(registry=registry):
+            responses = asyncio.run(_run())
+
+        assert all(response == responses[0] for response in responses)
+        assert responses[0]["total_matches"] == 2
+        # 8 identical requests: the first misses, the rest hit the LRU.
+        assert registry.counter("serve.cache.hits") == 7
+        assert registry.counter("serve.cache.misses") == 1
+        assert registry.counter("serve.requests") == 8
+        assert service.stats()["cache_hits"] == 7
+
+    def test_malformed_and_non_object_requests(self, service):
+        async def _run():
+            server = await start_server(service, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"this is not json\n")
+                writer.write(b"[1, 2, 3]\n")
+                writer.write(
+                    json.dumps({"op": "ping"}).encode() + b"\n"
+                )
+                await writer.drain()
+                lines = [await reader.readline() for _ in range(3)]
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                server.close()
+                await server.wait_closed()
+            return [json.loads(line.decode()) for line in lines]
+
+        malformed, non_object, ping = asyncio.run(_run())
+        assert "error" in malformed
+        assert "error" in non_object
+        assert ping["ok"] is True
