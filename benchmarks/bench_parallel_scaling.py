@@ -1,107 +1,269 @@
-"""P1 — Parallel scaling: sharded counting vs serial, n_jobs in {2, 4}.
+"""P1 — Parallel scaling: process-per-task vs shared-memory workers.
 
-Times one generalized counting pass (the pipeline's inner loop) serially
-and sharded across worker processes, asserts all variants return
-identical counts, and emits a JSON record of the measured wall times.
-On a single-core box the parallel variants mostly measure process
-start-up + shard transport overhead; on multi-core hardware they show
-the speedup. Either way the counts must be bit-identical.
+Times one generalized counting pass (the pipeline's inner loop) on three
+configurations — the serial ``numpy`` kernel, the process-per-task
+``parallel:numpy`` wrapper, and the zero-copy ``parallel-shm`` engine —
+at n_jobs in {1, 2, 4}, splitting **setup** (first pass: matrix pack,
+segment publish, worker spawn + attach) from **steady state** (the
+minimum per-pass wall over the following passes, which is what a long
+mining run actually pays). All variants must return bit-identical
+counts.
 
-Run directly::
+The built-in check pins the point of the shared-memory engine: at equal
+``n_jobs`` its steady-state pass must be at least ``SHM_MIN_SPEEDUP``
+times faster than the process-per-task wrapper, whose per-pass cost is
+dominated by re-spawning workers and re-pickling row slices. On hosts
+with >= 4 CPUs a second check asserts near-linear scaling of the shm
+steady state from 1 to 4 jobs; single-core CI boxes skip it (there is
+nothing to scale onto).
 
-    python -m benchmarks.bench_parallel_scaling
+Folds its report into ``BENCH_counting.json`` under the
+``"parallel_scaling"`` key — or ``["quick"]["parallel_scaling"]`` on
+``--quick`` — where ``benchmarks.check_regression`` gates the
+steady-state profile alongside the engine matrix and serving layers.
+
+Run::
+
+    python -m benchmarks.bench_parallel_scaling --quick
 """
 
-import json
+from __future__ import annotations
+
+import argparse
+import os
+import sys
 import time
+from pathlib import Path
 
 import pytest
 
-from repro.core.candidates import generate_negative_candidates
-from repro.core.session import MiningSession
-from repro.mining.generalized import mine_generalized
-from repro.parallel.engine import ParallelStats, parallel_count_supports
+#: Steady-state speedup the shm engine must show over process-per-task
+#: parallel counting at the same n_jobs (same passes, same counts).
+SHM_MIN_SPEEDUP = 2.0
 
-from .common import MINRI, dataset, support_sweep
+#: Shm steady-state speedup required from 1 -> 4 jobs on >=4-CPU hosts.
+LINEAR_MIN_SPEEDUP = 2.0
 
-MINSUP = support_sweep()[0]
 JOB_COUNTS = (1, 2, 4)
 
 
 def _setup(kind="short"):
+    from repro.core.candidates import generate_negative_candidates
+    from repro.mining.generalized import mine_generalized
+
+    from .common import MINRI, dataset, support_sweep
+
+    minsup = support_sweep()[0]
     data = dataset(kind)
-    index = mine_generalized(data.database, data.taxonomy, MINSUP)
+    index = mine_generalized(data.database, data.taxonomy, minsup)
     candidates = sorted(
-        generate_negative_candidates(index, data.taxonomy, MINSUP, MINRI)
+        generate_negative_candidates(index, data.taxonomy, minsup, MINRI)
     )
-    return data, candidates
+    return data, candidates, minsup
 
 
-def _count(data, candidates, n_jobs, stats=None):
-    if n_jobs == 1:
-        session = MiningSession(data.database, data.taxonomy)
-        return session.count(candidates, restrict_to_candidate_items=True)
-    return parallel_count_supports(
-        data.database.scan(),
-        candidates,
-        taxonomy=data.taxonomy,
-        restrict_to_candidate_items=True,
-        n_jobs=n_jobs,
-        stats=stats,
+def _variants() -> list[tuple[str, str, int]]:
+    """(label, engine spec, n_jobs) cells, serial baseline first."""
+    cells = [("numpy", "numpy", 1)]
+    for n_jobs in JOB_COUNTS:
+        if n_jobs > 1:
+            cells.append(
+                (f"parallel:numpy@{n_jobs}", "parallel:numpy", n_jobs)
+            )
+    for n_jobs in JOB_COUNTS:
+        cells.append((f"parallel-shm@{n_jobs}", "parallel-shm", n_jobs))
+    return cells
+
+
+def _time_variant(data, candidates, spec: str, n_jobs: int, passes: int):
+    """Setup wall + min steady-state pass wall for one configuration."""
+    from repro.core.session import MiningSession
+
+    session = MiningSession(
+        data.database, data.taxonomy, engine=spec, n_jobs=n_jobs
     )
+    try:
+        start = time.perf_counter()
+        counts = session.count(
+            candidates, restrict_to_candidate_items=True
+        )
+        setup_s = time.perf_counter() - start
+        steady = []
+        for _ in range(passes):
+            start = time.perf_counter()
+            repeat = session.count(
+                candidates, restrict_to_candidate_items=True
+            )
+            steady.append(time.perf_counter() - start)
+            assert repeat == counts, f"{spec}@{n_jobs} pass disagreement"
+        stats = session.parallel_stats
+        point = {
+            "setup_s": round(setup_s, 4),
+            "steady_wall_per_pass_s": round(min(steady), 5),
+            "workers_launched": stats.workers_launched,
+            "shm_publishes": stats.shm_publishes,
+            "shm_batches": stats.shm_batches,
+        }
+        return counts, point
+    finally:
+        if hasattr(session.engine, "close"):
+            session.engine.close()
 
 
-@pytest.mark.parametrize("n_jobs", JOB_COUNTS)
-def test_parallel_scaling(benchmark, n_jobs):
-    data, candidates = _setup()
-    serial = _count(data, candidates, 1)
+def run(passes: int = 3, kind: str = "short") -> dict:
+    """Measure every variant; returns the report (with agreement flags)."""
+    from .common import paper_row
 
-    counts = benchmark.pedantic(
-        lambda: _count(data, candidates, n_jobs), rounds=1, iterations=1
+    data, candidates, minsup = _setup(kind)
+    report = {
+        "dataset": kind,
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "0.02"),
+        "minsup": minsup,
+        "transactions": len(data.database),
+        "candidates": len(candidates),
+        "passes": passes,
+        "cpu_count": os.cpu_count(),
+        "variants": [],
+        "steady_wall_per_pass_s": {},
+    }
+    reference = None
+    for label, spec, n_jobs in _variants():
+        counts, point = _time_variant(
+            data, candidates, spec, n_jobs, passes
+        )
+        agrees = reference is None or counts == reference
+        reference = reference if reference is not None else counts
+        point |= {"variant": label, "engine": spec, "n_jobs": n_jobs,
+                  "agrees": agrees}
+        report["variants"].append(point)
+        report["steady_wall_per_pass_s"][label] = (
+            point["steady_wall_per_pass_s"]
+        )
+        paper_row(
+            label,
+            setup_s=point["setup_s"],
+            steady_per_pass_s=point["steady_wall_per_pass_s"],
+            workers=point["workers_launched"],
+            agrees=agrees,
+        )
+    steady = report["steady_wall_per_pass_s"]
+    report["shm_speedup_vs_process_per_task"] = round(
+        steady["parallel:numpy@2"] / steady["parallel-shm@2"], 2
     )
+    return report
+
+
+def check(report: dict) -> list[str]:
+    """The built-in assertions; returns failure messages (empty = pass)."""
+    failures = []
+    for point in report["variants"]:
+        if not point["agrees"]:
+            failures.append(
+                f"{point['variant']} disagrees with the serial counts"
+            )
+    steady = report["steady_wall_per_pass_s"]
+    for n_jobs in (2, 4):
+        speedup = (
+            steady[f"parallel:numpy@{n_jobs}"]
+            / steady[f"parallel-shm@{n_jobs}"]
+        )
+        if speedup < SHM_MIN_SPEEDUP:
+            failures.append(
+                f"parallel-shm@{n_jobs} steady state is only "
+                f"{speedup:.2f}x faster than parallel:numpy@{n_jobs} "
+                f"(need >= {SHM_MIN_SPEEDUP}x)"
+            )
+    if (report["cpu_count"] or 1) >= 4:
+        scaling = steady["parallel-shm@1"] / steady["parallel-shm@4"]
+        if scaling < LINEAR_MIN_SPEEDUP:
+            failures.append(
+                f"parallel-shm scales only {scaling:.2f}x from 1 to 4 "
+                f"jobs on a {report['cpu_count']}-CPU host "
+                f"(need >= {LINEAR_MIN_SPEEDUP}x)"
+            )
+    return failures
+
+
+@pytest.mark.parametrize("label,spec,n_jobs", _variants())
+def test_parallel_scaling(benchmark, label, spec, n_jobs):
+    data, candidates, _minsup = _setup()
+    from repro.core.session import MiningSession
+
+    serial = MiningSession(data.database, data.taxonomy).count(
+        candidates, restrict_to_candidate_items=True
+    )
+    session = MiningSession(
+        data.database, data.taxonomy, engine=spec, n_jobs=n_jobs
+    )
+    try:
+        session.count(candidates, restrict_to_candidate_items=True)
+        counts = benchmark.pedantic(
+            lambda: session.count(
+                candidates, restrict_to_candidate_items=True
+            ),
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        if hasattr(session.engine, "close"):
+            session.engine.close()
     assert counts == serial
     benchmark.extra_info.update(
         candidates=len(candidates), transactions=len(data.database)
     )
 
 
-def main() -> None:
-    data, candidates = _setup()
-    print(
-        f"=== P1: parallel counting scaling over {len(candidates)} "
-        f"candidates, |D|={len(data.database)} ==="
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small dataset (the CI smoke configuration)",
     )
-    record = {
-        "bench": "parallel_scaling",
-        "minsup": MINSUP,
-        "transactions": len(data.database),
-        "candidates": len(candidates),
-        "runs": [],
-    }
-    reference = None
-    for n_jobs in JOB_COUNTS:
-        stats = ParallelStats()
-        started = time.perf_counter()
-        counts = _count(data, candidates, n_jobs, stats=stats)
-        elapsed = time.perf_counter() - started
-        agrees = reference is None or counts == reference
-        reference = reference or counts
-        record["runs"].append(
-            {
-                "n_jobs": n_jobs,
-                "seconds": round(elapsed, 4),
-                "shards": stats.shards,
-                "workers_launched": stats.workers_launched,
-                "agrees": agrees,
-            }
-        )
-        print(
-            f"  n_jobs={n_jobs}  {elapsed:8.3f}s  shards={stats.shards}"
-            f"  workers={stats.workers_launched}  agrees={agrees}"
-        )
-    print("\nJSON:")
-    print(json.dumps(record, indent=2))
+    parser.add_argument(
+        "--passes",
+        type=int,
+        default=3,
+        help="steady-state passes per variant; the minimum is reported "
+             "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_counting.json",
+        help="JSON report to fold the parallel_scaling key into",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_false",
+        dest="check",
+        help="report only; do not fail the built-in speedup assertions",
+    )
+    args = parser.parse_args(argv)
+
+    os.environ.setdefault(
+        "REPRO_BENCH_SCALE", "0.02" if args.quick else "0.1"
+    )
+    from benchmarks.common import fold_report, paper_row
+
+    print("=== P1: parallel counting, setup vs steady state ===")
+    report = run(passes=args.passes)
+    fold_report(args.out, "parallel_scaling", report, quick=args.quick)
+    paper_row(
+        "shm vs process-per-task",
+        speedup=report["shm_speedup_vs_process_per_task"],
+    )
+    print(f"wrote parallel_scaling into {args.out}")
+
+    if args.check:
+        failures = check(report)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

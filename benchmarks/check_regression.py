@@ -1,4 +1,4 @@
-"""CI benchmark-regression gate for the counting engines and serving.
+"""CI benchmark-regression gate: engines, serving, parallel scaling.
 
 Re-runs the quick engine matrix (``bench_engine_matrix --quick``) and
 compares each engine's mean wall-clock per logical pass against the
@@ -8,7 +8,11 @@ maintainer's machine). It then does the same for the serving layer
 (``bench_serving --quick``): the cold and hot-LRU scoring paths are
 compared through their ``wall_per_10k_s`` figures (per-request latency
 times 10,000 — scaled so both sit above the measurement floor) under
-the ``["quick"]["serving"]`` key.
+the ``["quick"]["serving"]`` key. Finally the parallel-scaling profile
+(``bench_parallel_scaling --quick``) is gated the same way: each
+variant's steady-state per-pass wall (serial numpy, process-per-task
+``parallel:numpy``, shared-memory ``parallel-shm`` at several job
+counts) under ``["quick"]["parallel_scaling"]``.
 
 Raw wall-clock is useless across machines, so both sides are normalized
 by their own geometric mean across the engines before comparing: a CI
@@ -155,6 +159,33 @@ def _run_quick_serving(out: Path, repeats: int) -> dict:
     return report
 
 
+def _run_quick_parallel(out: Path, repeats: int) -> dict:
+    """Run the quick parallel-scaling benchmark; keep per-variant minima.
+
+    The element-wise minimum over repeats is taken per variant label
+    (``parallel-shm@2``, ``parallel:numpy@4``, …), mirroring
+    :func:`_run_quick_matrix`.
+    """
+    from benchmarks import bench_parallel_scaling
+
+    argv = ["--quick", "--no-check", "--out", str(out)]
+    report: dict = {}
+    best: dict[str, float] = {}
+    for attempt in range(repeats):
+        code = bench_parallel_scaling.main(argv)
+        if code != 0:
+            raise SystemExit(
+                f"parallel scaling run failed with exit code {code}"
+            )
+        report = json.loads(out.read_text())["quick"]["parallel_scaling"]
+        for variant, value in report["steady_wall_per_pass_s"].items():
+            best[variant] = min(best.get(variant, value), value)
+        print(f"[parallel repeat {attempt + 1}/{repeats}] done")
+    report["steady_wall_per_pass_s"] = best
+    report["repeats"] = repeats
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -208,15 +239,21 @@ def main(argv: list[str] | None = None) -> int:
         serving = _run_quick_serving(
             Path(tmp) / "serving.json", args.repeats
         )
+        parallel = _run_quick_parallel(
+            Path(tmp) / "parallel.json", args.repeats
+        )
 
     if args.update_baseline:
         from benchmarks.common import fold_report
 
         fold_report(args.baseline, "engine_matrix", current, quick=True)
         fold_report(args.baseline, "serving", serving, quick=True)
+        fold_report(
+            args.baseline, "parallel_scaling", parallel, quick=True
+        )
         print(
-            f"re-baselined quick engine_matrix and serving in "
-            f"{args.baseline}"
+            f"re-baselined quick engine_matrix, serving and "
+            f"parallel_scaling in {args.baseline}"
         )
         return 0
 
@@ -225,6 +262,7 @@ def main(argv: list[str] | None = None) -> int:
     gates = (
         ("engine_matrix", "mean_wall_per_pass_s", current),
         ("serving", "wall_per_10k_s", serving),
+        ("parallel_scaling", "steady_wall_per_pass_s", parallel),
     )
     for key, field, run in gates:
         try:

@@ -142,6 +142,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       default=False,
                       help="cached engine: bit-packed index backend counted "
                            "with the NumPy kernel (identical output)")
+    mine.add_argument("--shm", action=argparse.BooleanOptionalAction,
+                      default=False,
+                      help="parallel counting: publish the packed matrix "
+                           "via shared memory and attach persistent "
+                           "workers zero-copy (requires --jobs > 1 or a "
+                           "parallel engine spec; identical output)")
     mine.add_argument("--max-sibling-replacements", type=int,
                       default=None, dest="max_sibling_replacements",
                       help="cap Case-3 sibling replacements (1 = the paper's examples)")
@@ -297,6 +303,7 @@ def _command_mine(args: argparse.Namespace) -> int:
         use_cache=args.use_cache,
         cache_bytes=args.cache_bytes,
         packed=args.packed,
+        shm=args.shm,
         trace_path=args.trace_path,
         metrics=args.metrics,
     )

@@ -100,6 +100,13 @@ class MiningConfig:
         (:mod:`repro.mining.bitpack`) instead of big-int AND loops.
         Identical output, faster counting. The ``"numpy"`` engine always
         packs; this flag only selects the cached index's backend.
+    shm:
+        Upgrade parallel counting to the zero-copy shared-memory kernel
+        (the ``parallel-shm`` engine): the packed word matrix is
+        published once via ``multiprocessing.shared_memory`` and
+        ``n_jobs`` persistent workers attach to it, shipping only
+        candidate batches and count vectors. Requires ``n_jobs > 1`` or
+        a parallel engine spec; counts stay bit-identical either way.
     trace_path:
         Write a JSON-lines trace of every span (counting passes, cache
         builds, parallel shards, miner phases) plus a final metrics
@@ -130,6 +137,7 @@ class MiningConfig:
     use_cache: bool = True
     cache_bytes: int | None = None
     packed: bool = False
+    shm: bool = False
     trace_path: str | None = None
     metrics: str = "none"
 
@@ -215,6 +223,13 @@ class NegativeMiningResult:
                 f"(workers {self.stats.workers_launched}, "
                 f"retries {self.stats.worker_retries}, "
                 f"fallbacks {self.stats.worker_fallbacks})"
+            )
+        if self.stats.shm_batches:
+            lines.append(
+                f"shared memory  : {self.stats.shm_batches} batches "
+                f"(workers {self.stats.workers_launched}, "
+                f"publishes {self.stats.shm_publishes}, "
+                f"{self.stats.shm_bytes} bytes)"
             )
         for rule in self.rules[:limit]:
             lines.append("  " + rule.format(taxonomy))

@@ -106,6 +106,9 @@ class MiningStats:
     workers_launched: int = 0
     worker_retries: int = 0
     worker_fallbacks: int = 0
+    shm_publishes: int = 0
+    shm_batches: int = 0
+    shm_bytes: int = 0
     physical_passes: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -484,6 +487,9 @@ def _build_stats(
         stats.workers_launched = parallel.workers_launched
         stats.worker_retries = parallel.worker_retries
         stats.worker_fallbacks = parallel.worker_fallbacks
+        stats.shm_publishes = parallel.shm_publishes
+        stats.shm_batches = parallel.shm_batches
+        stats.shm_bytes = parallel.shm_bytes
     if cache is not None:
         stats.cache_hits = cache.hits
         stats.cache_misses = cache.misses

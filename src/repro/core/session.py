@@ -7,9 +7,9 @@ same ~8 engine kwargs (``engine``, ``n_jobs``, ``use_cache``,
 ``count_supports``. A :class:`MiningSession` binds all of it once —
 database, taxonomy, the resolved :class:`~repro.mining.engines.
 CountingEngine`, cache/parallel policy and the observability sinks — and
-is the only object passed down. ``count_supports`` survives as a
-deprecated compat shim over the same machinery
-(:mod:`repro.mining.counting`).
+is the only object passed down. ``count_supports`` survives only in
+its plain default-engine form (:mod:`repro.mining.counting`); the
+policy-kwargs shim was removed in PR 7.
 
 Lifecycle
 ---------
@@ -74,6 +74,13 @@ class MiningSession:
         (and means one worker per CPU for explicit ``parallel`` specs).
     use_cache, cache_bytes, packed, batch_words:
         Cache/kernel policy consumed by the engines that understand it.
+    shm:
+        Upgrade parallel counting to the zero-copy shared-memory kernel
+        (``parallel-shm``): the packed word matrix is published once via
+        ``multiprocessing.shared_memory`` and persistent workers attach
+        to it instead of receiving pickled row slices. Requires a
+        parallel configuration (``n_jobs > 1`` or a parallel engine
+        spec).
     trace_path, metrics:
         Observability sinks for :meth:`observed` (see
         :mod:`repro.obs`).
@@ -91,6 +98,7 @@ class MiningSession:
         cache_bytes: int | None = None,
         packed: bool = False,
         batch_words: int | None = None,
+        shm: bool = False,
         trace_path: str | None = None,
         metrics: str = "none",
     ) -> None:
@@ -105,6 +113,7 @@ class MiningSession:
                 cache_bytes=cache_bytes,
                 packed=packed,
                 batch_words=batch_words,
+                shm=shm,
             ),
         )
         self.trace_path = trace_path
@@ -128,6 +137,7 @@ class MiningSession:
             use_cache=config.use_cache,
             cache_bytes=config.cache_bytes,
             packed=config.packed,
+            shm=config.shm,
             trace_path=config.trace_path,
             metrics=config.metrics,
         )

@@ -259,6 +259,27 @@ class PackedMatrix:
         packed = np.packbits(bits, axis=1, bitorder="little")
         return cls(n_rows, nodes, packed.view("<u8"))
 
+    @property
+    def nodes(self) -> np.ndarray:
+        """The sorted ``int64`` node ids owning matrix rows, slot order.
+
+        Together with :attr:`words` this is the matrix's entire portable
+        state: :mod:`repro.parallel.shm` copies both arrays into one
+        shared-memory segment and rebuilds an identical matrix over
+        zero-copy views on the worker side.
+        """
+        return self._nodes
+
+    @property
+    def words(self) -> np.ndarray:
+        """The raw ``(n_items, n_words)`` ``uint64`` word matrix."""
+        return self._matrix
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the slot table plus the word matrix."""
+        return int(self._nodes.nbytes) + int(self._matrix.nbytes)
+
     def row(self, node: int, taxonomy: Taxonomy | None = None) -> np.ndarray:
         """The packed row of *node*; generalized under a taxonomy.
 

@@ -1,22 +1,19 @@
-"""Deprecated compat shim over the engine registry.
+"""Convenience one-shot counting over the engine registry.
 
-Historically this module held every counting engine and the
+Historically this module held every counting engine and a
 ``count_supports`` free function that routed between them through a
-string ``engine=`` kwarg plus ~8 companion kwargs. The engines now live
-in :mod:`repro.mining.engines` behind the :class:`~repro.mining.engines.
-CountingEngine` protocol, and callers are expected to bind policy once
-in a :class:`~repro.core.session.MiningSession` and call
+string ``engine=`` kwarg plus ~8 companion policy kwargs. The engines
+now live in :mod:`repro.mining.engines` behind the
+:class:`~repro.mining.engines.CountingEngine` protocol, and callers
+that need policy (engine choice, parallelism, caching) bind it once in
+a :class:`~repro.core.session.MiningSession` and call
 ``session.count()``.
 
-:func:`count_supports` is kept as a thin delegating shim so existing
-code keeps working: the plain form
-``count_supports(rows, candidates, taxonomy)`` stays supported (and
-silent), while passing any of the legacy engine-policy kwargs
-(``engine=``, ``n_jobs=``, ``use_cache=``, …) emits a
-:class:`DeprecationWarning`. The kwarg path is scheduled for removal
-(see CHANGES.md for the horizon); internal code no longer uses it and
-CI runs one test leg with ``-W error::DeprecationWarning`` to keep it
-that way.
+What remains here is the plain form only:
+``count_supports(rows, candidates, taxonomy)`` counts one pass with the
+default engine. The deprecated policy-kwargs path (``engine=``,
+``n_jobs=``, ``use_cache=``, …) warned through two release cycles and
+was removed in PR 7 — passing any of them is now a ``TypeError``.
 
 ``ENGINES`` / ``SERIAL_ENGINES`` / ``DEFAULT_ENGINE`` are re-exported
 from the registry for compatibility.
@@ -24,7 +21,6 @@ from the registry for compatibility.
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Collection
 
 from ..itemset import Itemset
@@ -33,22 +29,8 @@ from .engines import (  # noqa: F401  (compat re-exports)
     DEFAULT_ENGINE,
     ENGINES,
     SERIAL_ENGINES,
-    EnginePolicy,
     count_pass,
     create_engine,
-)
-
-_UNSET = object()
-
-#: (kwarg name, EnginePolicy field?) for the deprecated policy kwargs.
-_POLICY_KWARGS = (
-    "engine",
-    "n_jobs",
-    "shard_rows",
-    "use_cache",
-    "cache_bytes",
-    "packed",
-    "batch_words",
 )
 
 
@@ -56,70 +38,23 @@ def count_supports(
     transactions,
     candidates: Collection[Itemset],
     taxonomy: Taxonomy | None = None,
-    engine=_UNSET,
     restrict_to_candidate_items: bool = False,
-    n_jobs=_UNSET,
-    shard_rows=_UNSET,
-    parallel_stats=_UNSET,
-    use_cache=_UNSET,
-    cache_bytes=_UNSET,
-    cache_stats=_UNSET,
-    packed=_UNSET,
-    batch_words=_UNSET,
 ) -> dict[Itemset, int]:
-    """Count how many transactions contain each candidate (deprecated
-    kwargs path).
+    """Count how many transactions contain each candidate.
 
-    The plain form — *transactions*, *candidates*, optional *taxonomy*
-    and *restrict_to_candidate_items* — counts with the default engine
-    and stays fully supported. Every other kwarg mirrors a
-    :class:`~repro.core.session.MiningSession` /
-    :class:`~repro.mining.engines.EnginePolicy` field and is deprecated:
-    bind the policy once in a session and call ``session.count()``
-    instead. Passing any of them warns; behavior is unchanged
-    (``n_jobs > 1`` still auto-shards, ``engine="parallel"`` still means
-    one worker per CPU).
+    One pass with the default engine — the convenience entry point for
+    scripts and doctests. Anything beyond that (engine choice,
+    parallelism, cache policy, stats accounting) belongs to a
+    :class:`~repro.core.session.MiningSession`, which binds the policy
+    once and exposes the same counting through ``session.count()``.
 
     Returns the absolute count per candidate; every candidate appears
     as a key, with 0 when unsupported.
     """
-    legacy = {
-        name: value
-        for name, value in (
-            ("engine", engine),
-            ("n_jobs", n_jobs),
-            ("shard_rows", shard_rows),
-            ("parallel_stats", parallel_stats),
-            ("use_cache", use_cache),
-            ("cache_bytes", cache_bytes),
-            ("cache_stats", cache_stats),
-            ("packed", packed),
-            ("batch_words", batch_words),
-        )
-        if value is not _UNSET
-    }
-    if legacy:
-        warnings.warn(
-            "count_supports(" + ", ".join(sorted(legacy)) + "=...) is "
-            "deprecated: bind the engine policy once in a "
-            "repro.core.session.MiningSession and call session.count() "
-            "(see CHANGES.md for the removal horizon)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    policy = EnginePolicy(
-        **{
-            name: legacy[name]
-            for name in _POLICY_KWARGS
-            if name in legacy and name != "engine"
-        }
-    )
-    resolved = create_engine(legacy.get("engine", DEFAULT_ENGINE), policy)
+    engine = create_engine(DEFAULT_ENGINE)
     return count_pass(
-        resolved,
-        resolved.prepare(transactions, taxonomy),
+        engine,
+        engine.prepare(transactions, taxonomy),
         candidates,
         restrict_to_candidate_items=restrict_to_candidate_items,
-        cache_stats=legacy.get("cache_stats"),
-        parallel_stats=legacy.get("parallel_stats"),
     )

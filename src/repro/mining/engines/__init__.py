@@ -33,7 +33,7 @@ from . import packed as _packed  # noqa: E402  (numpy)
 from . import parallel as _parallel  # noqa: E402
 from .cached import CachedEngine
 from .packed import NumpyEngine
-from .parallel import ParallelEngine
+from .parallel import ParallelEngine, ParallelShmEngine
 from .serial import (
     BitmapEngine,
     BruteEngine,
@@ -122,6 +122,7 @@ __all__ = [
     "IndexEngine",
     "NumpyEngine",
     "ParallelEngine",
+    "ParallelShmEngine",
     "RowScanEngine",
     "ENGINES",
     "SERIAL_ENGINES",

@@ -65,12 +65,17 @@ class Capabilities:
         parallel wrapper may use it as a per-shard inner engine.
     needs_numpy:
         Requires NumPy at runtime.
+    shared_memory:
+        Publishes its packed data via ``multiprocessing.shared_memory``
+        and counts through persistent workers attached zero-copy
+        (:mod:`repro.parallel.shm`).
     """
 
     packed: bool = False
     caching: bool = False
     shardable: bool = True
     needs_numpy: bool = False
+    shared_memory: bool = False
 
     def describe(self) -> str:
         """The set flags as a short comma-separated string."""
@@ -94,6 +99,7 @@ class EnginePolicy:
     cache_bytes: int | None = None
     packed: bool = False
     batch_words: int | None = None
+    shm: bool = False
 
     def __post_init__(self) -> None:
         if self.n_jobs is not None:
@@ -313,6 +319,17 @@ def create_engine(
         and "parallel" in _REGISTRY
     ):
         engine = _REGISTRY["parallel"].from_policy(policy, inner=engine)
+    if policy.shm and not engine.capabilities.shared_memory:
+        # The shm knob upgrades parallel counting to the zero-copy
+        # shared-memory kernel; it is meaningless for a serial engine,
+        # so a policy that cannot produce parallel workers is an error
+        # rather than a silent no-op.
+        if not engine.wraps or "parallel-shm" not in _REGISTRY:
+            raise ConfigError(
+                "shm=True requires parallel counting: set n_jobs > 1 "
+                "or choose a 'parallel'/'parallel-shm' engine spec"
+            )
+        engine = _REGISTRY["parallel-shm"].from_policy(policy)
     return engine
 
 
@@ -343,7 +360,7 @@ def count_pass(
     """Run one validated, instrumented counting pass through *engine*.
 
     This is the single entry point every caller (MiningSession, the
-    ``count_supports`` compat shim, the parallel shard workers) funnels
+    plain ``count_supports`` helper, the parallel shard workers) funnels
     through: it applies the registry-level precheck, then — only when an
     observability session is active — records the driver/worker
     ``counting.*`` metrics, auto-creates stats accumulators the engine

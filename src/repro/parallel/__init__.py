@@ -10,14 +10,23 @@ DESIGN.md §5):
 * :mod:`~repro.parallel.shards` — split one logical pass into contiguous
   row ranges with cheap pickle transport.
 * :mod:`~repro.parallel.pool` — a crash-safe worker-pool executor with
-  per-task timeouts, bounded retry with backoff, and serial fallback.
+  per-task timeouts, bounded retry with backoff, and serial fallback,
+  in two modes: process-per-task (:class:`~repro.parallel.pool.
+  WorkerPool`) and persistent workers sharing per-worker state
+  (:class:`~repro.parallel.pool.PersistentWorkerPool`).
+* :mod:`~repro.parallel.shm` — zero-copy publication of the bit-packed
+  word matrix through ``multiprocessing.shared_memory``, with explicit
+  create/attach/close/unlink lifecycle and leak safety nets; the
+  substrate of the ``"parallel-shm"`` engine (DESIGN.md §11).
 * :mod:`~repro.parallel.engine` — the ``"parallel"`` counting engine
   (partial counts summed deterministically; bit-identical to the serial
   engines) and :func:`~repro.parallel.engine.parallel_partition`, the
   one-worker-per-partition Partition driver.
 
 Entry points: pass ``n_jobs=4`` (or ``engine="parallel"``) to
-:func:`repro.mine_negative_rules`, or ``--jobs 4`` on the CLI.
+:func:`repro.mine_negative_rules`, ``--jobs 4`` on the CLI, and add
+``shm=True`` / ``--shm`` (or ``engine="parallel-shm"``) for the
+shared-memory kernel.
 """
 
 from .engine import (
@@ -25,13 +34,21 @@ from .engine import (
     parallel_count_supports,
     parallel_partition,
 )
-from .pool import PoolConfig, PoolStats, WorkerPool, resolve_n_jobs
+from .pool import (
+    PersistentWorkerPool,
+    PoolConfig,
+    PoolStats,
+    WorkerPool,
+    resolve_n_jobs,
+)
 from .shards import Shard, plan_shards, shard_bounds
+from .shm import SegmentHandle, SharedPackedMatrix, live_segments
 
 __all__ = [
     "ParallelStats",
     "parallel_count_supports",
     "parallel_partition",
+    "PersistentWorkerPool",
     "PoolConfig",
     "PoolStats",
     "WorkerPool",
@@ -39,4 +56,7 @@ __all__ = [
     "Shard",
     "plan_shards",
     "shard_bounds",
+    "SegmentHandle",
+    "SharedPackedMatrix",
+    "live_segments",
 ]

@@ -58,7 +58,14 @@ class ParallelStats:
         "worker_crashes": "parallel.worker_crashes",
         "worker_fallbacks": "parallel.worker_fallbacks",
         "serial_tasks": "parallel.serial_tasks",
+        "shm_publishes": "parallel.shm.publishes",
+        "shm_batches": "parallel.shm.batches",
+        "shm_bytes": "parallel.shm.bytes",
     }
+
+    #: Fields backed by a gauge (merge keeps the maximum) instead of a
+    #: counter: segment size is a high-water mark, not a running total.
+    _GAUGE_FIELDS = frozenset({"shm_bytes"})
 
     __slots__ = ("registry", "_prefix")
 
@@ -98,8 +105,9 @@ class ParallelStats:
 
 
 for _name, _metric in ParallelStats._FIELDS.items():
-    setattr(ParallelStats, _name, stats_property(_metric))
-del _name, _metric
+    _kind = "gauge" if _name in ParallelStats._GAUGE_FIELDS else "counter"
+    setattr(ParallelStats, _name, stats_property(_metric, _kind))
+del _name, _metric, _kind
 
 
 def _count_shard(payload):

@@ -6,7 +6,11 @@ The registry is the source of truth: the parametrization enumerates
 covered by these bit-identity checks automatically, with and without a
 taxonomy. Parallel compositions run with ``n_jobs=1`` here (the
 in-process sharded path); real multiprocess agreement is covered by
-``test_prop_parallel.py``.
+``test_prop_parallel.py``. The exception is ``parallel-shm``, which
+runs against one persistent module-level two-worker engine: every
+example rebinds a different database, so the publish / re-publish /
+pool-reconfigure cycle is exercised hundreds of times while the worker
+processes themselves live for the whole module.
 """
 
 import pytest
@@ -56,8 +60,38 @@ leaf_transactions_strategy = st.lists(
 )
 
 
+_SHM_ENGINE = None
+
+
+def _shm_engine():
+    """One persistent two-worker shm engine shared by every example."""
+    global _SHM_ENGINE
+    if _SHM_ENGINE is None:
+        from repro.mining.engines.parallel import ParallelShmEngine
+        from repro.parallel.pool import PoolConfig
+
+        _SHM_ENGINE = ParallelShmEngine(
+            n_jobs=2,
+            pool_config=PoolConfig(n_jobs=2, retries=1, backoff=0.0),
+        )
+    return _SHM_ENGINE
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _close_shm_engine():
+    """Tear the persistent engine down so its segment and workers do
+    not outlive this module (later tests assert no live segments)."""
+    yield
+    global _SHM_ENGINE
+    if _SHM_ENGINE is not None:
+        _SHM_ENGINE.close()
+        _SHM_ENGINE = None
+
+
 def session_for(spec, transactions, taxonomy=None):
     """A session over *spec*; parallel specs pinned to one in-process job."""
+    if spec == "parallel-shm":
+        return MiningSession(transactions, taxonomy, _shm_engine())
     n_jobs = 1 if spec.startswith("parallel") else None
     return MiningSession(transactions, taxonomy, spec, n_jobs=n_jobs)
 

@@ -1,4 +1,4 @@
-"""Unit tests for the counting-engine layer and the compat shim."""
+"""Unit tests for the counting-engine layer and ``count_supports``."""
 
 import pytest
 
@@ -132,34 +132,22 @@ class TestMixedSizeCandidates:
         assert counts == {(3,): 4, (1, 2): 2, (1, 2, 3): 1}
 
 
-class TestCountSupportsShim:
-    """The deprecated ``count_supports`` path keeps working and warns."""
+class TestCountSupportsPlainForm:
+    """Only the plain ``count_supports`` form survives the shim removal."""
 
-    def test_plain_call_does_not_warn(self, recwarn):
+    def test_plain_call_counts(self):
         assert count_supports(ROWS, CANDIDATES) == EXPECTED
-        assert not [
-            w for w in recwarn if w.category is DeprecationWarning
-        ]
 
-    def test_engine_kwarg_warns_and_counts(self):
-        with pytest.warns(DeprecationWarning, match="count_supports"):
-            counts = count_supports(ROWS, CANDIDATES, engine="hashtree")
-        assert counts == EXPECTED
+    def test_taxonomy_positional(self):
+        taxonomy = taxonomy_from_parents({1: 0, 2: 0})
+        counts = count_supports([(1,), (2,)], [(0,)], taxonomy)
+        assert counts == {(0,): 2}
 
-    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
-    def test_full_legacy_kwargs_still_route(self):
-        """The whole legacy policy surface still resolves to an engine."""
-        counts = count_supports(
-            ROWS,
-            CANDIDATES,
-            engine="cached",
-            use_cache=False,
-            packed=False,
-            n_jobs=1,
-        )
-        assert counts == EXPECTED
-
-    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
-    def test_unknown_engine_still_rejected(self):
-        with pytest.raises(ConfigError, match="unknown counting engine"):
-            count_supports(ROWS, CANDIDATES, engine="quantum")
+    def test_policy_kwargs_removed(self):
+        """The deprecated policy surface is gone, not silently ignored."""
+        for kwarg in (
+            "engine", "n_jobs", "shard_rows", "use_cache", "cache_bytes",
+            "packed", "batch_words", "cache_stats", "parallel_stats",
+        ):
+            with pytest.raises(TypeError, match="unexpected keyword"):
+                count_supports(ROWS, CANDIDATES, **{kwarg: 1})

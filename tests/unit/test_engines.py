@@ -31,7 +31,7 @@ class TestRegistry:
     def test_builtin_engines_registered_in_order(self):
         assert engine_names() == (
             "bitmap", "hashtree", "index", "brute",
-            "cached", "numpy", "parallel",
+            "cached", "numpy", "parallel", "parallel-shm",
         )
         assert ENGINES == engine_names()
 
@@ -59,6 +59,15 @@ class TestRegistry:
         for name in engine_names():
             assert name in text
         assert "shardable" in text
+
+    def test_capability_table_shows_shared_memory_flag(self):
+        text = capability_table()
+        assert "shared_memory" in text
+        shm_row = next(
+            line for line in text.splitlines()
+            if line.startswith("parallel-shm")
+        )
+        assert "yes" in shm_row
 
     def test_capability_table_markdown(self):
         lines = capability_table(markdown=True).splitlines()
@@ -113,6 +122,43 @@ class TestCreateEngine:
         assert session.engine.wraps
         assert session.engine.inner.name == "numpy"
         assert session.engine.spec == "parallel:numpy"
+
+    def test_parallel_shm_does_not_compose(self):
+        with pytest.raises(ConfigError, match="does not compose"):
+            parse_spec("parallel-shm:numpy")
+
+    def test_parallel_shm_requires_numpy(self, monkeypatch):
+        from repro.mining.engines import parallel as parallel_module
+
+        monkeypatch.setattr(
+            parallel_module, "_numpy_available", lambda: False
+        )
+        with pytest.raises(ConfigError, match="requires NumPy"):
+            create_engine("parallel-shm")
+
+    def test_shm_policy_upgrades_parallel_to_shm_engine(self):
+        from repro.mining.engines import ParallelShmEngine
+
+        session = MiningSession(
+            ROWS, engine="numpy", n_jobs=2, shm=True
+        )
+        assert isinstance(session.engine, ParallelShmEngine)
+        assert session.engine.spec == "parallel-shm"
+        assert session.engine.n_jobs == 2
+        session.engine.close()
+
+    def test_shm_policy_keeps_an_shm_engine(self):
+        from repro.mining.engines import ParallelShmEngine
+
+        session = MiningSession(
+            ROWS, engine="parallel-shm", n_jobs=1, shm=True
+        )
+        assert isinstance(session.engine, ParallelShmEngine)
+        session.engine.close()
+
+    def test_shm_policy_rejects_serial_configurations(self):
+        with pytest.raises(ConfigError, match="shm=True requires"):
+            MiningSession(ROWS, engine="bitmap", n_jobs=1, shm=True)
 
 
 class TestSessionLifecycle:
