@@ -12,7 +12,11 @@ the ``["quick"]["serving"]`` key. Finally the parallel-scaling profile
 (``bench_parallel_scaling --quick``) is gated the same way: each
 variant's steady-state per-pass wall (serial numpy, process-per-task
 ``parallel:numpy``, shared-memory ``parallel-shm`` at several job
-counts) under ``["quick"]["parallel_scaling"]``.
+counts) under ``["quick"]["parallel_scaling"]``. Finally the
+incremental-maintenance profile (``bench_incremental --quick``) gates
+the append-then-recount walls of the ``mmap`` and ``cached`` engines —
+incremental and full-invalidation modes — under
+``["quick"]["incremental"]``.
 
 Raw wall-clock is useless across machines, so both sides are normalized
 by their own geometric mean across the engines before comparing: a CI
@@ -186,6 +190,33 @@ def _run_quick_parallel(out: Path, repeats: int) -> dict:
     return report
 
 
+def _run_quick_incremental(out: Path, repeats: int) -> dict:
+    """Run the quick incremental benchmark; keep per-mode minima.
+
+    The element-wise minimum over repeats is taken per maintenance mode
+    (``mmap-incremental``, ``cached-full``, …), mirroring
+    :func:`_run_quick_matrix`.
+    """
+    from benchmarks import bench_incremental
+
+    argv = ["--quick", "--no-check", "--out", str(out)]
+    report: dict = {}
+    best: dict[str, float] = {}
+    for attempt in range(repeats):
+        code = bench_incremental.main(argv)
+        if code != 0:
+            raise SystemExit(
+                f"incremental benchmark run failed with exit code {code}"
+            )
+        report = json.loads(out.read_text())["quick"]["incremental"]
+        for mode, value in report["wall_recount_s"].items():
+            best[mode] = min(best.get(mode, value), value)
+        print(f"[incremental repeat {attempt + 1}/{repeats}] done")
+    report["wall_recount_s"] = best
+    report["repeats"] = repeats
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -242,6 +273,9 @@ def main(argv: list[str] | None = None) -> int:
         parallel = _run_quick_parallel(
             Path(tmp) / "parallel.json", args.repeats
         )
+        incremental = _run_quick_incremental(
+            Path(tmp) / "incremental.json", args.repeats
+        )
 
     if args.update_baseline:
         from benchmarks.common import fold_report
@@ -251,9 +285,10 @@ def main(argv: list[str] | None = None) -> int:
         fold_report(
             args.baseline, "parallel_scaling", parallel, quick=True
         )
+        fold_report(args.baseline, "incremental", incremental, quick=True)
         print(
-            f"re-baselined quick engine_matrix, serving and "
-            f"parallel_scaling in {args.baseline}"
+            f"re-baselined quick engine_matrix, serving, "
+            f"parallel_scaling and incremental in {args.baseline}"
         )
         return 0
 
@@ -263,6 +298,7 @@ def main(argv: list[str] | None = None) -> int:
         ("engine_matrix", "mean_wall_per_pass_s", current),
         ("serving", "wall_per_10k_s", serving),
         ("parallel_scaling", "steady_wall_per_pass_s", parallel),
+        ("incremental", "wall_recount_s", incremental),
     )
     for key, field, run in gates:
         try:

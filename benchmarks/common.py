@@ -77,7 +77,9 @@ def engine_matrix_configurations() -> list[tuple[str, dict]]:
         if not caps.shardable:
             continue  # the parallel wrapper is benchmarked separately
         cells.append((name, {"engine": name}))
-        if caps.caching and caps.packed:
+        # Out-of-core engines are always packed; a "-packed" variant
+        # would be the same cell twice.
+        if caps.caching and caps.packed and not caps.out_of_core:
             cells.append(
                 (f"{name}-packed", {"engine": name, "packed": True})
             )

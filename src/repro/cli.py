@@ -148,6 +148,20 @@ def _build_parser() -> argparse.ArgumentParser:
                            "via shared memory and attach persistent "
                            "workers zero-copy (requires --jobs > 1 or a "
                            "parallel engine spec; identical output)")
+    mine.add_argument("--segment-rows", type=int, default=None,
+                      dest="segment_rows",
+                      help="mmap engine: rows per spilled packed segment")
+    mine.add_argument("--max-resident", type=int, default=None,
+                      dest="max_resident_bytes", metavar="BYTES",
+                      help="mmap engine: budget for concurrently open "
+                           "segment blocks; evicted blocks are re-opened "
+                           "as read-only memory maps on demand "
+                           "(default: keep all blocks open)")
+    mine.add_argument("--spill-dir", default=None, dest="spill_dir",
+                      metavar="DIR",
+                      help="mmap engine: parent directory for the "
+                           "temporary segment spill directory "
+                           "(default: the system temp dir)")
     mine.add_argument("--max-sibling-replacements", type=int,
                       default=None, dest="max_sibling_replacements",
                       help="cap Case-3 sibling replacements (1 = the paper's examples)")
@@ -304,6 +318,9 @@ def _command_mine(args: argparse.Namespace) -> int:
         cache_bytes=args.cache_bytes,
         packed=args.packed,
         shm=args.shm,
+        segment_rows=args.segment_rows,
+        max_resident_bytes=args.max_resident_bytes,
+        spill_dir=args.spill_dir,
         trace_path=args.trace_path,
         metrics=args.metrics,
     )

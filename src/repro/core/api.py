@@ -107,6 +107,21 @@ class MiningConfig:
         ``n_jobs`` persistent workers attach to it, shipping only
         candidate batches and count vectors. Requires ``n_jobs > 1`` or
         a parallel engine spec; counts stay bit-identical either way.
+    segment_rows:
+        ``engine="mmap"`` only: rows per spilled packed segment
+        (:mod:`repro.mining.segmatrix`). ``None`` uses the default
+        segment size.
+    max_resident_bytes:
+        ``engine="mmap"`` only: budget (bytes) for concurrently open
+        segment blocks; segments beyond it are evicted LRU and
+        re-opened as read-only memory maps on demand. ``None`` keeps
+        every block resident. This is the knob that makes peak counting
+        memory independent of |D|.
+    spill_dir:
+        ``engine="mmap"`` only: parent directory for the temporary
+        spill directory holding segment blocks; ``None`` uses the
+        system temp dir. The directory is removed when the engine (or
+        the process) goes away.
     trace_path:
         Write a JSON-lines trace of every span (counting passes, cache
         builds, parallel shards, miner phases) plus a final metrics
@@ -138,6 +153,9 @@ class MiningConfig:
     cache_bytes: int | None = None
     packed: bool = False
     shm: bool = False
+    segment_rows: int | None = None
+    max_resident_bytes: int | None = None
+    spill_dir: str | None = None
     trace_path: str | None = None
     metrics: str = "none"
 
@@ -159,6 +177,10 @@ class MiningConfig:
             check_positive(self.shard_rows, "shard_rows")
         if self.cache_bytes is not None:
             check_positive(self.cache_bytes, "cache_bytes")
+        if self.segment_rows is not None:
+            check_positive(self.segment_rows, "segment_rows")
+        if self.max_resident_bytes is not None:
+            check_positive(self.max_resident_bytes, "max_resident_bytes")
         if self.metrics not in METRICS_MODES:
             raise ConfigError(
                 f"unknown metrics mode {self.metrics!r}; "
@@ -216,6 +238,24 @@ class NegativeMiningResult:
         if self.stats.kernel_batches:
             lines.append(
                 f"kernel batches : {self.stats.kernel_batches}"
+            )
+        if self.stats.cache_extensions:
+            lines.append(
+                f"cache extends  : {self.stats.cache_extensions} "
+                f"(appends absorbed without a rebuild)"
+            )
+        if self.stats.segments_packed or self.stats.segments_reused:
+            lines.append(
+                f"segments       : {self.stats.segments_packed} packed, "
+                f"{self.stats.segments_extended} extended, "
+                f"{self.stats.segments_reused} reused, "
+                f"{self.stats.segments_mmap_reads} mmap reads"
+            )
+        if self.stats.matrix_bytes or self.stats.segments_resident_bytes:
+            lines.append(
+                f"memory         : matrix {self.stats.matrix_bytes} B, "
+                f"segments {self.stats.segments_resident_bytes} B "
+                f"resident / {self.stats.segments_spilled_bytes} B spilled"
             )
         if self.stats.shards:
             lines.append(

@@ -93,6 +93,15 @@ class MiningStats:
     64-bit words) of the bit-packed NumPy kernel
     (:mod:`repro.mining.bitpack`) — zero unless the ``"numpy"`` engine or
     a ``packed=True`` vertical index did the counting.
+
+    ``cache_extensions`` counts appends absorbed incrementally (the
+    vertical index or segmented matrix extended in O(append) instead of
+    rebuilding); the ``segments_*`` fields record the out-of-core
+    ``"mmap"`` engine's segment maintenance and its memory footprint —
+    ``segments_resident_bytes`` is the high-water mark of concurrently
+    open segment blocks, the number the ``max_resident_bytes`` budget
+    bounds. ``matrix_bytes`` is the in-RAM packed-matrix footprint of
+    the ``numpy`` engine, for comparison.
     """
 
     data_passes: int = 0
@@ -114,9 +123,17 @@ class MiningStats:
     cache_misses: int = 0
     cache_invalidations: int = 0
     cache_evictions: int = 0
+    cache_extensions: int = 0
     cache_bytes: int = 0
     kernel_batches: int = 0
     kernel_words: int = 0
+    matrix_bytes: int = 0
+    segments_packed: int = 0
+    segments_extended: int = 0
+    segments_reused: int = 0
+    segments_spilled_bytes: int = 0
+    segments_resident_bytes: int = 0
+    segments_mmap_reads: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -146,6 +163,23 @@ class MiningStats:
             lines.append(
                 f"kernel batches  : {self.kernel_batches} "
                 f"({self.kernel_words} words)"
+            )
+        if self.cache_extensions:
+            lines.append(
+                f"cache extends   : {self.cache_extensions}"
+            )
+        if self.segments_packed or self.segments_reused:
+            lines.append(
+                f"segments        : {self.segments_packed} packed, "
+                f"{self.segments_extended} extended, "
+                f"{self.segments_reused} reused, "
+                f"{self.segments_mmap_reads} mmap reads"
+            )
+        if self.matrix_bytes or self.segments_resident_bytes:
+            lines.append(
+                f"memory          : matrix {self.matrix_bytes} B, "
+                f"segments {self.segments_resident_bytes} B resident / "
+                f"{self.segments_spilled_bytes} B spilled"
             )
         lines.append(f"large itemsets  : {self.large_itemsets}")
         lines.append(f"candidates      : {self.candidates_generated}")
@@ -495,7 +529,15 @@ def _build_stats(
         stats.cache_misses = cache.misses
         stats.cache_invalidations = cache.invalidations
         stats.cache_evictions = cache.evictions
+        stats.cache_extensions = cache.extensions
         stats.cache_bytes = cache.bytes
         stats.kernel_batches = cache.kernel_batches
         stats.kernel_words = cache.kernel_words
+        stats.matrix_bytes = cache.matrix_bytes
+        stats.segments_packed = cache.segments_packed
+        stats.segments_extended = cache.segments_extended
+        stats.segments_reused = cache.segments_reused
+        stats.segments_spilled_bytes = cache.segments_spilled_bytes
+        stats.segments_resident_bytes = cache.segments_resident_bytes
+        stats.segments_mmap_reads = cache.segments_mmap_reads
     return stats

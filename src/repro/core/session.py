@@ -74,6 +74,10 @@ class MiningSession:
         (and means one worker per CPU for explicit ``parallel`` specs).
     use_cache, cache_bytes, packed, batch_words:
         Cache/kernel policy consumed by the engines that understand it.
+    segment_rows, max_resident_bytes, spill_dir:
+        Out-of-core policy for the ``"mmap"`` engine: rows per spilled
+        segment, the budget for concurrently open segment blocks, and
+        the parent directory for the temporary spill directory.
     shm:
         Upgrade parallel counting to the zero-copy shared-memory kernel
         (``parallel-shm``): the packed word matrix is published once via
@@ -99,6 +103,9 @@ class MiningSession:
         packed: bool = False,
         batch_words: int | None = None,
         shm: bool = False,
+        segment_rows: int | None = None,
+        max_resident_bytes: int | None = None,
+        spill_dir: str | None = None,
         trace_path: str | None = None,
         metrics: str = "none",
     ) -> None:
@@ -114,6 +121,9 @@ class MiningSession:
                 packed=packed,
                 batch_words=batch_words,
                 shm=shm,
+                segment_rows=segment_rows,
+                max_resident_bytes=max_resident_bytes,
+                spill_dir=spill_dir,
             ),
         )
         self.trace_path = trace_path
@@ -138,6 +148,9 @@ class MiningSession:
             cache_bytes=config.cache_bytes,
             packed=config.packed,
             shm=config.shm,
+            segment_rows=config.segment_rows,
+            max_resident_bytes=config.max_resident_bytes,
+            spill_dir=config.spill_dir,
             trace_path=config.trace_path,
             metrics=config.metrics,
         )

@@ -39,6 +39,8 @@ class TransactionDatabase:
         "_item_counts",
         "_vertical_index",
         "_shard_cache",
+        "_epoch",
+        "_epoch_rows",
     )
 
     def __init__(self, transactions: Iterable[Iterable[int]]) -> None:
@@ -56,6 +58,8 @@ class TransactionDatabase:
         self._item_counts: dict[int, int] | None = None
         self._vertical_index = None
         self._shard_cache = None
+        self._epoch = object()
+        self._epoch_rows = self._transactions
 
     @classmethod
     def from_canonical_rows(cls, rows: Iterable[Itemset]) -> (
@@ -76,6 +80,8 @@ class TransactionDatabase:
         database._item_counts = None
         database._vertical_index = None
         database._shard_cache = None
+        database._epoch = object()
+        database._epoch_rows = database._transactions
         if not database._transactions:
             raise DatabaseError(
                 "database must contain at least 1 transaction"
@@ -146,6 +152,71 @@ class TransactionDatabase:
                 "is empty"
             )
         return TransactionDatabase.from_canonical_rows(rows)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, transactions: Iterable[Iterable[int]]) -> int:
+        """Append transactions; returns the number of rows added.
+
+        Rows are canonicalized exactly like the constructor's. The
+        database keeps its *append epoch* (see :meth:`append_epoch`), so
+        incrementally maintained caches recognize the growth as an
+        append — they extend with :meth:`tail_rows` instead of
+        rebuilding. The ``cache_token`` changes (the rows tuple is new),
+        invalidating any cache that only understands whole-database
+        fingerprints.
+        """
+        rows: list[Itemset] = []
+        start = len(self._transactions)
+        for index, raw in enumerate(transactions):
+            row = itemset(raw)
+            if not row:
+                raise DatabaseError(f"transaction {start + index} is empty")
+            rows.append(row)
+        if not rows:
+            return 0
+        self.append_epoch()  # absorb any out-of-band rewrite first
+        self._transactions = self._transactions + tuple(rows)
+        self._epoch_rows = self._transactions
+        if self._item_counts is not None:
+            for row in rows:
+                for item in row:
+                    self._item_counts[item] = (
+                        self._item_counts.get(item, 0) + 1
+                    )
+        return len(rows)
+
+    def append_epoch(self) -> tuple[object, int]:
+        """The database's append lineage: ``(epoch, n_rows)``.
+
+        The *epoch* object is allocated at construction and preserved by
+        :meth:`append` — two observations with the same epoch identity
+        differ only by appended tail rows (never by rewritten history),
+        so a cache synced at ``k`` rows needs only ``tail_rows(k)`` to
+        catch up in O(append). Anything that replaces history gets a
+        fresh epoch: a new database object, or — for tests and tools
+        that swap ``_transactions`` out from under the database — the
+        identity check against the last sanctioned rows tuple below,
+        which allocates a new epoch on any out-of-band rewrite.
+        """
+        if self._transactions is not self._epoch_rows:
+            self._epoch = object()
+            self._epoch_rows = self._transactions
+        return self._epoch, len(self._transactions)
+
+    def tail_rows(self, start: int) -> tuple[Itemset, ...]:
+        """Canonical rows from *start* on, **without** pass accounting.
+
+        The incremental-maintenance read: callers pair it with
+        :meth:`append_epoch` to absorb appends without a physical pass
+        over the head of the database.
+        """
+        if not 0 <= start <= len(self._transactions):
+            raise DatabaseError(
+                f"tail start {start} outside [0, {len(self._transactions)}]"
+            )
+        return self._transactions[start:]
 
     # ------------------------------------------------------------------
     # Pass accounting

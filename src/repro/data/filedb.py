@@ -18,11 +18,12 @@ computed once at open time.
 from __future__ import annotations
 
 import os
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
+from itertools import chain
 from pathlib import Path
 
 from ..errors import DatabaseError
-from ..itemset import Itemset
+from ..itemset import Itemset, itemset
 
 PathLike = str | os.PathLike[str]
 
@@ -51,8 +52,12 @@ class FileBackedDatabase:
         "_length",
         "_items",
         "_total_items",
+        "_item_counts",
         "_vertical_index",
         "_shard_cache",
+        "_epoch",
+        "_epoch_token",
+        "_offsets",
     )
 
     def __init__(self, path: PathLike) -> None:
@@ -61,6 +66,17 @@ class FileBackedDatabase:
         self._logical_scans = 0
         self._vertical_index = None
         self._shard_cache = None
+        self._item_counts: dict[int, int] | None = None
+        self._validate()
+        self._epoch = object()
+        self._epoch_token = self.cache_token()
+        # Row-count -> byte-offset checkpoints at known row boundaries;
+        # tail_rows() seeks the closest one instead of re-parsing the
+        # head of the file. Every append records one.
+        self._offsets: dict[int, int] = {0: 0}
+
+    def _validate(self) -> None:
+        """One uncounted read computing |D|, the item universe, lengths."""
         length = 0
         total_items = 0
         items: set[int] = set()
@@ -74,6 +90,20 @@ class FileBackedDatabase:
         self._items = frozenset(items)
         self._total_items = total_items
 
+    def _parse_line(self, where: str, stripped: str) -> Itemset | None:
+        """One basket line as a canonical row; ``None`` for blank/comment."""
+        if not stripped or stripped.startswith("#"):
+            return None
+        try:
+            row = tuple(sorted({int(token) for token in stripped.split()}))
+        except ValueError as exc:
+            raise DatabaseError(
+                f"{where}: malformed basket line {stripped!r}"
+            ) from exc
+        if not row:
+            raise DatabaseError(f"{where}: empty transaction")
+        return row
+
     def _read(self) -> Iterator[Itemset]:
         try:
             handle = open(self._path, encoding="utf-8")
@@ -83,23 +113,11 @@ class FileBackedDatabase:
             ) from exc
         with handle:
             for line_number, line in enumerate(handle, start=1):
-                stripped = line.strip()
-                if not stripped or stripped.startswith("#"):
-                    continue
-                try:
-                    row = tuple(
-                        sorted({int(token) for token in stripped.split()})
-                    )
-                except ValueError as exc:
-                    raise DatabaseError(
-                        f"{self._path}:{line_number}: malformed basket "
-                        f"line {stripped!r}"
-                    ) from exc
-                if not row:
-                    raise DatabaseError(
-                        f"{self._path}:{line_number}: empty transaction"
-                    )
-                yield row
+                row = self._parse_line(
+                    f"{self._path}:{line_number}", line.strip()
+                )
+                if row is not None:
+                    yield row
 
     # ------------------------------------------------------------------
     # TransactionDatabase-compatible interface
@@ -122,6 +140,130 @@ class FileBackedDatabase:
     def count_logical_pass(self) -> None:
         """Record one *logical* counting pass served without disk IO."""
         self._logical_scans += 1
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, transactions: Iterable[Iterable[int]]) -> int:
+        """Append transactions to the basket file; returns rows added.
+
+        Same canonicalization and emptiness rules as the in-memory
+        database's :meth:`~repro.data.database.TransactionDatabase.append`.
+        The pre-append end of file is recorded as a byte checkpoint so
+        :meth:`tail_rows` can serve the appended suffix with a seek
+        instead of re-parsing the whole file, and the append *epoch*
+        is preserved (the ``cache_token`` still changes — size and
+        mtime move — so non-incremental caches rebuild as before).
+        """
+        rows: list[Itemset] = []
+        for index, raw in enumerate(transactions):
+            row = itemset(raw)
+            if not row:
+                raise DatabaseError(
+                    f"{self._path}: appended transaction {index} is empty"
+                )
+            rows.append(row)
+        if not rows:
+            return 0
+        # Absorb any external rewrite first so the checkpoint below is
+        # recorded against the file we actually extend.
+        self.append_epoch()
+        try:
+            with open(self._path, "r+b") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                if size:
+                    handle.seek(size - 1)
+                    if handle.read(1) != b"\n":
+                        handle.write(b"\n")
+                checkpoint = handle.tell()
+                payload = "".join(
+                    " ".join(map(str, row)) + "\n" for row in rows
+                )
+                handle.write(payload.encode("utf-8"))
+        except OSError as exc:
+            raise DatabaseError(
+                f"cannot append to basket file {self._path}: {exc}"
+            ) from exc
+        self._offsets[self._length] = checkpoint
+        self._length += len(rows)
+        self._total_items += sum(len(row) for row in rows)
+        self._items = self._items | frozenset(chain.from_iterable(rows))
+        if self._item_counts is not None:
+            for row in rows:
+                for item in row:
+                    self._item_counts[item] = (
+                        self._item_counts.get(item, 0) + 1
+                    )
+        self._epoch_token = self.cache_token()
+        return len(rows)
+
+    def append_epoch(self) -> tuple[object, int]:
+        """The file's append lineage: ``(epoch, n_rows)``.
+
+        The epoch object survives :meth:`append` calls but not external
+        rewrites: if the on-disk fingerprint no longer matches the last
+        state this object produced or observed, a fresh epoch is
+        allocated, the seek checkpoints are dropped, and the summary
+        statistics are recomputed (one uncounted read, like
+        construction). Incrementally maintained caches therefore treat
+        foreign modifications as full invalidations — never as appends.
+        """
+        token = self.cache_token()
+        if token != self._epoch_token:
+            self._epoch = object()
+            self._epoch_token = token
+            self._offsets = {0: 0}
+            self._item_counts = None
+            self._validate()
+        return self._epoch, self._length
+
+    def tail_rows(self, start: int) -> list[Itemset]:
+        """Rows from *start* on, **without** pass accounting.
+
+        Seeks the closest recorded byte checkpoint at or before *start*
+        (appends record one per batch) and parses only from there — for
+        the common "extend by the appended suffix" read this touches
+        just the appended bytes, not the head of the file.
+        """
+        if not 0 <= start <= self._length:
+            raise DatabaseError(
+                f"tail start {start} outside [0, {self._length}]"
+            )
+        anchor = max(
+            (rows for rows in self._offsets if rows <= start), default=0
+        )
+        offset = self._offsets.get(anchor, 0)
+        tail: list[Itemset] = []
+        try:
+            handle = open(self._path, "rb")
+        except OSError as exc:
+            raise DatabaseError(
+                f"cannot open basket file {self._path}: {exc}"
+            ) from exc
+        with handle:
+            handle.seek(offset)
+            seen = anchor
+            for line in handle:
+                row = self._parse_line(
+                    str(self._path), line.decode("utf-8").strip()
+                )
+                if row is None:
+                    continue
+                if seen >= start:
+                    tail.append(row)
+                seen += 1
+        return tail
+
+    def item_counts(self) -> dict[int, int]:
+        """Absolute occurrence count of every item (cached; not a pass)."""
+        if self._item_counts is None:
+            counts: dict[int, int] = {}
+            for row in self._read():
+                for item in row:
+                    counts[item] = counts.get(item, 0) + 1
+            self._item_counts = counts
+        return dict(self._item_counts)
 
     def __iter__(self) -> Iterator[Itemset]:
         """Stream without counting (reports/tests only — still does IO)."""

@@ -360,6 +360,10 @@ def count_rows(
         matrix = PackedMatrix.from_rows(transactions, wanted)
         span.annotate("rows", matrix.n_rows)
         span.annotate("items", len(wanted))
+    if stats is not None:
+        # Gauge, not counter: the per-pass matrix footprint the
+        # out-of-core engine exists to bound.
+        stats.matrix_bytes = max(stats.matrix_bytes, matrix.nbytes)
     return matrix.count(
         candidates,
         taxonomy=taxonomy,

@@ -30,8 +30,10 @@ from .base import (
 from . import serial as _serial  # noqa: E402  (bitmap, hashtree, index, brute)
 from . import cached as _cached  # noqa: E402
 from . import packed as _packed  # noqa: E402  (numpy)
+from . import outofcore as _outofcore  # noqa: E402  (mmap)
 from . import parallel as _parallel  # noqa: E402
 from .cached import CachedEngine
+from .outofcore import MmapEngine
 from .packed import NumpyEngine
 from .parallel import ParallelEngine, ParallelShmEngine
 from .serial import (
@@ -43,7 +45,7 @@ from .serial import (
     extended_rows,
 )
 
-del _serial, _cached, _packed, _parallel
+del _serial, _cached, _packed, _outofcore, _parallel
 
 #: All registered engine names, in registration order.
 ENGINES = engine_names()
@@ -120,6 +122,7 @@ __all__ = [
     "CachedEngine",
     "HashTreeEngine",
     "IndexEngine",
+    "MmapEngine",
     "NumpyEngine",
     "ParallelEngine",
     "ParallelShmEngine",

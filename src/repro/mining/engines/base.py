@@ -69,6 +69,11 @@ class Capabilities:
         Publishes its packed data via ``multiprocessing.shared_memory``
         and counts through persistent workers attached zero-copy
         (:mod:`repro.parallel.shm`).
+    out_of_core:
+        Keeps its packed data in memory-mapped spill files with bounded
+        resident bytes (:mod:`repro.mining.segmatrix`); under the
+        parallel wrapper, workers map their own segments instead of
+        receiving pickled row slices.
     """
 
     packed: bool = False
@@ -76,6 +81,7 @@ class Capabilities:
     shardable: bool = True
     needs_numpy: bool = False
     shared_memory: bool = False
+    out_of_core: bool = False
 
     def describe(self) -> str:
         """The set flags as a short comma-separated string."""
@@ -100,6 +106,9 @@ class EnginePolicy:
     packed: bool = False
     batch_words: int | None = None
     shm: bool = False
+    segment_rows: int | None = None
+    max_resident_bytes: int | None = None
+    spill_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_jobs is not None:
@@ -110,6 +119,10 @@ class EnginePolicy:
             check_positive(self.cache_bytes, "cache_bytes")
         if self.batch_words is not None:
             check_positive(self.batch_words, "batch_words")
+        if self.segment_rows is not None:
+            check_positive(self.segment_rows, "segment_rows")
+        if self.max_resident_bytes is not None:
+            check_positive(self.max_resident_bytes, "max_resident_bytes")
 
 
 @dataclass(slots=True)

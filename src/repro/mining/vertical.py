@@ -104,6 +104,25 @@ class CacheStats:
     kernel_words:
         64-bit words gathered and intersected by those batches
         (``kernel.words``) — the kernel's work volume.
+    extensions:
+        Incremental catch-ups: an index or segmented matrix absorbed
+        appended rows in O(append) instead of rebuilding
+        (``cache.extensions``).
+    matrix_bytes:
+        High-water footprint of an in-RAM packed matrix (gauge
+        ``kernel.matrix_bytes``) — the number the out-of-core engine
+        keeps bounded.
+    segments_packed / segments_extended / segments_reused:
+        Segmented-matrix maintenance (``counting.segments.*``): blocks
+        packed from scratch, tail blocks extended in place, and blocks
+        reused untouched across a sync.
+    segments_spilled_bytes / segments_resident_bytes:
+        Gauges of bytes persisted under the spill directory and the
+        high-water bytes of concurrently open segment blocks (the
+        ``max_resident_bytes`` bound is asserted against the latter).
+    segments_mmap_reads:
+        Segment blocks re-opened from disk via ``np.memmap``
+        (``counting.segments.mmap_reads``).
     """
 
     #: field name -> (metric kind, registry metric name)
@@ -113,9 +132,21 @@ class CacheStats:
         "invalidations": ("counter", "cache.invalidations"),
         "evictions": ("counter", "cache.evictions"),
         "rebuilt_items": ("counter", "cache.rebuilt_items"),
+        "extensions": ("counter", "cache.extensions"),
         "bytes": ("gauge", "cache.bytes"),
         "kernel_batches": ("counter", "kernel.batches"),
         "kernel_words": ("counter", "kernel.words"),
+        "matrix_bytes": ("gauge", "kernel.matrix_bytes"),
+        "segments_packed": ("counter", "counting.segments.packed"),
+        "segments_extended": ("counter", "counting.segments.extended"),
+        "segments_reused": ("counter", "counting.segments.reused"),
+        "segments_spilled_bytes": (
+            "gauge", "counting.segments.spilled_bytes"
+        ),
+        "segments_resident_bytes": (
+            "gauge", "counting.segments.resident_bytes"
+        ),
+        "segments_mmap_reads": ("counter", "counting.segments.mmap_reads"),
     }
 
     __slots__ = ("registry", "_prefix")
@@ -183,6 +214,7 @@ class VerticalIndex:
         "_evicted",
         "_source",
         "_token",
+        "_epoch",
         "_budget",
         "_nbytes",
         "_tax_refs",
@@ -206,6 +238,7 @@ class VerticalIndex:
         self._evicted: set[int] = set()
         self._source = None
         self._token = None
+        self._epoch = None
         self._budget = budget_bytes
         self._nbytes = 0
         self._packed = packed
@@ -240,6 +273,8 @@ class VerticalIndex:
         index = cls(len(database), budget_bytes, packed=packed)
         index._source = database
         index._token = database.cache_token()
+        epoch_fn = getattr(database, "append_epoch", None)
+        index._epoch = epoch_fn()[0] if epoch_fn is not None else None
         with obs.span("cache.build") as span:
             span.annotate("rows", index.n_rows)
             span.annotate("packed", packed)
@@ -301,6 +336,89 @@ class VerticalIndex:
         """True when *database* still matches the build-time fingerprint."""
         token = database.cache_token()
         return token is self._token or token == self._token
+
+    def extend_from(self, source, stats: CacheStats | None = None) -> bool:
+        """Absorb rows appended to *source* since the index was built.
+
+        Succeeds only when *source* proves the growth is a pure append:
+        it carries the same ``append_epoch`` identity the index was
+        built against and has strictly more rows. The appended suffix
+        (``tail_rows``) is then OR-ed into the stored bitmaps at the old
+        row offset — O(append) work, no physical pass over the head.
+        Derived category memos are dropped (they lack the tail bits) and
+        recomputed lazily; evicted base items stay evicted, since their
+        eventual targeted restore scans the *current* full database.
+        Returns ``False`` (leaving the index untouched) when the growth
+        cannot be proven incremental — callers fall back to a rebuild.
+        """
+        epoch_fn = getattr(source, "append_epoch", None)
+        tail_fn = getattr(source, "tail_rows", None)
+        if epoch_fn is None or tail_fn is None or self._epoch is None:
+            return False
+        epoch, n_rows = epoch_fn()
+        if epoch is not self._epoch or n_rows <= self.n_rows:
+            return False
+        tail = tail_fn(self.n_rows)
+        if len(tail) != n_rows - self.n_rows:
+            return False
+        with obs.span("cache.extend") as span:
+            span.annotate("rows", len(tail))
+            span.annotate("packed", self._packed)
+            old_rows = self.n_rows
+            new_words = bitpack.words_for(n_rows)
+            while self._derived:
+                _, bitmap = self._derived.popitem(last=False)
+                self._nbytes -= _entry_bytes(bitmap)
+            tail_bits: dict[int, int] = {}
+            for position, row in enumerate(tail):
+                bit = 1 << position
+                for item in row:
+                    tail_bits[item] = tail_bits.get(item, 0) | bit
+            if self._packed:
+                offset_words, offset_bits = old_rows >> 6, old_rows & 63
+                span_words = new_words - offset_words
+                for item in self._bits:
+                    # Pad every stored row to the new width (the batched
+                    # kernel vstacks rows, so widths must agree), then OR
+                    # the shifted tail bits in.
+                    grown = bitpack.zeros(new_words)
+                    grown[: len(self._bits[item])] = self._bits[item]
+                    bits = tail_bits.pop(item, 0)
+                    if bits:
+                        grown[offset_words:] |= bitpack.pack_bigint(
+                            bits << offset_bits, span_words
+                        )
+                    self._bits[item] = grown
+                for item, bits in tail_bits.items():
+                    if item in self._evicted:
+                        continue
+                    grown = bitpack.zeros(new_words)
+                    grown[offset_words:] |= bitpack.pack_bigint(
+                        bits << offset_bits, span_words
+                    )
+                    self._bits[item] = grown
+            else:
+                for item, bits in tail_bits.items():
+                    if item in self._evicted:
+                        continue
+                    self._bits[item] = (
+                        self._bits.get(item, 0) | (bits << old_rows)
+                    )
+            self.n_rows = n_rows
+            self._n_words = new_words
+            self._zero = (
+                bitpack.zeros(new_words) if self._packed else 0
+            )
+            self._nbytes = sum(
+                _entry_bytes(bitmap) for bitmap in self._bits.values()
+            )
+            token_fn = getattr(source, "cache_token", None)
+            if token_fn is not None:
+                self._token = token_fn()
+        self._enforce_budget()
+        if stats is not None:
+            stats.bytes = max(stats.bytes, self._nbytes)
+        return True
 
     @property
     def nbytes(self) -> int:
@@ -480,11 +598,26 @@ def get_index(
     fresh index every call (the rebuild-per-pass baseline the benchmarks
     compare against). An attached index whose storage backend does not
     match *packed* is rebuilt in the requested representation (a miss,
-    not an invalidation — the data did not change).
+    not an invalidation — the data did not change). A fingerprint
+    mismatch that the database can prove is a *pure append*
+    (``append_epoch`` identity preserved, more rows) is absorbed
+    incrementally via :meth:`VerticalIndex.extend_from` — counted as an
+    extension + hit, not an invalidation.
     """
     cached = getattr(database, "_vertical_index", None) if use_cache else None
     if cached is not None:
         if not cached.valid_for(database):
+            if cached.packed == packed and cached.extend_from(
+                database, stats
+            ):
+                # Pure append: the index caught up in O(append) instead
+                # of rebuilding — an incremental hit, not a miss.
+                if budget_bytes is not None:
+                    cached.set_budget(budget_bytes)
+                if stats is not None:
+                    stats.extensions += 1
+                    stats.hits += 1
+                return cached
             if stats is not None:
                 stats.invalidations += 1
         elif cached.packed == packed:

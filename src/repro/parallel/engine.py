@@ -166,6 +166,45 @@ def _count_shard_cached(payload):
     return counts, registry
 
 
+def _count_mmap_shard(payload):
+    """Worker task: count candidates over a group of mmapped segments.
+
+    The payload carries :class:`~repro.mining.segmatrix.Segment`
+    descriptors — index, row range, node table and spill-file path, *not*
+    the word blocks — and the worker memory-maps each block from its own
+    process. Nothing row-shaped or block-shaped crosses the pipe, the
+    segment-aligned analogue of the shm engine's zero-copy attach.
+    Returns ``(counts, registry)`` exactly like :func:`_count_shard`.
+    """
+    from ..mining.segmatrix import count_segment_block
+
+    segments, candidates, taxonomy, batch_words, observe = payload
+
+    def run(stats=None):
+        totals: dict[Itemset, int] = dict.fromkeys(candidates, 0)
+        for segment in segments:
+            block = segment.open_block()
+            if stats is not None:
+                stats.segments_mmap_reads += 1
+            partial = count_segment_block(
+                segment, block, candidates,
+                taxonomy=taxonomy, batch_words=batch_words, stats=stats,
+            )
+            for items, count in partial.items():
+                totals[items] += count
+        return totals
+
+    if not observe:
+        return run(), None
+    with obs.worker_collection() as registry:
+        with obs.span("parallel.shard") as span:
+            span.annotate("segments", len(segments))
+            span.annotate("candidates", len(candidates))
+            stats = vertical.CacheStats(registry=registry, prefix="worker.")
+            counts = run(stats)
+    return counts, registry
+
+
 def _mine_shard(payload) -> list[Itemset]:
     """Worker task: phase-1 local mining of one Partition shard."""
     # Imported lazily: repro.mining.partition sits above this module in
@@ -242,6 +281,17 @@ def parallel_count_supports(
         engine = create_engine(engine)
     if engine.wraps:
         engine = engine.inner
+    if engine.capabilities.out_of_core and hasattr(transactions, "scan"):
+        return _count_mmap_sharded(
+            engine,
+            transactions,
+            candidate_list,
+            taxonomy,
+            jobs,
+            pool_config,
+            stats,
+            cache_stats,
+        )
     if engine.capabilities.caching and hasattr(transactions, "scan"):
         return _count_cached_sharded(
             transactions,
@@ -295,6 +345,70 @@ def parallel_count_supports(
         partials = pool.map(_count_shard, payloads)
     totals: dict[Itemset, int] = dict.fromkeys(candidate_list, 0)
     for partial, worker_registry in partials:
+        obs.merge_registry(worker_registry)
+        for items, count in partial.items():
+            totals[items] += count
+    if stats is not None:
+        stats.absorb(pool.stats)
+    return totals
+
+
+def _count_mmap_sharded(
+    engine,
+    database,
+    candidate_list: list[Itemset],
+    taxonomy: Taxonomy | None,
+    jobs: int,
+    pool_config: PoolConfig | None,
+    stats: ParallelStats | None,
+    cache_stats,
+) -> dict[Itemset, int]:
+    """One sharded pass over an out-of-core segmented matrix.
+
+    The parent synchronizes the engine-owned
+    :class:`~repro.mining.segmatrix.SegmentedPackedMatrix` (incremental:
+    unchanged and append-only databases never repack untouched
+    segments), then hands each worker a contiguous *group of segment
+    descriptors* — workers map their own spill files instead of
+    receiving pickled row slices. Partial counts over disjoint row
+    ranges sum to exactly the serial result. One logical pass is
+    recorded per call, the same cost-model shape as the cached path.
+    """
+    matrix = engine.matrix_for(database, cache_stats)
+    database.count_logical_pass()
+    segments = matrix.segments
+    batch_words = getattr(engine, "batch_words", None)
+    if stats is not None:
+        stats.shards += len(segments)
+    if jobs == 1 or len(segments) <= 1:
+        if stats is not None:
+            stats.serial_tasks += len(segments)
+        return matrix.count(
+            candidate_list,
+            taxonomy=taxonomy,
+            batch_words=batch_words,
+            stats=cache_stats,
+        )
+    n_groups = min(jobs, len(segments))
+    base, extra = divmod(len(segments), n_groups)
+    groups = []
+    start = 0
+    for position in range(n_groups):
+        size = base + (1 if position < extra else 0)
+        groups.append(segments[start:start + size])
+        start += size
+    pool = WorkerPool(pool_config or PoolConfig(n_jobs=jobs))
+    observe = obs.enabled()
+    payloads = [
+        (group, candidate_list, taxonomy, batch_words, observe)
+        for group in groups
+    ]
+    with obs.span("parallel.map") as span:
+        span.annotate("shards", len(segments))
+        span.annotate("jobs", jobs)
+        pairs = pool.map(_count_mmap_shard, payloads)
+    totals: dict[Itemset, int] = dict.fromkeys(candidate_list, 0)
+    for partial, worker_registry in pairs:
         obs.merge_registry(worker_registry)
         for items, count in partial.items():
             totals[items] += count

@@ -134,3 +134,68 @@ def test_restriction_never_changes_counts(spec, transactions, candidates):
         candidates, restrict_to_candidate_items=True
     )
     assert restricted == plain
+
+
+# ----------------------------------------------------------------------
+# Out-of-core segmentation: word/segment-boundary layouts and the
+# incremental maintenance paths (append, then out-of-band mutation).
+# ----------------------------------------------------------------------
+
+#: Segment sizes straddling the uint64 word boundary plus tiny ones
+#: that force many partial-tail / exact-multiple layouts over the
+#: (up to 40-row) generated databases.
+segment_rows_strategy = st.sampled_from([1, 3, 7, 8, 63, 64, 65])
+
+#: The incrementally maintained engines: the vertical cache and the
+#: segmented mmap matrix, serial and sharded.
+INCREMENTAL_SPECS = ("cached", "mmap", "parallel:mmap")
+
+
+def incremental_session(spec, database, segment_rows):
+    n_jobs = 1 if spec.startswith("parallel") else None
+    return MiningSession(
+        database, engine=spec, n_jobs=n_jobs, segment_rows=segment_rows
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(transactions_strategy, candidates_strategy, segment_rows_strategy)
+def test_mmap_segment_boundaries_match_brute(
+    transactions, candidates, segment_rows
+):
+    expected = MiningSession(transactions, engine="brute").count(candidates)
+    session = MiningSession(
+        transactions, engine="mmap", segment_rows=segment_rows
+    )
+    assert session.count(candidates) == expected
+
+
+@pytest.mark.parametrize("spec", INCREMENTAL_SPECS)
+@settings(max_examples=15, deadline=None)
+@given(
+    transactions_strategy,
+    transactions_strategy,
+    transactions_strategy,
+    candidates_strategy,
+    segment_rows_strategy,
+)
+def test_append_mutate_recount_sequences(
+    spec, first, tail, rewrite, candidates, segment_rows
+):
+    """One session through build -> append -> out-of-band rewrite.
+
+    Every recount must match a fresh brute count over the rows the
+    database holds *now*: the append must be absorbed incrementally
+    without serving stale heads, and the rewrite must invalidate."""
+    from repro.data.database import TransactionDatabase
+
+    def brute(rows):
+        return MiningSession(list(rows), engine="brute").count(candidates)
+
+    database = TransactionDatabase(first)
+    session = incremental_session(spec, database, segment_rows)
+    assert session.count(candidates) == brute(first)
+    database.append(tail)
+    assert session.count(candidates) == brute(list(first) + list(tail))
+    database._transactions = tuple(rewrite)  # out-of-band rewrite
+    assert session.count(candidates) == brute(rewrite)

@@ -122,3 +122,59 @@ class TestStatistics:
 
     def test_repr(self, database):
         assert "transactions=3" in repr(database)
+
+
+class TestAppend:
+    def test_append_extends_rows_canonicalized(self):
+        database = TransactionDatabase([[1, 2]])
+        assert database.append([[3, 1, 1], {5, 4}]) == 2
+        assert len(database) == 3
+        assert database.transaction(1) == (1, 3)
+        assert database.transaction(2) == (4, 5)
+
+    def test_append_empty_batch_is_a_noop(self):
+        database = TransactionDatabase([[1]])
+        epoch, rows = database.append_epoch()
+        assert database.append([]) == 0
+        assert database.append_epoch() == (epoch, rows)
+
+    def test_append_rejects_empty_transaction(self):
+        database = TransactionDatabase([[1]])
+        # The index in the message is absolute: row 1 exists, the empty
+        # batch entry would become transaction 2.
+        with pytest.raises(DatabaseError, match="transaction 2 is empty"):
+            database.append([[2], []])
+        assert len(database) == 1  # nothing was applied
+
+    def test_append_preserves_epoch_and_grows_rows(self):
+        database = TransactionDatabase([[1], [2]])
+        epoch, rows = database.append_epoch()
+        database.append([[3]])
+        after, grown = database.append_epoch()
+        assert after is epoch
+        assert (rows, grown) == (2, 3)
+
+    def test_append_maintains_item_counts(self):
+        database = TransactionDatabase([[1, 2], [2]])
+        assert database.item_counts() == {1: 1, 2: 2}
+        database.append([[1, 3]])
+        assert database.item_counts() == {1: 2, 2: 2, 3: 1}
+
+    def test_tail_rows_returns_suffix_without_a_pass(self):
+        database = TransactionDatabase([[1], [2], [3]])
+        database.append([[4], [5]])
+        assert database.tail_rows(3) == ((4,), (5,))
+        assert database.tail_rows(5) == ()
+        assert database.scans == 0
+        with pytest.raises(DatabaseError, match="outside"):
+            database.tail_rows(6)
+
+    def test_out_of_band_rewrite_gets_a_fresh_epoch(self):
+        database = TransactionDatabase([[1], [2]])
+        epoch, _ = database.append_epoch()
+        database._transactions = ((7,), (8,), (9,))
+        after, rows = database.append_epoch()
+        assert after is not epoch
+        assert rows == 3
+        # The new epoch is stable until the next rewrite.
+        assert database.append_epoch() == (after, 3)

@@ -31,7 +31,7 @@ class TestRegistry:
     def test_builtin_engines_registered_in_order(self):
         assert engine_names() == (
             "bitmap", "hashtree", "index", "brute",
-            "cached", "numpy", "parallel", "parallel-shm",
+            "cached", "numpy", "mmap", "parallel", "parallel-shm",
         )
         assert ENGINES == engine_names()
 

@@ -111,3 +111,126 @@ class TestMinersOnFileBackedData:
             (rule.antecedent, rule.consequent) for rule in reference.rules
         }
         assert from_disk.scans == result.stats.data_passes
+
+
+class TestAppendParity:
+    """The file-backed mutation API mirrors the in-memory database's."""
+
+    def append_both(self, basket_path, batch):
+        in_memory = TransactionDatabase(
+            [[1, 2, 3], [1, 2], [2, 3], [4], [1, 2, 3, 4]]
+        )
+        on_disk = FileBackedDatabase(basket_path)
+        assert in_memory.append(batch) == on_disk.append(batch)
+        return in_memory, on_disk
+
+    def test_append_extends_file_and_statistics(self, basket_path):
+        in_memory, on_disk = self.append_both(
+            basket_path, [[9, 7], {5, 6}]
+        )
+        assert list(on_disk) == list(in_memory)
+        assert len(on_disk) == len(in_memory)
+        assert on_disk.items == in_memory.items
+        assert on_disk.average_length() == pytest.approx(
+            in_memory.average_length()
+        )
+
+    def test_append_without_trailing_newline(self, basket_path):
+        with open(basket_path, "rb+") as handle:
+            handle.seek(-1, 2)
+            handle.truncate()  # strip the final newline
+        database = FileBackedDatabase(basket_path)
+        database.append([[8, 9]])
+        assert list(database)[-2:] == [(1, 2, 3, 4), (8, 9)]
+
+    def test_append_empty_batch_is_a_noop(self, basket_path):
+        database = FileBackedDatabase(basket_path)
+        token = database.cache_token()
+        assert database.append([]) == 0
+        assert database.cache_token() == token
+
+    def test_append_rejects_empty_transaction(self, basket_path):
+        database = FileBackedDatabase(basket_path)
+        with pytest.raises(DatabaseError, match="empty"):
+            database.append([[1], []])
+        assert len(database) == 5  # file untouched
+
+    def test_append_preserves_epoch(self, basket_path):
+        database = FileBackedDatabase(basket_path)
+        epoch, rows = database.append_epoch()
+        database.append([[6]])
+        after, grown = database.append_epoch()
+        assert after is epoch
+        assert (rows, grown) == (5, 6)
+
+    def test_tail_rows_seeks_checkpoint_without_a_pass(self, basket_path):
+        database = FileBackedDatabase(basket_path)
+        database.append([[6], [7, 8]])
+        assert database.tail_rows(5) == [(6,), (7, 8)]
+        assert database.tail_rows(6) == [(7, 8)]
+        assert database.tail_rows(0) == list(database)
+        assert database.scans == 0
+        with pytest.raises(DatabaseError, match="outside"):
+            database.tail_rows(99)
+
+    def test_item_counts_parity_and_incremental_maintenance(
+        self, basket_path
+    ):
+        in_memory, on_disk = self.append_both(basket_path, [[1, 9]])
+        assert on_disk.item_counts() == in_memory.item_counts()
+        # Counting again after another append stays in sync.
+        in_memory.append([[9]])
+        on_disk.append([[9]])
+        assert on_disk.item_counts() == in_memory.item_counts()
+        assert on_disk.scans == 0
+
+    def test_external_rewrite_gets_fresh_epoch_and_stats(self, basket_path):
+        database = FileBackedDatabase(basket_path)
+        epoch, _ = database.append_epoch()
+        with open(basket_path, "w", encoding="utf-8") as handle:
+            handle.write("7 8\n9\n")
+        after, rows = database.append_epoch()
+        assert after is not epoch
+        assert rows == 2
+        assert database.items == {7, 8, 9}
+        assert database.tail_rows(1) == [(9,)]
+        # Stable until the next rewrite.
+        assert database.append_epoch() == (after, 2)
+
+
+class TestIncrementalEnginesOnDisk:
+    def test_mmap_recount_after_append_reads_only_the_tail(
+        self, basket_path
+    ):
+        from repro.core.session import MiningSession
+
+        pytest.importorskip("numpy")
+        database = FileBackedDatabase(basket_path)
+        session = MiningSession(database, engine="mmap", segment_rows=2)
+        candidates = [(1,), (2, 3), (1, 2, 3, 4), (9,)]
+        session.count(candidates)
+        build_scans = database.scans
+        database.append([[1, 9], [9]])
+        counted = session.count(candidates)
+        # The appended suffix was served by tail_rows: no physical pass.
+        assert database.scans == build_scans
+        reference = MiningSession(list(database), engine="brute").count(
+            candidates
+        )
+        assert counted == reference
+        assert session.cache_stats.extensions == 1
+
+    def test_cached_engine_extends_over_filedb(self, basket_path):
+        database = FileBackedDatabase(basket_path)
+        from repro.core.session import MiningSession
+
+        session = MiningSession(database, engine="cached")
+        candidates = [(1,), (2,), (4,)]
+        session.count(candidates)
+        build_scans = database.scans
+        database.append([[1, 4]])
+        counted = session.count(candidates)
+        assert database.scans == build_scans
+        assert counted == {(1,): 4, (2,): 4, (4,): 3}
+        assert session.cache_stats.extensions == 1
+        assert session.cache_stats.invalidations == 0

@@ -1,0 +1,350 @@
+"""Unit tests for the segmented out-of-core packed matrix.
+
+Covers the segment layout (word-boundary row counts, partial tails),
+the three sync paths (unchanged / append / fingerprint-guided resync),
+the resident-byte budget, and the spill-directory lifecycle — including
+a subprocess that exits without ``close()`` (the finalizer must sweep
+the directory) and a Linux-only constrained-address-space run proving
+the ``mmap`` engine completes where the in-RAM ``numpy`` engine cannot.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("numpy")
+
+import repro
+from repro.core.session import MiningSession
+from repro.data.database import TransactionDatabase
+from repro.errors import DatabaseError
+from repro.mining.segmatrix import (
+    SegmentedPackedMatrix,
+    chain_fingerprint,
+    live_spill_dirs,
+)
+from repro.mining.vertical import CacheStats
+
+#: (segment_rows, n_rows) pairs straddling word and segment boundaries:
+#: exact multiples of 64, off-by-one around a word, segments smaller
+#: than a word, and partial tails.
+BOUNDARY_SHAPES = [(50, 123), (64, 128), (100, 317), (7, 65), (64, 64)]
+
+
+def make_rows(n_rows, n_items=23):
+    """Deterministic pseudo-random rows covering *n_items* item ids."""
+    rows = []
+    for index in range(n_rows):
+        width = 1 + (index * 7 + 3) % 4
+        rows.append(
+            tuple(
+                sorted({(index * 13 + k * 5) % n_items for k in range(width)})
+            )
+        )
+    return rows
+
+
+def brute_counts(rows, candidates):
+    return MiningSession(list(rows), engine="brute").count(candidates)
+
+
+CANDIDATES = [(1,), (2,), (0, 5), (3, 8), (1, 2, 3)]
+
+
+class TestLayoutAndCounting:
+    @pytest.mark.parametrize("segment_rows,n_rows", BOUNDARY_SHAPES)
+    def test_word_boundary_shapes_match_brute(self, segment_rows, n_rows):
+        rows = make_rows(n_rows)
+        with SegmentedPackedMatrix.from_rows(
+            rows, segment_rows=segment_rows
+        ) as matrix:
+            assert matrix.n_rows == n_rows
+            assert matrix.n_segments == -(-n_rows // segment_rows)
+            assert matrix.count(CANDIDATES) == brute_counts(rows, CANDIDATES)
+
+    def test_segment_descriptors(self):
+        rows = make_rows(10)
+        with SegmentedPackedMatrix.from_rows(
+            rows, segment_rows=4
+        ) as matrix:
+            starts = [segment.start for segment in matrix.segments]
+            lengths = [segment.rows for segment in matrix.segments]
+            assert starts == [0, 4, 8]
+            assert lengths == [4, 4, 2]
+            for segment in matrix.segments:
+                assert segment.words == matrix.capacity_words
+                assert Path(segment.path).stat().st_size == segment.nbytes
+
+    def test_empty_candidates(self):
+        with SegmentedPackedMatrix.from_rows(make_rows(5)) as matrix:
+            assert matrix.count([]) == {}
+
+    def test_closed_matrix_rejects_sync(self):
+        matrix = SegmentedPackedMatrix.from_rows(make_rows(5))
+        matrix.close()
+        assert matrix.closed
+        with pytest.raises(DatabaseError, match="closed"):
+            matrix.sync(TransactionDatabase(make_rows(5)))
+
+    def test_fingerprint_chain_is_associative(self):
+        rows = [tuple(row) for row in make_rows(9)]
+        whole = chain_fingerprint(0x5E9, rows)
+        split = chain_fingerprint(chain_fingerprint(0x5E9, rows[:4]), rows[4:])
+        assert whole == split
+
+
+class TestSyncPaths:
+    def test_unchanged_database_is_a_hit(self):
+        database = TransactionDatabase(make_rows(30))
+        stats = CacheStats()
+        with SegmentedPackedMatrix(segment_rows=8) as matrix:
+            matrix.sync(database, stats=stats)
+            packed = stats.segments_packed
+            matrix.sync(database, stats=stats)
+            assert stats.hits == 1
+            assert stats.segments_packed == packed
+
+    def test_append_extends_tail_and_reuses_the_rest(self):
+        rows = make_rows(30)
+        database = TransactionDatabase(rows)
+        stats = CacheStats()
+        with SegmentedPackedMatrix(segment_rows=8) as matrix:
+            matrix.sync(database, stats=stats)
+            assert matrix.n_segments == 4  # 8+8+8+6
+            tail = [(0, 1), (2, 21)]
+            database.append(tail)
+            matrix.sync(database, stats=stats)
+            assert stats.extensions == 1
+            assert stats.segments_extended == 1  # the partial tail
+            assert stats.segments_reused == 3  # everything else untouched
+            assert matrix.n_rows == 32
+            assert matrix.count(CANDIDATES) == brute_counts(
+                rows + tail, CANDIDATES
+            )
+
+    def test_append_overflowing_the_tail_packs_new_segments(self):
+        rows = make_rows(10)
+        database = TransactionDatabase(rows)
+        stats = CacheStats()
+        with SegmentedPackedMatrix(segment_rows=4) as matrix:
+            matrix.sync(database, stats=stats)
+            packed_before = stats.segments_packed
+            tail = make_rows(9, n_items=11)
+            database.append(tail)
+            matrix.sync(database, stats=stats)
+            # 10 -> 19 rows at 4/segment: the 2-row tail fills to 4 and
+            # 2 whole new segments are packed (one partial).
+            assert stats.segments_extended == 1
+            assert stats.segments_packed == packed_before + 2
+            assert matrix.count(CANDIDATES) == brute_counts(
+                rows + tail, CANDIDATES
+            )
+
+    def test_out_of_band_rewrite_triggers_resync(self):
+        database = TransactionDatabase(make_rows(12))
+        stats = CacheStats()
+        with SegmentedPackedMatrix(segment_rows=4) as matrix:
+            matrix.sync(database, stats=stats)
+            rewrite = make_rows(14, n_items=9)
+            database._transactions = tuple(
+                tuple(row) for row in rewrite
+            )
+            matrix.sync(database, stats=stats)
+            assert stats.invalidations == 1
+            assert matrix.count(CANDIDATES) == brute_counts(
+                rewrite, CANDIDATES
+            )
+
+    def test_resync_reuses_fingerprint_matching_segments(self):
+        rows = [tuple(row) for row in make_rows(20)]
+        database = TransactionDatabase(rows)
+        stats = CacheStats()
+        with SegmentedPackedMatrix(segment_rows=4) as matrix:
+            matrix.sync(database, stats=stats)
+            packed_before = stats.segments_packed
+            # Rewrite one row in the middle segment only.
+            mutated = list(rows)
+            mutated[9] = (0, 1, 2)
+            database._transactions = tuple(mutated)
+            matrix.sync(database, stats=stats)
+            # Only segment 2 (rows 8..11) changed; 4 of 5 reused.
+            assert stats.segments_packed == packed_before + 1
+            assert stats.segments_reused == 4
+            assert matrix.count(CANDIDATES) == brute_counts(
+                mutated, CANDIDATES
+            )
+
+
+class TestResidency:
+    def test_budget_bounds_open_blocks(self):
+        rows = make_rows(64)
+        with SegmentedPackedMatrix.from_rows(rows, segment_rows=8) as probe:
+            block_bytes = max(
+                segment.nbytes for segment in probe.segments
+            )
+        with SegmentedPackedMatrix.from_rows(
+            rows, segment_rows=8, max_resident_bytes=block_bytes
+        ) as matrix:
+            stats = CacheStats()
+            assert matrix.count(CANDIDATES, stats=stats) == brute_counts(
+                rows, CANDIDATES
+            )
+            # At most one block stays open; the rest were evicted during
+            # packing and get re-mapped on demand while counting.
+            assert matrix.resident_bytes <= block_bytes
+            assert stats.segments_mmap_reads >= matrix.n_segments - 1
+            assert stats.segments_resident_bytes <= block_bytes
+
+    def test_unbounded_budget_keeps_blocks_resident(self):
+        rows = make_rows(40)
+        with SegmentedPackedMatrix.from_rows(
+            rows, segment_rows=8
+        ) as matrix:
+            stats = CacheStats()
+            matrix.count(CANDIDATES, stats=stats)
+            assert matrix.resident_bytes == matrix.spilled_bytes
+            assert stats.segments_mmap_reads == 0
+
+
+class TestSpillLifecycle:
+    def test_close_removes_spill_dir(self):
+        matrix = SegmentedPackedMatrix.from_rows(make_rows(5))
+        spill = matrix.spill_dir
+        assert spill.is_dir()
+        assert str(spill) in live_spill_dirs()
+        matrix.close()
+        assert not spill.exists()
+        assert str(spill) not in live_spill_dirs()
+        matrix.close()  # idempotent
+
+    def test_exit_without_close_sweeps_spill_dir(self, tmp_path):
+        """An interpreter that forgets ``close()`` leaves no directory:
+        the finalizer / atexit sweep removes it on exit."""
+        script = (
+            "from repro.mining.segmatrix import SegmentedPackedMatrix\n"
+            "matrix = SegmentedPackedMatrix.from_rows(\n"
+            "    [(1, 2), (2, 3)], spill_dir={spill!r})\n"
+            "print(matrix.spill_dir)\n"
+        ).format(spill=str(tmp_path))
+        src = Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ, PYTHONPATH=str(src))
+        done = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert done.returncode == 0, done.stderr
+        spill = Path(done.stdout.strip())
+        assert spill.parent == tmp_path
+        assert not spill.exists()
+
+
+@pytest.mark.skipif(
+    sys.platform != "linux", reason="RLIMIT_AS is only enforced on Linux"
+)
+class TestConstrainedMemory:
+    def test_out_of_core_survives_address_space_cap(self, tmp_path):
+        """Under an address-space cap the dense in-RAM pack of the
+        ``numpy`` engine fails while the ``mmap`` engine — streaming
+        bounded segment blocks — completes bit-identically.
+
+        The subprocess computes the expected counts with ``numpy``
+        *before* the cap, then applies ``RLIMIT_AS`` slightly above the
+        current ``VmSize`` and retries both engines.
+        """
+        script = r"""
+import resource
+import sys
+
+from repro.core.session import MiningSession
+from repro.data.database import TransactionDatabase
+
+N_ROWS, N_ITEMS = 50_000, 2_000
+rows = [
+    tuple(sorted({(i * 31 + k * 997) % N_ITEMS for k in range(6)}))
+    for i in range(N_ROWS)
+]
+# All singletons — the Apriori first pass — so the numpy engine's
+# candidate-item restriction does not shrink its dense boolean pack
+# below ~N_ITEMS x N_ROWS bytes (~100 MB here).
+candidates = [(i,) for i in range(N_ITEMS)]
+
+expected = MiningSession(
+    TransactionDatabase(rows), engine="numpy"
+).count(candidates)
+
+def vm_size():
+    with open("/proc/self/status") as handle:
+        for line in handle:
+            if line.startswith("VmSize:"):
+                return int(line.split()[1]) * 1024
+    raise RuntimeError("no VmSize")
+
+# Headroom far below the ~100 MB dense boolean matrix the numpy
+# engine materializes for 50k x 2k, and comfortably above the mmap
+# engine's per-segment working set.
+cap = vm_size() + 48 * 1024 * 1024
+resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+
+try:
+    MiningSession(TransactionDatabase(rows), engine="numpy").count(
+        candidates
+    )
+except MemoryError:
+    print("numpy:MemoryError")
+else:
+    print("numpy:completed")
+
+session = MiningSession(
+    TransactionDatabase(rows),
+    engine="mmap",
+    segment_rows=2048,
+    max_resident_bytes=8 * 1024 * 1024,
+    spill_dir=sys.argv[1],
+)
+counted = session.count(candidates)
+print("mmap:match" if counted == expected else "mmap:MISMATCH")
+"""
+        src = Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ, PYTHONPATH=str(src))
+        done = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path)],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert done.returncode == 0, done.stderr
+        lines = done.stdout.split()
+        assert "numpy:MemoryError" in lines, done.stdout
+        assert "mmap:match" in lines, done.stdout
+        # The spill directory was temporary: nothing left behind.
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestEngineSurface:
+    def test_session_stats_expose_segment_activity(self):
+        rows = make_rows(30)
+        database = TransactionDatabase(rows)
+        session = MiningSession(database, engine="mmap", segment_rows=8)
+        assert session.count(CANDIDATES) == brute_counts(rows, CANDIDATES)
+        stats = session.cache_stats
+        assert stats.segments_packed == 4
+        assert stats.segments_spilled_bytes > 0
+        assert stats.matrix_bytes > 0  # per-segment kernel footprint
+        database.append([(1, 2, 3)])
+        session.count(CANDIDATES)
+        assert stats.extensions == 1
+        assert stats.segments_extended == 1
+
+    def test_incremental_recount_needs_no_physical_pass(self):
+        rows = make_rows(40)
+        database = TransactionDatabase(rows)
+        session = MiningSession(database, engine="mmap", segment_rows=8)
+        session.count(CANDIDATES)
+        scans_after_build = database.scans
+        database.append(make_rows(3, n_items=7))
+        counted = session.count(CANDIDATES)
+        assert database.scans == scans_after_build  # tail_rows, no pass
+        assert counted == brute_counts(
+            list(rows) + make_rows(3, n_items=7), CANDIDATES
+        )
