@@ -12,11 +12,14 @@ the ``["quick"]["serving"]`` key. Finally the parallel-scaling profile
 (``bench_parallel_scaling --quick``) is gated the same way: each
 variant's steady-state per-pass wall (serial numpy, process-per-task
 ``parallel:numpy``, shared-memory ``parallel-shm`` at several job
-counts) under ``["quick"]["parallel_scaling"]``. Finally the
+counts) under ``["quick"]["parallel_scaling"]``. The
 incremental-maintenance profile (``bench_incremental --quick``) gates
 the append-then-recount walls of the ``mmap`` and ``cached`` engines —
 incremental and full-invalidation modes — under
-``["quick"]["incremental"]``.
+``["quick"]["incremental"]``. Finally the streaming profile
+(``bench_streaming --quick``) gates the per-update walls of the
+delta-push and recompile-from-scratch serving-update paths for both
+engines under ``["quick"]["streaming"]``.
 
 Raw wall-clock is useless across machines, so both sides are normalized
 by their own geometric mean across the engines before comparing: a CI
@@ -217,6 +220,60 @@ def _run_quick_incremental(out: Path, repeats: int) -> dict:
     return report
 
 
+def _run_quick_streaming(out: Path, repeats: int) -> dict:
+    """Run the quick streaming benchmark; keep per-mode minima.
+
+    The element-wise minimum over repeats is taken per update mode
+    (``cached-delta-push``, ``mmap-recompile``, …), mirroring
+    :func:`_run_quick_matrix`.
+    """
+    from benchmarks import bench_streaming
+
+    argv = ["--quick", "--no-check", "--out", str(out)]
+    report: dict = {}
+    best: dict[str, float] = {}
+    for attempt in range(repeats):
+        code = bench_streaming.main(argv)
+        if code != 0:
+            raise SystemExit(
+                f"streaming benchmark run failed with exit code {code}"
+            )
+        report = json.loads(out.read_text())["quick"]["streaming"]
+        for mode, value in report["wall_update_s"].items():
+            best[mode] = min(best.get(mode, value), value)
+        print(f"[streaming repeat {attempt + 1}/{repeats}] done")
+    report["wall_update_s"] = best
+    report["repeats"] = repeats
+    return report
+
+
+def _write_step_summary(baseline: Path, failed: list[str]) -> None:
+    """Append re-baselining instructions to the GitHub job summary.
+
+    Only active under Actions (``GITHUB_STEP_SUMMARY`` set); a failed
+    gate otherwise explains itself on stderr.
+    """
+    import os
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary:
+        return
+    names = ", ".join(f"`{name}`" for name in failed)
+    with open(summary, "a", encoding="utf-8") as handle:
+        handle.write(
+            "## Benchmark regression gate failed\n\n"
+            f"Regressed beyond the committed profile: {names}.\n\n"
+            "If the slowdown is intended (algorithm change, new "
+            "measurement), re-baseline and commit the result:\n\n"
+            "```sh\n"
+            "python -m benchmarks.check_regression --update-baseline\n"
+            f"git add {baseline.name}\n"
+            "```\n\n"
+            "Otherwise, find the regression — the per-mode ratios are "
+            "in the job log above.\n"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -276,6 +333,9 @@ def main(argv: list[str] | None = None) -> int:
         incremental = _run_quick_incremental(
             Path(tmp) / "incremental.json", args.repeats
         )
+        streaming = _run_quick_streaming(
+            Path(tmp) / "streaming.json", args.repeats
+        )
 
     if args.update_baseline:
         from benchmarks.common import fold_report
@@ -286,9 +346,11 @@ def main(argv: list[str] | None = None) -> int:
             args.baseline, "parallel_scaling", parallel, quick=True
         )
         fold_report(args.baseline, "incremental", incremental, quick=True)
+        fold_report(args.baseline, "streaming", streaming, quick=True)
         print(
             f"re-baselined quick engine_matrix, serving, "
-            f"parallel_scaling and incremental in {args.baseline}"
+            f"parallel_scaling, incremental and streaming in "
+            f"{args.baseline}"
         )
         return 0
 
@@ -299,6 +361,7 @@ def main(argv: list[str] | None = None) -> int:
         ("serving", "wall_per_10k_s", serving),
         ("parallel_scaling", "steady_wall_per_pass_s", parallel),
         ("incremental", "wall_recount_s", incremental),
+        ("streaming", "wall_update_s", streaming),
     )
     for key, field, run in gates:
         try:
@@ -346,6 +409,7 @@ def main(argv: list[str] | None = None) -> int:
             f"profile: {', '.join(failed)}",
             file=sys.stderr,
         )
+        _write_step_summary(args.baseline, failed)
         return 1
     print(
         f"ok: no engine or serving mode beyond {args.threshold}x the "

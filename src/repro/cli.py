@@ -25,6 +25,10 @@ Subcommands
 ``score``
     Query a running rule server: score a basket, request on-target
     selective mining, or fetch server stats.
+``watch``
+    Watch a growing basket file: absorb appends, re-mine incrementally
+    when a retrigger policy fires, and push versioned rule-index deltas
+    to a running server.
 """
 
 from __future__ import annotations
@@ -61,6 +65,8 @@ from .serve import (
     request_once,
 )
 from .serve.service import run_service
+from .stream import StreamingMiner, parse_policy, push_to_server
+from .data.filedb import FileBackedDatabase
 from .synthetic.generator import generate_dataset
 from .synthetic.params import SHORT, TALL, GeneratorParams
 
@@ -270,6 +276,47 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="return at most this many matches "
                             "(strongest first)")
     score.add_argument("--timeout", type=float, default=10.0)
+
+    watch = commands.add_parser(
+        "watch",
+        help="watch a growing basket file and push rule-index deltas",
+    )
+    _add_data_arguments(watch)
+    watch.add_argument("--index", required=True,
+                       help="rule-index JSON file: adopted as the "
+                            "published base when it exists (e.g. from "
+                            "'compile'), bootstrapped otherwise; "
+                            "rewritten after every re-mine")
+    watch.add_argument("--state", default=None,
+                       help="checkpoint file for crash-restart "
+                            "(default: <index>.state.json)")
+    watch.add_argument("--retrigger", default="rows:500",
+                       metavar="POLICY",
+                       help="re-mine trigger: 'rows:<n>', "
+                            "'fraction:<f>' or 'interval:<seconds>' "
+                            "(default rows:500)")
+    watch.add_argument("--serve-addr", default=None, metavar="HOST:PORT",
+                       help="running 'repro serve' instance to push "
+                            "deltas to (omit to only rewrite the index "
+                            "file)")
+    watch.add_argument("--poll-interval", type=float, default=2.0,
+                       help="seconds between basket-file polls")
+    watch.add_argument("--once", action="store_true",
+                       help="one-shot mode: absorb pending appends, "
+                            "re-mine if anything is pending (ignoring "
+                            "the retrigger threshold), push, exit")
+    watch.add_argument("--minsup", type=float, default=0.01)
+    watch.add_argument("--minri", type=float, default=0.5)
+    watch.add_argument("--minconf", type=float, default=0.5,
+                       help="confidence threshold for the positive "
+                            "rules compiled alongside the negatives")
+    watch.add_argument("--engine", type=_engine_spec, default="bitmap",
+                       metavar="SPEC",
+                       help="counting engine for the incremental "
+                            "re-mines ('cached'/'mmap' keep per-session "
+                            "state that appends extend in place)")
+    watch.add_argument("--timeout", type=float, default=10.0,
+                       help="delta push timeout (seconds)")
     return parser
 
 
@@ -438,11 +485,15 @@ def _command_compile(args: argparse.Namespace) -> int:
         positive_rules=positives,
         taxonomy=taxonomy,
         large_itemsets=result.large_itemsets,
+        # A fresh compile starts a delta lineage; 'repro watch' bumps
+        # the version with every pushed delta.
+        version=1,
     )
     index.save(args.out)
     print(
         f"compiled {index.negative_count} negative + "
-        f"{index.positive_count} positive rules to {args.out}"
+        f"{index.positive_count} positive rules to {args.out} "
+        f"(index version {index.version})"
     )
     return 0
 
@@ -518,6 +569,65 @@ def _command_score(args: argparse.Namespace) -> int:
     return 2 if "error" in response else 0
 
 
+def _parse_serve_addr(value: str) -> tuple[str, int]:
+    host, separator, port = value.rpartition(":")
+    if not separator or not host:
+        raise ReproError(
+            f"--serve-addr must be HOST:PORT, got {value!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ReproError(
+            f"--serve-addr must be HOST:PORT, got {value!r}"
+        ) from exc
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    database = FileBackedDatabase(args.baskets)
+    taxonomy = load_taxonomy_file(args.taxonomy)
+    config = MiningConfig(
+        minsup=args.minsup,
+        minri=args.minri,
+        engine=args.engine,
+    )
+    push = None
+    if args.serve_addr is not None:
+        host, port = _parse_serve_addr(args.serve_addr)
+        push = push_to_server(host, port, timeout=args.timeout)
+    miner = StreamingMiner(
+        database,
+        taxonomy,
+        config=config,
+        policy=parse_policy(args.retrigger),
+        minconf=args.minconf,
+        index_path=args.index,
+        state_path=args.state,
+        push=push,
+    )
+    miner.start()
+    if args.once:
+        fired = miner.poll(ignore_policy=True)
+        status = miner.status()
+        print(
+            f"{'re-mined' if fired else 'up to date'}: "
+            f"index version {status['index_version']} "
+            f"({status['rules']} rules), "
+            f"rows {status['rows_published']}/{status['rows']}, "
+            f"deltas pushed {status['deltas_pushed']}"
+        )
+        return 0
+    status = miner.status()
+    print(
+        f"watching {args.baskets} (policy {status['policy']}, "
+        f"index version {status['index_version']}, "
+        f"{status['rows_published']} rows published)",
+        flush=True,
+    )
+    miner.run(poll_interval=args.poll_interval)
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "mine": _command_mine,
@@ -528,6 +638,7 @@ _COMMANDS = {
     "compile": _command_compile,
     "serve": _command_serve,
     "score": _command_score,
+    "watch": _command_watch,
 }
 
 

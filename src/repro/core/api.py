@@ -286,6 +286,7 @@ def mine_negative_rules(
     minsup: float | None = None,
     minri: float | None = None,
     config: MiningConfig | None = None,
+    session: MiningSession | None = None,
     **overrides,
 ) -> NegativeMiningResult:
     """Mine strong negative association rules from customer transactions.
@@ -305,6 +306,15 @@ def mine_negative_rules(
     config:
         A full configuration; *minsup*/*minri*/keyword overrides are
         applied on top of it.
+    session:
+        An existing :class:`~repro.core.session.MiningSession` to run
+        under instead of building a fresh one. The session must be
+        bound to the same *transactions* object — reusing it across
+        runs is what keeps repeated mining incremental: the engine's
+        prepared state (vertical index, packed segments) persists on
+        the session, so a re-mine after an append extends the cached
+        structures by the appended rows instead of rebuilding them.
+        The streaming watcher passes its long-lived session here.
 
     Returns
     -------
@@ -340,7 +350,8 @@ def mine_negative_rules(
     else:
         database = TransactionDatabase(transactions)
 
-    session = MiningSession.from_config(database, taxonomy, final)
+    if session is None:
+        session = MiningSession.from_config(database, taxonomy, final)
     with session.observed():
         output = _run_miner(database, taxonomy, final, session)
         with obs.span("mine.rule_gen") as span:

@@ -50,9 +50,10 @@ _UNSET = object()
 #: prefixes the headline counters :meth:`MiningSession.publish_run`
 #: folds into the observability registry — ``mine.*`` for offline
 #: mining runs, ``serving.*`` for on-demand selective generation inside
-#: the serving layer — so a service process that also mines never
+#: the serving layer, ``streaming.*`` for the incremental re-mines of
+#: the streaming watcher — so a service process that also mines never
 #: pollutes the offline counters.
-RUN_KINDS = ("mine", "serving")
+RUN_KINDS = ("mine", "serving", "streaming")
 
 
 class MiningSession:
@@ -108,6 +109,7 @@ class MiningSession:
         spill_dir: str | None = None,
         trace_path: str | None = None,
         metrics: str = "none",
+        default_run_kind: str = "mine",
     ) -> None:
         self.transactions = transactions
         self.taxonomy = taxonomy
@@ -128,16 +130,33 @@ class MiningSession:
         )
         self.trace_path = trace_path
         self.metrics = metrics
+        if default_run_kind not in RUN_KINDS:
+            raise ConfigError(
+                f"unknown run kind {default_run_kind!r}; "
+                f"choose from {RUN_KINDS}"
+            )
+        self.default_run_kind = default_run_kind
         self._state: EngineState | None = None
-        self._run_kind = "mine"
+        self._run_kind = default_run_kind
         self.cache_stats = CacheStats()
         self.parallel_stats = ParallelStats()
 
     @classmethod
     def from_config(
-        cls, transactions: Any, taxonomy: Taxonomy | None, config
+        cls,
+        transactions: Any,
+        taxonomy: Taxonomy | None,
+        config,
+        *,
+        default_run_kind: str = "mine",
     ) -> "MiningSession":
-        """Build the session a :class:`MiningConfig` describes."""
+        """Build the session a :class:`MiningConfig` describes.
+
+        *default_run_kind* sets the counter prefix runs report under
+        when the miners open them with a bare :meth:`begin_run` — the
+        streaming watcher passes ``"streaming"`` so its re-mines stay
+        separate from offline ``mine.*`` runs.
+        """
         return cls(
             transactions,
             taxonomy,
@@ -153,6 +172,7 @@ class MiningSession:
             spill_dir=config.spill_dir,
             trace_path=config.trace_path,
             metrics=config.metrics,
+            default_run_kind=default_run_kind,
         )
 
     # -- counting -----------------------------------------------------
@@ -199,17 +219,21 @@ class MiningSession:
 
     # -- run lifecycle ------------------------------------------------
 
-    def begin_run(self, kind: str = "mine") -> None:
+    def begin_run(self, kind: str | None = None) -> None:
         """Start a fresh run of the given kind: reset the accumulators.
 
         A second ``mine()`` on the same session must never report the
         first run's cache/shard activity. *kind* (one of
-        :data:`RUN_KINDS`) selects the counter prefix
-        :meth:`publish_run` reports under: the offline miners use the
-        default ``"mine"``; the serving layer's on-demand selective
-        generation uses ``"serving"`` so query-time mining stays
+        :data:`RUN_KINDS`; ``None`` means the session's
+        ``default_run_kind``) selects the counter prefix
+        :meth:`publish_run` reports under: the offline miners open runs
+        with a bare ``begin_run()`` — ``"mine"`` unless the session was
+        built for streaming; the serving layer's on-demand selective
+        generation passes ``"serving"`` so query-time mining stays
         separate from offline runs in the metrics registry.
         """
+        if kind is None:
+            kind = self.default_run_kind
         if kind not in RUN_KINDS:
             raise ConfigError(
                 f"unknown run kind {kind!r}; choose from {RUN_KINDS}"

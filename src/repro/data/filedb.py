@@ -58,6 +58,8 @@ class FileBackedDatabase:
         "_epoch",
         "_epoch_token",
         "_offsets",
+        "_end_offset",
+        "_sealed",
     )
 
     def __init__(self, path: PathLike) -> None:
@@ -80,15 +82,38 @@ class FileBackedDatabase:
         length = 0
         total_items = 0
         items: set[int] = set()
-        for row in self._read():
-            length += 1
-            total_items += len(row)
-            items.update(row)
+        offset = 0
+        sealed = True
+        try:
+            handle = open(self._path, "rb")
+        except OSError as exc:
+            raise DatabaseError(
+                f"cannot open basket file {self._path}: {exc}"
+            ) from exc
+        with handle:
+            for line_number, raw in enumerate(handle, start=1):
+                offset += len(raw)
+                sealed = raw.endswith(b"\n")
+                row = self._parse_line(
+                    f"{self._path}:{line_number}",
+                    raw.decode("utf-8").strip(),
+                )
+                if row is None:
+                    continue
+                length += 1
+                total_items += len(row)
+                items.update(row)
         if length == 0:
             raise DatabaseError(f"{self._path}: no transactions found")
         self._length = length
         self._items = frozenset(items)
         self._total_items = total_items
+        # Bytes consumed into rows so far, and whether that prefix ended
+        # in a newline: absorb_appends() reads new bytes from here, and
+        # refuses the fast path when the last consumed line was unsealed
+        # (a later write may extend it rather than append after it).
+        self._end_offset = offset
+        self._sealed = sealed
 
     def _parse_line(self, where: str, stripped: str) -> Itemset | None:
         """One basket line as a canonical row; ``None`` for blank/comment."""
@@ -105,16 +130,34 @@ class FileBackedDatabase:
         return row
 
     def _read(self) -> Iterator[Itemset]:
+        """Stream the file line by line, skipping a live writer's tail.
+
+        Scans reread the file, so complete lines appended since the last
+        validation are seen (the long-standing contract). The one
+        exception is an *unterminated* trailing fragment past the
+        consumed boundary (``_end_offset``): that is a partial append a
+        live writer has not finished — see :meth:`absorb_appends` — and
+        counting half a basket would corrupt supports, so it is skipped.
+        A static file legitimately missing its final newline is NOT
+        skipped: validation sealed it inside ``_end_offset``.
+        """
         try:
-            handle = open(self._path, encoding="utf-8")
+            handle = open(self._path, "rb")
         except OSError as exc:
             raise DatabaseError(
                 f"cannot open basket file {self._path}: {exc}"
             ) from exc
         with handle:
-            for line_number, line in enumerate(handle, start=1):
+            consumed = 0
+            for line_number, raw in enumerate(handle, start=1):
+                consumed += len(raw)
+                if consumed > self._end_offset and not raw.endswith(
+                    b"\n"
+                ):
+                    break
                 row = self._parse_line(
-                    f"{self._path}:{line_number}", line.strip()
+                    f"{self._path}:{line_number}",
+                    raw.decode("utf-8").strip(),
                 )
                 if row is not None:
                     yield row
@@ -179,13 +222,15 @@ class FileBackedDatabase:
                 checkpoint = handle.tell()
                 payload = "".join(
                     " ".join(map(str, row)) + "\n" for row in rows
-                )
-                handle.write(payload.encode("utf-8"))
+                ).encode("utf-8")
+                handle.write(payload)
         except OSError as exc:
             raise DatabaseError(
                 f"cannot append to basket file {self._path}: {exc}"
             ) from exc
         self._offsets[self._length] = checkpoint
+        self._end_offset = checkpoint + len(payload)
+        self._sealed = True
         self._length += len(rows)
         self._total_items += sum(len(row) for row in rows)
         self._items = self._items | frozenset(chain.from_iterable(rows))
@@ -218,6 +263,82 @@ class FileBackedDatabase:
             self._validate()
         return self._epoch, self._length
 
+    def absorb_appends(self) -> tuple[int, bool]:
+        """Absorb on-disk growth of the basket file (``tail -f`` style).
+
+        External writers extend a live basket log between polls of the
+        streaming watcher; this compares the current on-disk fingerprint
+        with the last state this object produced or observed and returns
+        ``(rows_absorbed, rewritten)``:
+
+        * unchanged file → ``(0, False)``;
+        * same inode, strictly larger, consumed prefix newline-sealed →
+          a *grow in place*: only the appended bytes are read. Complete
+          lines become rows (recording a byte checkpoint for
+          :meth:`tail_rows`, exactly like :meth:`append`); a trailing
+          line still missing its newline is a **partial append** — it is
+          left unconsumed, and the fingerprint is left stale, so the
+          next call re-examines the tail once the writer finishes the
+          line. Returns ``(rows, False)``;
+        * anything else — inode change, truncation, a same-size mtime
+          change, or an unsealed consumed tail that may have been
+          extended in place — is a *foreign rewrite*: full invalidation
+          through :meth:`append_epoch` (fresh epoch, checkpoints
+          dropped, statistics recomputed). Returns ``(0, True)``.
+
+        Like ``tail -f``, a rewrite that keeps the inode and strictly
+        grows the file is indistinguishable from an append and is
+        absorbed as one; malformed appended lines raise
+        :class:`~repro.errors.DatabaseError` before any state changes.
+        """
+        token = self.cache_token()
+        if token == self._epoch_token:
+            return 0, False
+        old_inode, old_size = self._epoch_token[1], self._epoch_token[2]
+        inode, size = token[1], token[2]
+        if inode != old_inode or size <= old_size or not self._sealed:
+            self.append_epoch()
+            return 0, True
+        try:
+            with open(self._path, "rb") as handle:
+                handle.seek(self._end_offset)
+                chunk = handle.read()
+        except OSError as exc:
+            raise DatabaseError(
+                f"cannot open basket file {self._path}: {exc}"
+            ) from exc
+        cut = chunk.rfind(b"\n")
+        if cut < 0:
+            # Only a partial line so far; consume nothing and keep the
+            # fingerprint stale so the next poll looks again.
+            return 0, False
+        complete = chunk[: cut + 1]
+        rows: list[Itemset] = []
+        for line in complete.splitlines():
+            row = self._parse_line(
+                str(self._path), line.decode("utf-8").strip()
+            )
+            if row is not None:
+                rows.append(row)
+        checkpoint = self._end_offset
+        self._end_offset += len(complete)
+        if rows:
+            self._offsets[self._length] = checkpoint
+            self._length += len(rows)
+            self._total_items += sum(len(row) for row in rows)
+            self._items = self._items | frozenset(
+                chain.from_iterable(rows)
+            )
+            if self._item_counts is not None:
+                for row in rows:
+                    for item in row:
+                        self._item_counts[item] = (
+                            self._item_counts.get(item, 0) + 1
+                        )
+        if cut == len(chunk) - 1:
+            self._epoch_token = token
+        return len(rows), False
+
     def tail_rows(self, start: int) -> list[Itemset]:
         """Rows from *start* on, **without** pass accounting.
 
@@ -244,7 +365,13 @@ class FileBackedDatabase:
         with handle:
             handle.seek(offset)
             seen = anchor
+            consumed = offset
             for line in handle:
+                consumed += len(line)
+                if consumed > self._end_offset and not line.endswith(
+                    b"\n"
+                ):
+                    break  # a live writer's unfinished trailing line
                 row = self._parse_line(
                     str(self._path), line.decode("utf-8").strip()
                 )

@@ -33,3 +33,16 @@ class GenerationError(ReproError):
 class ServingError(ReproError):
     """A serving-layer request is invalid (bad basket, unknown target,
     selective generation unavailable, ...)."""
+
+
+class VersionSkewError(ServingError):
+    """A rule-index delta does not apply to the installed index version.
+
+    Raised instead of silently mis-applying a delta built against a
+    different base: the live index and the delta's ``from_version``
+    must agree exactly (deltas form a linear version chain)."""
+
+
+class StreamError(ReproError):
+    """The streaming watcher failed (delta push rejected, bad retrigger
+    policy, corrupt checkpoint, ...)."""

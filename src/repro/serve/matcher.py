@@ -84,6 +84,11 @@ class BasketMatcher:
     def index(self) -> RuleIndex:
         return self._index
 
+    def rebind(self, index: RuleIndex) -> None:
+        """Swap in a new index (a pushed delta); the matcher is
+        stateless beyond the reference, so rebinding is atomic."""
+        self._index = index
+
     def match(self, basket: Iterable[int]) -> list[Match]:
         """All rules whose antecedent the (expanded) basket covers.
 

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.rulegen import NegativeRule
-from ..errors import ConfigError
+from ..errors import ConfigError, VersionSkewError
 from ..itemset import Itemset
 from ..mining.itemset_index import LargeItemsetIndex
 from ..mining.rules import AssociationRule
@@ -41,6 +41,18 @@ KIND_NEGATIVE = "negative"
 KIND_POSITIVE = "positive"
 
 _EMPTY: tuple[int, ...] = ()
+
+#: Identity of a compiled rule across index versions: what a delta's
+#: ``removed`` list names, and what links an old slot to its new slot
+#: after :meth:`RuleIndex.apply_delta`. Two rules with the same key are
+#: the *same* rule (possibly with updated strength statistics).
+RuleKey = tuple[str, Itemset, Itemset]
+
+
+def rule_key(rule: NegativeRule | AssociationRule) -> RuleKey:
+    """The cross-version identity ``(kind, antecedent, consequent)``."""
+    kind = KIND_NEGATIVE if isinstance(rule, NegativeRule) else KIND_POSITIVE
+    return (kind, rule.antecedent, rule.consequent)
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,10 +95,17 @@ class RuleIndex:
     large_itemsets:
         Optional large-itemset index to carry along (support lookups,
         serve-time diagnostics). Persisted with the rules.
+    version:
+        Monotonically increasing index version. A fresh compile starts a
+        lineage (``repro compile`` writes version 1); every applied
+        :meth:`apply_delta` bumps it by at least one. Deltas carry the
+        version they were diffed against, so applying one to the wrong
+        base fails with :class:`~repro.errors.VersionSkewError` instead
+        of silently mis-applying.
     """
 
     __slots__ = ("_rules", "_postings", "_taxonomy", "_itemsets",
-                 "_negative_count")
+                 "_negative_count", "_version")
 
     def __init__(
         self,
@@ -94,7 +113,14 @@ class RuleIndex:
         positive_rules: Iterable[AssociationRule] = (),
         taxonomy: Taxonomy | None = None,
         large_itemsets: LargeItemsetIndex | None = None,
+        version: int = 0,
     ) -> None:
+        if not isinstance(version, int) or isinstance(version, bool) \
+                or version < 0:
+            raise ConfigError(
+                f"index version must be a non-negative integer, "
+                f"got {version!r}"
+            )
         negatives = sorted(negative_rules, key=_negative_order)
         positives = sorted(positive_rules, key=_positive_order)
         compiled: list[IndexedRule] = []
@@ -119,6 +145,7 @@ class RuleIndex:
         self._taxonomy = taxonomy
         self._itemsets = large_itemsets
         self._negative_count = len(negatives)
+        self._version = version
 
     # ------------------------------------------------------------------
     # Lookup
@@ -145,6 +172,11 @@ class RuleIndex:
         return self._itemsets
 
     @property
+    def version(self) -> int:
+        """The index's position in its delta lineage (0 = unversioned)."""
+        return self._version
+
+    @property
     def negative_count(self) -> int:
         return self._negative_count
 
@@ -157,10 +189,94 @@ class RuleIndex:
 
     def __repr__(self) -> str:
         return (
-            f"RuleIndex(negative={self.negative_count}, "
+            f"RuleIndex(version={self._version}, "
+            f"negative={self.negative_count}, "
             f"positive={self.positive_count}, "
             f"items={len(self._postings)}, "
             f"taxonomy={'yes' if self._taxonomy is not None else 'no'})"
+        )
+
+    # ------------------------------------------------------------------
+    # Delta application
+    # ------------------------------------------------------------------
+    def slots_by_key(self) -> dict[RuleKey, int]:
+        """Map each rule's cross-version identity to its current slot."""
+        return {
+            rule_key(entry.rule): entry.slot for entry in self._rules
+        }
+
+    def apply_delta(self, delta) -> "RuleIndex":
+        """A new index with *delta* applied; bit-identical to recompiling.
+
+        *delta* is a :class:`repro.stream.delta.RuleIndexDelta` (duck-
+        typed: anything with the same attributes works). The result is
+        byte-for-byte the index a fresh compile of the post-delta rule
+        set would produce — the property the streaming watcher's delta
+        pushes rely on, and what ``tests/property/test_prop_delta.py``
+        pins.
+
+        Raises
+        ------
+        VersionSkewError
+            When the delta was diffed against a different index version,
+            when it does not advance the version, or when its rule edits
+            do not apply cleanly (a removed/changed rule that is not in
+            the index, an added rule that already is) — all symptoms of
+            applying a delta to the wrong base.
+        """
+        if delta.from_version != self._version:
+            raise VersionSkewError(
+                f"delta applies to index version {delta.from_version}, "
+                f"but the installed index is version {self._version}"
+            )
+        if delta.to_version <= self._version:
+            raise VersionSkewError(
+                f"delta target version {delta.to_version} does not "
+                f"advance the installed version {self._version}"
+            )
+        present = {rule_key(entry.rule) for entry in self._rules}
+        drop = set(delta.removed)
+        drop.update(rule_key(rule) for rule in delta.changed)
+        missing = drop - present
+        if missing:
+            raise VersionSkewError(
+                f"delta removes/updates {len(missing)} rule(s) not in "
+                f"the installed index (first: {sorted(missing)[0]!r})"
+            )
+        colliding = [
+            key for key in map(rule_key, delta.added) if key in present
+        ]
+        if colliding:
+            raise VersionSkewError(
+                f"delta adds {len(colliding)} rule(s) already in the "
+                f"installed index (first: {colliding[0]!r})"
+            )
+        negatives: list[NegativeRule] = []
+        positives: list[AssociationRule] = []
+        for entry in self._rules:
+            if rule_key(entry.rule) in drop:
+                continue
+            if entry.kind == KIND_NEGATIVE:
+                negatives.append(entry.rule)
+            else:
+                positives.append(entry.rule)
+        for rule in (*delta.added, *delta.changed):
+            if isinstance(rule, NegativeRule):
+                negatives.append(rule)
+            else:
+                positives.append(rule)
+        return RuleIndex(
+            negative_rules=negatives,
+            positive_rules=positives,
+            taxonomy=(
+                delta.taxonomy if delta.taxonomy_changed else self._taxonomy
+            ),
+            large_itemsets=(
+                delta.large_itemsets
+                if delta.itemsets_changed
+                else self._itemsets
+            ),
+            version=delta.to_version,
         )
 
     # ------------------------------------------------------------------
@@ -170,6 +286,7 @@ class RuleIndex:
         """A JSON-able dict of the whole index (rules + taxonomy)."""
         payload: dict = {
             **header("rule-index"),
+            "index_version": self._version,
             "rules": [entry.rule.as_dict() for entry in self._rules],
         }
         if self._taxonomy is not None:
@@ -207,6 +324,9 @@ class RuleIndex:
             positive_rules=positives,
             taxonomy=taxonomy,
             large_itemsets=itemsets,
+            # Indexes written before the streaming subsystem carry no
+            # version counter; they load as version 0 (a fresh lineage).
+            version=payload.get("index_version", 0),
         )
 
     def to_json(self) -> str:

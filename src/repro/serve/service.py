@@ -15,8 +15,13 @@ than framing. Requests carry an ``op``:
 ``{"op": "select", "target": item}``
     on-demand selective mining around one target (only when the service
     was built with a :class:`SelectiveContext`);
+``{"op": "reload_delta", "delta": {...}}``
+    install a versioned rule-index delta pushed by the streaming
+    watcher (:mod:`repro.stream`) — the hot-basket cache is invalidated
+    selectively by the delta's touched antecedent items, never flushed
+    wholesale;
 ``{"op": "stats"}``
-    request/cache/rule counters.
+    request/cache/rule counters (including the live ``index_version``).
 
 Scoring is CPU-cheap and non-blocking, so request handling stays on the
 event loop; the hot path is the :class:`LRUCache` in front of the
@@ -38,7 +43,7 @@ from dataclasses import dataclass
 from ..core.session import MiningSession
 from ..errors import ReproError, ServingError, TaxonomyError
 from ..obs import api as obs
-from .matcher import BasketMatcher, Match
+from .matcher import BasketMatcher, Match, expand_basket
 from .rule_index import RuleIndex
 from .selective import mine_selective
 
@@ -94,6 +99,19 @@ class LRUCache:
 
     def __contains__(self, key) -> bool:
         return key in self._data
+
+    def entries(self):
+        """All ``(key, value)`` pairs, least recently used first."""
+        return list(self._data.items())
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def replace(self, entries) -> None:
+        """Reset the cache contents to *entries* (LRU order preserved);
+        the hit/miss tallies are deliberately kept — selective delta
+        invalidation is maintenance, not traffic."""
+        self._data = OrderedDict(entries)
 
 
 @dataclass(slots=True)
@@ -261,11 +279,104 @@ class RuleService:
             self._selective_cache.put(target_id, payload)
             return payload
 
+    # ------------------------------------------------------------------
+    # Delta ingestion (the streaming watcher's push path)
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta) -> dict:
+        """Install a :class:`~repro.stream.delta.RuleIndexDelta` in place.
+
+        The index swap itself is
+        :meth:`~repro.serve.rule_index.RuleIndex.apply_delta` (version
+        skew raises there, before any state changes). What this method
+        adds is cache maintenance without a flush:
+
+        * a cached basket is **invalidated** only when its
+          taxonomy-expanded item set intersects the delta's touched
+          antecedent items — every added, removed or re-ranked rule
+          needs its whole antecedent covered to fire, so any other
+          basket provably keeps the same answer;
+        * surviving entries are **slot-remapped**: rule slots shift when
+          rules are inserted or removed, so the retained payloads get
+          their slots rewritten through the old→new identity map,
+          keeping them byte-identical to freshly scored responses.
+
+        A taxonomy change (rare) changes basket expansion itself and
+        falls back to a full flush. The selective-mining cache is always
+        flushed: its entries were mined from the database, which has by
+        definition grown.
+        """
+        with obs.span("serve.delta.apply") as span:
+            old_index = self.index
+            new_index = old_index.apply_delta(delta)
+            kept = 0
+            invalidated = 0
+            if delta.taxonomy_changed:
+                invalidated = len(self._score_cache)
+                self._score_cache.clear()
+                obs.incr("serve.cache.delta_flush")
+            else:
+                touched = delta.touched_antecedent_items()
+                old_slots = old_index.slots_by_key()
+                new_slots = new_index.slots_by_key()
+                slot_map = {
+                    old_slots[key]: new_slots[key]
+                    for key in old_slots
+                    if key in new_slots
+                }
+                retained = []
+                for key, payload in self._score_cache.entries():
+                    items, _limit = key
+                    expanded = expand_basket(items, new_index)
+                    if expanded & touched:
+                        invalidated += 1
+                        continue
+                    retained.append((key, {
+                        **payload,
+                        "matches": [
+                            {**match, "slot": slot_map[match["slot"]]}
+                            for match in payload["matches"]
+                        ],
+                    }))
+                    kept += 1
+                self._score_cache.replace(retained)
+            self._selective_cache.clear()
+            self.index = new_index
+            self.matcher.rebind(new_index)
+            obs.incr("serve.delta.applied")
+            obs.incr("serve.cache.delta_kept", kept)
+            obs.incr("serve.cache.delta_invalidated", invalidated)
+            span.annotate("to_version", new_index.version)
+            span.annotate("edits", delta.rule_edits)
+            return {
+                "ok": True,
+                "index_version": new_index.version,
+                "rules": len(new_index),
+                "added": len(delta.added),
+                "removed": len(delta.removed),
+                "changed": len(delta.changed),
+                "cache_kept": kept,
+                "cache_invalidated": invalidated,
+            }
+
+    def reload_delta(self, payload) -> dict:
+        """The ``op: reload_delta`` entry: a delta as a wire payload."""
+        # Function-level import: repro.stream imports the serve layer
+        # (rule_index, request_once), so the reverse edge must stay out
+        # of module scope.
+        from ..stream.delta import RuleIndexDelta
+
+        if not isinstance(payload, dict):
+            raise ServingError(
+                "reload_delta needs a 'delta' payload object"
+            )
+        return self.apply_delta(RuleIndexDelta.from_payload(payload))
+
     def stats(self) -> dict:
         return {
             "rules": len(self.index),
             "negative_rules": self.index.negative_count,
             "positive_rules": self.index.positive_count,
+            "index_version": self.index.version,
             "requests": self.requests,
             "cache_hits": self._score_cache.hits,
             "cache_misses": self._score_cache.misses,
@@ -298,6 +409,8 @@ def dispatch(service: RuleService, request: dict) -> dict:
             )
         if op == "select":
             return service.select(request.get("target"))
+        if op == "reload_delta":
+            return service.reload_delta(request.get("delta"))
         if op == "stats":
             return service.stats()
         raise ServingError(f"unknown op {op!r}")
@@ -338,6 +451,14 @@ async def handle_client(
             pass
 
 
+#: Per-line buffer for the newline-JSON protocol. asyncio's 64 KiB
+#: default fits score requests but not ``reload_delta`` — a delta over
+#: a large index (every rule re-ranked by an append that shifts |D|)
+#: is one line of tens of megabytes, and overrunning the limit resets
+#: the watcher's connection mid-push.
+MAX_REQUEST_BYTES = 256 * 1024 * 1024
+
+
 async def start_server(
     service: RuleService, host: str = "127.0.0.1", port: int = 0
 ) -> asyncio.AbstractServer:
@@ -346,7 +467,9 @@ async def start_server(
     async def _client(reader, writer):
         await handle_client(service, reader, writer)
 
-    return await asyncio.start_server(_client, host, port)
+    return await asyncio.start_server(
+        _client, host, port, limit=MAX_REQUEST_BYTES
+    )
 
 
 def run_service(

@@ -1,0 +1,46 @@
+"""Streaming incremental mining: watch a growing basket log, re-mine
+appends, and push versioned rule-index deltas to the live server.
+
+This package is the long-running glue between the incremental counting
+substrate (:mod:`repro.data.filedb`, the ``"mmap"`` engine's append-only
+sync, ``VerticalIndex.extend_from``) and the serving layer
+(:mod:`repro.serve`):
+
+* :mod:`.policy` — pluggable retrigger policies (``rows:N``,
+  ``fraction:F``, ``interval:S``) deciding when a backlog of appended
+  rows is worth a re-mine;
+* :mod:`.delta` — :class:`RuleIndexDelta`, the versioned
+  added/removed/changed difference between two compiled rule indexes,
+  whose application is bit-identical to recompiling from scratch;
+* :mod:`.watcher` — :class:`StreamingMiner`, the poll → retrigger →
+  re-mine → diff → push loop, with crash-restart from file checkpoints;
+* :mod:`.push` — delivery of deltas to a live server (TCP) or an
+  in-process service.
+
+See DESIGN.md §13 for the architecture and failure-mode analysis.
+"""
+
+from __future__ import annotations
+
+from .delta import RuleIndexDelta
+from .policy import (
+    FractionPolicy,
+    IntervalPolicy,
+    RetriggerPolicy,
+    RowCountPolicy,
+    parse_policy,
+)
+from .push import push_to_server, push_to_service
+from .watcher import StreamingMiner
+
+__all__ = [
+    "FractionPolicy",
+    "IntervalPolicy",
+    "RetriggerPolicy",
+    "RowCountPolicy",
+    "RuleIndexDelta",
+    "StreamingMiner",
+    "parse_policy",
+    "push_to_server",
+    "push_to_service",
+]

@@ -1,0 +1,161 @@
+"""Retrigger policies: when does the streaming watcher re-mine?
+
+A growing basket file does not warrant a re-mine per appended row —
+mining cost is per *run*, so the watcher batches appends and fires when
+a :class:`RetriggerPolicy` says the pending backlog is worth a run.
+Three built-in policies cover the useful axes:
+
+:class:`RowCountPolicy` (``rows:500``)
+    Fire once at least N rows are pending. The right default when
+    append traffic is steady and rule freshness is measured in rows.
+:class:`FractionPolicy` (``fraction:0.01``)
+    Fire once the pending rows exceed a fraction of |D|. Scale-free:
+    the same policy keeps re-mine *relative* cost constant as the
+    database grows (appending 1 % of |D| is O(append) on the
+    incremental substrate regardless of |D|).
+:class:`IntervalPolicy` (``interval:30``)
+    Fire when any rows are pending and the last re-mine is older than
+    the interval — a freshness SLO rather than a volume trigger.
+
+Policies are deliberately tiny state machines: :meth:`should_fire` is
+consulted on every poll with the current backlog, and :meth:`reset` is
+called after each re-mine. :func:`parse_policy` turns the CLI's
+``kind:value`` spellings into instances.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import StreamError
+
+
+class RetriggerPolicy:
+    """Decides, per poll, whether the pending backlog triggers a re-mine.
+
+    Subclasses implement :meth:`should_fire`; :meth:`reset` is a no-op
+    unless the policy keeps clock state.
+    """
+
+    def should_fire(self, pending_rows: int, total_rows: int) -> bool:
+        """Whether the watcher should re-mine now.
+
+        Parameters
+        ----------
+        pending_rows:
+            Appended rows absorbed since the last published re-mine.
+        total_rows:
+            Current |D| (including the pending rows).
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Called after every re-mine; clock-based policies re-arm here."""
+
+    @property
+    def spec(self) -> str:
+        """The ``kind:value`` spelling that parses back to this policy."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.spec!r})"
+
+
+class RowCountPolicy(RetriggerPolicy):
+    """Fire once at least *rows* appended rows are pending."""
+
+    def __init__(self, rows: int) -> None:
+        if rows < 1:
+            raise StreamError(
+                f"rows retrigger threshold must be >= 1, got {rows}"
+            )
+        self.rows = rows
+
+    def should_fire(self, pending_rows: int, total_rows: int) -> bool:
+        return pending_rows >= self.rows
+
+    @property
+    def spec(self) -> str:
+        return f"rows:{self.rows}"
+
+
+class FractionPolicy(RetriggerPolicy):
+    """Fire once pending rows exceed *fraction* of the current |D|."""
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise StreamError(
+                f"fraction retrigger threshold must be in (0, 1], "
+                f"got {fraction}"
+            )
+        self.fraction = fraction
+
+    def should_fire(self, pending_rows: int, total_rows: int) -> bool:
+        if total_rows <= 0:
+            return False
+        return pending_rows >= self.fraction * total_rows
+
+    @property
+    def spec(self) -> str:
+        return f"fraction:{self.fraction:g}"
+
+
+class IntervalPolicy(RetriggerPolicy):
+    """Fire when rows are pending and *seconds* passed since the last run.
+
+    The clock starts at construction (or the last :meth:`reset`), so a
+    freshly started watcher waits a full interval before its first
+    triggered re-mine. A monotonic clock source can be injected for
+    tests.
+    """
+
+    def __init__(self, seconds: float, clock=time.monotonic) -> None:
+        if seconds <= 0:
+            raise StreamError(
+                f"interval retrigger threshold must be > 0 seconds, "
+                f"got {seconds}"
+            )
+        self.seconds = seconds
+        self._clock = clock
+        self._armed_at = clock()
+
+    def should_fire(self, pending_rows: int, total_rows: int) -> bool:
+        if pending_rows <= 0:
+            return False
+        return self._clock() - self._armed_at >= self.seconds
+
+    def reset(self) -> None:
+        self._armed_at = self._clock()
+
+    @property
+    def spec(self) -> str:
+        return f"interval:{self.seconds:g}"
+
+
+_POLICY_KINDS = ("rows", "fraction", "interval")
+
+
+def parse_policy(spec: str) -> RetriggerPolicy:
+    """Build a policy from a ``kind:value`` spelling.
+
+    ``rows:500`` fires every 500 appended rows, ``fraction:0.01`` every
+    1 % of |D|, ``interval:30`` at most every 30 seconds (when anything
+    is pending). Anything else raises :class:`~repro.errors.StreamError`
+    with the valid kinds.
+    """
+    kind, separator, raw = spec.partition(":")
+    if not separator or kind not in _POLICY_KINDS:
+        raise StreamError(
+            f"unknown retrigger policy {spec!r}; expected "
+            f"'rows:<n>', 'fraction:<f>' or 'interval:<seconds>'"
+        )
+    try:
+        if kind == "rows":
+            return RowCountPolicy(int(raw))
+        if kind == "fraction":
+            return FractionPolicy(float(raw))
+        return IntervalPolicy(float(raw))
+    except ValueError as exc:
+        raise StreamError(
+            f"malformed retrigger policy value in {spec!r}: {exc}"
+        ) from exc

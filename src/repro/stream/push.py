@@ -1,0 +1,53 @@
+"""Delta push targets: how a watcher delivers deltas to a server.
+
+The watcher only knows ``push(delta) -> response dict``; these factories
+build the two useful shapes of that callable:
+
+:func:`push_to_server`
+    The production path — one ``op: reload_delta`` request over the
+    newline-JSON wire protocol to a running ``repro serve`` process.
+:func:`push_to_service`
+    The in-process path — apply the delta directly to a
+    :class:`~repro.serve.service.RuleService` instance, with library
+    errors folded into ``{"error": ...}`` exactly like the wire
+    dispatcher, so tests and benchmarks exercise the same contract
+    without sockets.
+
+Either way the watcher treats an ``{"error": ...}`` response as a
+rejected push and raises :class:`~repro.errors.StreamError` without
+advancing its own published state.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..serve.service import RuleService, request_once
+from .delta import RuleIndexDelta
+
+
+def push_to_server(
+    host: str, port: int, timeout: float = 10.0
+):
+    """A push callable targeting a running rule server over TCP."""
+
+    def _push(delta: RuleIndexDelta) -> dict:
+        return request_once(
+            host,
+            port,
+            {"op": "reload_delta", "delta": delta.to_payload()},
+            timeout=timeout,
+        )
+
+    return _push
+
+
+def push_to_service(service: RuleService):
+    """A push callable applying deltas to an in-process service."""
+
+    def _push(delta: RuleIndexDelta) -> dict:
+        try:
+            return service.apply_delta(delta)
+        except ReproError as exc:
+            return {"error": str(exc)}
+
+    return _push

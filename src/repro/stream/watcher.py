@@ -1,0 +1,369 @@
+"""The streaming watcher: re-mine appends, push deltas, survive crashes.
+
+:class:`StreamingMiner` is the long-running loop that composes the
+incremental counting substrate (PR 8), the miners, and the serving
+layer into one subsystem:
+
+1. **Poll.** Each :meth:`poll` absorbs on-disk growth of the basket
+   file through :meth:`~repro.data.filedb.FileBackedDatabase.
+   absorb_appends` — complete appended lines become rows (O(append),
+   partial trailing lines wait for the writer), foreign rewrites become
+   full invalidations.
+2. **Retrigger.** A pluggable :class:`~repro.stream.policy.
+   RetriggerPolicy` decides when the pending backlog is worth a re-mine
+   (row count, fraction of |D|, or wall-clock interval).
+3. **Re-mine.** The re-mine runs on one persistent
+   :class:`~repro.core.session.MiningSession` (run kind
+   ``"streaming"``), so the engine's prepared state — vertical index
+   bitmaps, packed segments — is *extended* by the appended rows rather
+   than rebuilt; cost stays proportional to the append, not to |D|.
+4. **Diff & push.** The fresh rule set is diffed against the previously
+   published index into a versioned
+   :class:`~repro.stream.delta.RuleIndexDelta` and pushed to the live
+   server (``op: reload_delta``); only after the server accepts does
+   the watcher install the new index locally and persist it.
+5. **Checkpoint.** A small ``stream-checkpoint`` JSON file records the
+   published row count and index version next to the index file. A
+   restarted watcher resumes from it — already-seen rows are never
+   re-mined — and a corrupt or skewed checkpoint is discarded (the
+   watcher falls back to re-mining everything once, which is slow but
+   always correct).
+
+Failure modes are handled where they occur: partial appends stay
+unconsumed at the file layer, a rejected push (version skew, server
+error) raises :class:`~repro.errors.StreamError` *before* the watcher
+advances its own state, and crash-restart is just :meth:`start` reading
+the checkpoint back.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from ..core.api import MiningConfig, mine_negative_rules
+from ..core.session import MiningSession
+from ..data.filedb import FileBackedDatabase
+from ..errors import ReproError, StreamError
+from ..mining.rules import generate_rules
+from ..obs import api as obs
+from ..serialize import check_payload, header
+from ..serve.rule_index import RuleIndex
+from ..taxonomy.tree import Taxonomy
+from .delta import RuleIndexDelta
+from .policy import RetriggerPolicy, RowCountPolicy
+
+
+def _load_checkpoint(path: Path) -> dict | None:
+    """The checkpoint payload at *path*, or ``None`` when unusable.
+
+    A checkpoint is advisory — it only ever saves work — so any
+    corruption (missing file, bad JSON, wrong kind, missing fields)
+    degrades to "no checkpoint" instead of failing the watcher.
+    """
+    try:
+        payload = json.loads(path.read_text())
+        check_payload(payload, "stream-checkpoint")
+        rows = payload["rows"]
+        version = payload["index_version"]
+    except (OSError, ValueError, KeyError, TypeError, ReproError):
+        return None
+    if not isinstance(rows, int) or not isinstance(version, int):
+        return None
+    return payload
+
+
+class StreamingMiner:
+    """A watcher binding one basket file to one served rule lineage.
+
+    Parameters
+    ----------
+    database:
+        The live basket log as a
+        :class:`~repro.data.filedb.FileBackedDatabase`.
+    taxonomy:
+        The taxonomy rules are mined and compiled under.
+    config:
+        Mining thresholds and engine for every re-mine (defaults to
+        :class:`~repro.core.api.MiningConfig` defaults).
+    policy:
+        The retrigger policy (default: ``rows:500``).
+    minconf:
+        Confidence threshold for the positive rules compiled alongside
+        the negatives (mirrors ``repro compile --minconf``).
+    index_path:
+        Where the published index is persisted after every re-mine;
+        also the bootstrap source — an existing file is adopted as the
+        published base instead of mining from scratch.
+    state_path:
+        The checkpoint file (default: ``<index_path>.state.json``).
+    push:
+        ``callable(delta) -> response dict`` delivering each delta to
+        the live server; see :mod:`repro.stream.push`. ``None`` keeps
+        the watcher file-only.
+    session:
+        An existing :class:`~repro.core.session.MiningSession` bound to
+        *database* (tests/benchmarks); by default the watcher builds
+        its own with run kind ``"streaming"``.
+    """
+
+    def __init__(
+        self,
+        database: FileBackedDatabase,
+        taxonomy: Taxonomy,
+        config: MiningConfig | None = None,
+        policy: RetriggerPolicy | None = None,
+        *,
+        minconf: float = 0.5,
+        index_path: str | os.PathLike | None = None,
+        state_path: str | os.PathLike | None = None,
+        push=None,
+        session: MiningSession | None = None,
+    ) -> None:
+        self.database = database
+        self.taxonomy = taxonomy
+        self.config = config if config is not None else MiningConfig()
+        self.policy = policy if policy is not None else RowCountPolicy(500)
+        self.minconf = minconf
+        self.index_path = Path(index_path) if index_path else None
+        if state_path is not None:
+            self.state_path: Path | None = Path(state_path)
+        elif self.index_path is not None:
+            self.state_path = self.index_path.with_name(
+                self.index_path.name + ".state.json"
+            )
+        else:
+            self.state_path = None
+        self.push = push
+        self.session = session or MiningSession.from_config(
+            database, taxonomy, self.config,
+            default_run_kind="streaming",
+        )
+        self.index: RuleIndex | None = None
+        self.rows_published = 0
+        self.remines = 0
+        self.deltas_pushed = 0
+        self._force = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "StreamingMiner":
+        """Bootstrap or resume the published lineage.
+
+        * Index file + matching checkpoint → **resume**: the published
+          index and row watermark come back exactly as the crashed (or
+          stopped) watcher left them; rows the checkpoint covers are
+          never re-mined.
+        * Index file, but no usable checkpoint (or one whose version /
+          basket path disagrees) → **adopt**: the index becomes the
+          published base, but its row coverage is unknown, so the whole
+          file counts as pending and the first fire re-mines everything
+          once before delta flow begins.
+        * No index file → **bootstrap**: mine now, publish version 1.
+        """
+        if self._started:
+            return self
+        if self.index_path is not None and self.index_path.exists():
+            self.index = RuleIndex.load(self.index_path)
+            state = (
+                _load_checkpoint(self.state_path)
+                if self.state_path is not None and self.state_path.exists()
+                else None
+            )
+            if state is not None and (
+                state["index_version"] == self.index.version
+                and state.get("basket") == str(self.database.path)
+                and 0 <= state["rows"] <= len(self.database)
+            ):
+                self.rows_published = state["rows"]
+                obs.incr("stream.restart.resumed")
+            else:
+                if state is not None or (
+                    self.state_path is not None
+                    and self.state_path.exists()
+                ):
+                    obs.incr("stream.restart.state_discarded")
+                self.rows_published = 0
+        self._started = True
+        if self.index is None:
+            self.remine()
+        return self
+
+    @property
+    def pending_rows(self) -> int:
+        """Absorbed rows not yet covered by the published index."""
+        return len(self.database) - self.rows_published
+
+    # ------------------------------------------------------------------
+    # The poll loop
+    # ------------------------------------------------------------------
+    def poll(self, ignore_policy: bool = False) -> bool:
+        """One watcher tick; returns whether a re-mine fired.
+
+        Absorbs any on-disk growth, then consults the retrigger policy
+        (*ignore_policy* fires on any backlog — the CLI's one-shot
+        mode). A foreign rewrite of the basket file resets the row
+        watermark and forces a re-mine regardless of policy: the
+        published rules may describe data that no longer exists.
+        """
+        if not self._started:
+            raise StreamError("StreamingMiner.poll() before start()")
+        obs.incr("stream.retrigger.polls")
+        absorbed, rewritten = self.database.absorb_appends()
+        if absorbed:
+            obs.incr("stream.retrigger.rows_absorbed", absorbed)
+        if rewritten:
+            obs.incr("stream.retrigger.rewrites")
+            self.rows_published = 0
+            self._force = True
+        pending = self.pending_rows
+        if pending <= 0 and not self._force:
+            return False
+        if not (
+            self._force
+            or ignore_policy
+            or self.policy.should_fire(pending, len(self.database))
+        ):
+            return False
+        obs.incr("stream.retrigger.fires")
+        self.remine()
+        return True
+
+    def run(
+        self,
+        poll_interval: float = 2.0,
+        max_polls: int | None = None,
+        sleep=time.sleep,
+    ) -> int:
+        """Poll until interrupted (or *max_polls*); returns fires."""
+        fires = 0
+        polls = 0
+        try:
+            while max_polls is None or polls < max_polls:
+                fires += int(self.poll())
+                polls += 1
+                if max_polls is not None and polls >= max_polls:
+                    break
+                sleep(poll_interval)
+        except KeyboardInterrupt:
+            pass
+        return fires
+
+    # ------------------------------------------------------------------
+    # Re-mine → diff → push → publish
+    # ------------------------------------------------------------------
+    def remine(self) -> RuleIndexDelta | None:
+        """One incremental re-mine over the absorbed database.
+
+        Ordering is the crash-safety argument: the delta is pushed to
+        the live server *before* the watcher installs the new index and
+        checkpoint. A push failure (or rejection) leaves the watcher at
+        the old version — the next fire re-mines and re-diffs from the
+        same base — while a crash after a successful push is healed on
+        restart by the adopt path (the saved index is behind the server
+        by at most the unsaved delta, which re-mining regenerates).
+        """
+        with obs.span("stream.remine") as span:
+            result = mine_negative_rules(
+                self.database,
+                self.taxonomy,
+                config=self.config,
+                session=self.session,
+            )
+            positives = generate_rules(
+                result.large_itemsets, self.minconf
+            )
+            span.annotate("negative_rules", len(result.rules))
+            span.annotate("positive_rules", len(positives))
+        delta: RuleIndexDelta | None = None
+        if self.index is None:
+            self.index = RuleIndex(
+                negative_rules=result.rules,
+                positive_rules=positives,
+                taxonomy=self.taxonomy,
+                large_itemsets=result.large_itemsets,
+                version=1,
+            )
+            obs.incr("stream.bootstrap")
+        else:
+            with obs.span("stream.delta.diff") as span:
+                delta = RuleIndexDelta.diff(
+                    self.index,
+                    result.rules,
+                    positives,
+                    taxonomy=self.taxonomy,
+                    large_itemsets=result.large_itemsets,
+                )
+                span.annotate("edits", delta.rule_edits)
+            obs.incr("stream.delta.built")
+            obs.incr("stream.delta.added", len(delta.added))
+            obs.incr("stream.delta.removed", len(delta.removed))
+            obs.incr("stream.delta.changed", len(delta.changed))
+            if delta.is_empty():
+                obs.incr("stream.delta.empty")
+            if self.push is not None:
+                self._push(delta)
+            self.index = self.index.apply_delta(delta)
+        self.remines += 1
+        self.rows_published = len(self.database)
+        self.policy.reset()
+        self._force = False
+        self._save()
+        return delta
+
+    def _push(self, delta: RuleIndexDelta) -> dict:
+        with obs.span("stream.delta.push") as span:
+            span.annotate("to_version", delta.to_version)
+            response = self.push(delta)
+        if isinstance(response, dict) and "error" in response:
+            obs.incr("stream.delta.push_errors")
+            raise StreamError(
+                f"server rejected delta ({delta.summary()}): "
+                f"{response['error']}"
+            )
+        obs.incr("stream.delta.pushed")
+        self.deltas_pushed += 1
+        return response
+
+    def _save(self) -> None:
+        """Persist the published index and its checkpoint (atomically)."""
+        if self.index_path is not None and self.index is not None:
+            self.index.save(self.index_path)
+        if self.state_path is None or self.index is None:
+            return
+        payload = {
+            **header("stream-checkpoint"),
+            "basket": str(self.database.path),
+            "rows": self.rows_published,
+            "index_version": self.index.version,
+        }
+        tmp = self.state_path.with_name(self.state_path.name + ".tmp")
+        tmp.write_text(json.dumps(payload) + "\n")
+        os.replace(tmp, self.state_path)
+
+    def status(self) -> dict:
+        """A snapshot for logs and the CLI."""
+        return {
+            "rows": len(self.database),
+            "rows_published": self.rows_published,
+            "pending_rows": self.pending_rows,
+            "index_version": (
+                self.index.version if self.index is not None else None
+            ),
+            "rules": len(self.index) if self.index is not None else 0,
+            "remines": self.remines,
+            "deltas_pushed": self.deltas_pushed,
+            "policy": self.policy.spec,
+        }
+
+    def __repr__(self) -> str:
+        version = self.index.version if self.index is not None else None
+        return (
+            f"StreamingMiner(basket={str(self.database.path)!r}, "
+            f"policy={self.policy.spec!r}, version={version}, "
+            f"pending={self.pending_rows})"
+        )

@@ -1,0 +1,166 @@
+"""Property-based tests: delta application vs compiling from scratch.
+
+The streaming subsystem's soundness claim (DESIGN.md §13) is that
+pushing a :class:`repro.stream.delta.RuleIndexDelta` to a live index is
+indistinguishable from recompiling the index from the new rule set:
+``old.apply_delta(diff(old, new_rules))`` must be *bit-identical* —
+same serialized JSON, hence same slots, postings and version — to
+``RuleIndex(new_rules, version=old.version + 1)``. The scenarios cover
+flat and taxonomy-aware indexes, rule addition, removal, strength
+reordering (same identity, new statistics), taxonomy replacement, and
+the delta's own wire round-trip.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rulegen import NegativeRule
+from repro.mining.rules import AssociationRule
+from repro.serve import RuleIndex
+from repro.stream import RuleIndexDelta
+from repro.taxonomy.tree import Taxonomy
+
+
+def _build_taxonomy(rng: random.Random) -> Taxonomy:
+    """A random two-level taxonomy over items 1..30 (roots 101..)."""
+    parents = {}
+    categories = list(range(101, 101 + rng.randint(1, 4)))
+    for item in range(1, 31):
+        if rng.random() < 0.8:
+            parents[item] = rng.choice(categories)
+    return Taxonomy(parents=parents, extra_roots=range(1, 31))
+
+
+def _random_identity(rng: random.Random) -> tuple[tuple, tuple]:
+    items = list(range(1, 31))
+    antecedent = tuple(sorted(rng.sample(items, rng.randint(1, 3))))
+    rest = [item for item in items if item not in antecedent]
+    consequent = tuple(sorted(rng.sample(rest, rng.randint(1, 2))))
+    return antecedent, consequent
+
+
+def _negative(rng, antecedent, consequent) -> NegativeRule:
+    return NegativeRule(
+        antecedent=antecedent,
+        consequent=consequent,
+        ri=rng.uniform(0.1, 5.0),
+        expected_support=rng.uniform(0.1, 0.5),
+        actual_support=rng.uniform(0.0, 0.05),
+        antecedent_support=rng.uniform(0.2, 0.6),
+        consequent_support=rng.uniform(0.2, 0.6),
+    )
+
+
+def _positive(rng, antecedent, consequent) -> AssociationRule:
+    return AssociationRule(
+        antecedent=antecedent,
+        consequent=consequent,
+        support=rng.uniform(0.05, 0.5),
+        confidence=rng.uniform(0.3, 1.0),
+    )
+
+
+@st.composite
+def evolutions(draw):
+    """An old compiled index plus the freshly mined rule set.
+
+    Each distinct rule identity is assigned a fate: old-only (the delta
+    must remove it), new-only (add it), kept verbatim (untouched), or
+    restated with new statistics (the strength-reordering case).
+    """
+    seed = draw(st.integers(min_value=0, max_value=1_000_000))
+    with_taxonomy = draw(st.booleans())
+    taxonomy_changes = draw(st.booleans())
+    rng = random.Random(seed)
+
+    identities = []
+    seen = set()
+    for _ in range(rng.randint(0, 16)):
+        kind = rng.choice(("negative", "positive"))
+        antecedent, consequent = _random_identity(rng)
+        if (kind, antecedent, consequent) in seen:
+            continue
+        seen.add((kind, antecedent, consequent))
+        identities.append((kind, antecedent, consequent))
+
+    old_negatives, old_positives = [], []
+    new_negatives, new_positives = [], []
+    for kind, antecedent, consequent in identities:
+        build = _negative if kind == "negative" else _positive
+        olds = old_negatives if kind == "negative" else old_positives
+        news = new_negatives if kind == "negative" else new_positives
+        fate = rng.choice(("removed", "added", "kept", "restated"))
+        if fate != "added":
+            rule = build(rng, antecedent, consequent)
+            olds.append(rule)
+            if fate == "kept":
+                news.append(rule)
+        if fate == "added" or fate == "restated":
+            news.append(build(rng, antecedent, consequent))
+
+    old_taxonomy = _build_taxonomy(rng) if with_taxonomy else None
+    if taxonomy_changes:
+        new_taxonomy = _build_taxonomy(rng) if rng.random() < 0.8 else None
+    else:
+        new_taxonomy = old_taxonomy
+
+    old = RuleIndex(
+        negative_rules=old_negatives,
+        positive_rules=old_positives,
+        taxonomy=old_taxonomy,
+        version=rng.randint(1, 40),
+    )
+    return old, new_negatives, new_positives, new_taxonomy
+
+
+@given(evolutions())
+@settings(max_examples=150, deadline=None)
+def test_apply_delta_is_bit_identical_to_fresh_compile(evolution):
+    old, negatives, positives, taxonomy = evolution
+    fresh = RuleIndex(
+        negative_rules=negatives,
+        positive_rules=positives,
+        taxonomy=taxonomy,
+        version=old.version + 1,
+    )
+    delta = RuleIndexDelta.diff(old, negatives, positives, taxonomy=taxonomy)
+    assert old.apply_delta(delta).to_json() == fresh.to_json()
+
+
+@given(evolutions())
+@settings(max_examples=60, deadline=None)
+def test_delta_survives_its_wire_round_trip(evolution):
+    """The ``reload_delta`` payload must lose nothing: applying the
+    round-tripped delta produces the same index as the original."""
+    old, negatives, positives, taxonomy = evolution
+    delta = RuleIndexDelta.diff(old, negatives, positives, taxonomy=taxonomy)
+    recovered = RuleIndexDelta.from_json(delta.to_json())
+    # Taxonomy objects compare by identity, so the contract is payload
+    # equality plus identical application results.
+    assert recovered.to_payload() == delta.to_payload()
+    assert (
+        old.apply_delta(recovered).to_json()
+        == old.apply_delta(delta).to_json()
+    )
+
+
+@given(evolutions())
+@settings(max_examples=60, deadline=None)
+def test_delta_edits_partition_the_identity_space(evolution):
+    """Every identity is added, removed, changed or silently kept —
+    never two of those — and kept rules carry identical statistics."""
+    old, negatives, positives, taxonomy = evolution
+    delta = RuleIndexDelta.diff(old, negatives, positives, taxonomy=taxonomy)
+    from repro.serve.rule_index import rule_key
+
+    old_keys = {rule_key(entry.rule) for entry in old.rules}
+    new_keys = {rule_key(rule) for rule in (*negatives, *positives)}
+    added = {rule_key(rule) for rule in delta.added}
+    changed = {rule_key(rule) for rule in delta.changed}
+    removed = set(delta.removed)
+    assert added == new_keys - old_keys
+    assert removed == old_keys - new_keys
+    assert changed <= old_keys & new_keys
+    assert not (added & changed) and not (removed & changed)
