@@ -16,10 +16,13 @@ counts) under ``["quick"]["parallel_scaling"]``. The
 incremental-maintenance profile (``bench_incremental --quick``) gates
 the append-then-recount walls of the ``mmap`` and ``cached`` engines —
 incremental and full-invalidation modes — under
-``["quick"]["incremental"]``. Finally the streaming profile
+``["quick"]["incremental"]``. The streaming profile
 (``bench_streaming --quick``) gates the per-update walls of the
 delta-push and recompile-from-scratch serving-update paths for both
-engines under ``["quick"]["streaming"]``.
+engines under ``["quick"]["streaming"]``. Finally the cross-measure
+profile (``bench_measures --quick``) gates each registered
+interestingness measure's mean re-judgment wall over the grocery
+scenarios under ``["quick"]["measures"]``.
 
 Raw wall-clock is useless across machines, so both sides are normalized
 by their own geometric mean across the engines before comparing: a CI
@@ -247,6 +250,33 @@ def _run_quick_streaming(out: Path, repeats: int) -> dict:
     return report
 
 
+def _run_quick_measures(out: Path, repeats: int) -> dict:
+    """Run the quick cross-measure benchmark; keep per-measure minima.
+
+    The element-wise minimum over repeats is taken per measure name
+    (``ri``, ``kong-interest``, …), mirroring
+    :func:`_run_quick_matrix`.
+    """
+    from benchmarks import bench_measures
+
+    argv = ["--quick", "--no-check", "--out", str(out)]
+    report: dict = {}
+    best: dict[str, float] = {}
+    for attempt in range(repeats):
+        code = bench_measures.main(argv)
+        if code != 0:
+            raise SystemExit(
+                f"measures benchmark run failed with exit code {code}"
+            )
+        report = json.loads(out.read_text())["quick"]["measures"]
+        for measure, value in report["wall_per_eval_s"].items():
+            best[measure] = min(best.get(measure, value), value)
+        print(f"[measures repeat {attempt + 1}/{repeats}] done")
+    report["wall_per_eval_s"] = best
+    report["repeats"] = repeats
+    return report
+
+
 def _write_step_summary(baseline: Path, failed: list[str]) -> None:
     """Append re-baselining instructions to the GitHub job summary.
 
@@ -336,6 +366,9 @@ def main(argv: list[str] | None = None) -> int:
         streaming = _run_quick_streaming(
             Path(tmp) / "streaming.json", args.repeats
         )
+        measures = _run_quick_measures(
+            Path(tmp) / "measures.json", args.repeats
+        )
 
     if args.update_baseline:
         from benchmarks.common import fold_report
@@ -347,10 +380,11 @@ def main(argv: list[str] | None = None) -> int:
         )
         fold_report(args.baseline, "incremental", incremental, quick=True)
         fold_report(args.baseline, "streaming", streaming, quick=True)
+        fold_report(args.baseline, "measures", measures, quick=True)
         print(
             f"re-baselined quick engine_matrix, serving, "
-            f"parallel_scaling, incremental and streaming in "
-            f"{args.baseline}"
+            f"parallel_scaling, incremental, streaming and measures "
+            f"in {args.baseline}"
         )
         return 0
 
@@ -362,6 +396,7 @@ def main(argv: list[str] | None = None) -> int:
         ("parallel_scaling", "steady_wall_per_pass_s", parallel),
         ("incremental", "wall_recount_s", incremental),
         ("streaming", "wall_update_s", streaming),
+        ("measures", "wall_per_eval_s", measures),
     )
     for key, field, run in gates:
         try:

@@ -18,7 +18,6 @@ from repro.core.negmining import (
     select_negatives,
 )
 from repro.core.rulegen import generate_negative_rules
-from repro.core.interest import deviation_threshold
 from repro.core.session import MiningSession
 from repro.mining.generalized import mine_generalized
 from repro.mining.itemset_index import LargeItemsetIndex
@@ -53,7 +52,6 @@ def improved_negative_phase(
     """Time the Improved algorithm's negative phase (Figure 3)."""
     database, taxonomy = dataset.database, dataset.taxonomy
     total = len(database)
-    threshold = deviation_threshold(minsup, MINRI)
 
     started = time.perf_counter()
     large_singles = [items[0] for items in index.of_size(1)]
@@ -65,7 +63,7 @@ def improved_negative_phase(
         list(candidates), restrict_to_candidate_items=True
     )
     negatives = select_negatives(
-        candidates, counts, total, threshold, figure3_literal=False
+        candidates, counts, total, minsup, MINRI
     )
     rules = generate_negative_rules(negatives, index, MINRI)
     seconds = time.perf_counter() - started

@@ -15,7 +15,6 @@ Run with::
 import random
 
 from repro.core.candidates import generate_negative_candidates
-from repro.core.interest import deviation_threshold
 from repro.core.negmining import select_negatives
 from repro.core.rulegen import generate_negative_rules
 from repro.core.substitutes import (
@@ -91,8 +90,8 @@ def main() -> None:
         merged,
         counts,
         len(database),
-        deviation_threshold(MINSUP, MINRI),
-        figure3_literal=False,
+        MINSUP,
+        MINRI,
     )
     rules = generate_negative_rules(negatives, index, MINRI)
 

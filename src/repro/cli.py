@@ -17,6 +17,9 @@ Subcommands
     per-category balance against the data (Section 2.1.3).
 ``engines``
     List the registered counting engines with their capability flags.
+``measures``
+    List the registered interestingness measures with their capability
+    flags.
 ``compile``
     Mine rules and compile them into a serving rule index (one JSON
     file).
@@ -40,7 +43,14 @@ from collections.abc import Sequence
 
 from .core.api import MiningConfig, mine_negative_rules
 from .core.session import MiningSession
-from .mining.engines import capability_table, validate_spec
+from .measures.registry import measure_table
+from .measures.registry import validate_spec as validate_measure_spec
+from .mining.engines import (
+    capability_table,
+    engine_names,
+    serial_engine_names,
+    validate_spec,
+)
 from .obs.api import METRICS_MODES
 from .data.io import (
     load_basket_file,
@@ -79,6 +89,15 @@ def _engine_spec(value: str) -> str:
     """
     try:
         validate_spec(value)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+    return value
+
+
+def _measure_spec(value: str) -> str:
+    """argparse type for ``--measure``: any registered measure name."""
+    try:
+        validate_measure_spec(value)
     except ReproError as error:
         raise argparse.ArgumentTypeError(str(error)) from error
     return value
@@ -129,6 +148,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="counting engine spec: a registered name or "
                            "'parallel:<inner>' (list with "
                            "'python -m repro engines')")
+    mine.add_argument("--measure", type=_measure_spec, default="ri",
+                      metavar="NAME",
+                      help="interestingness measure judging candidates "
+                           "and rules (list with "
+                           "'python -m repro measures')")
     mine.add_argument("--max-size", type=int, default=None)
     mine.add_argument("--jobs", type=int, default=1, dest="n_jobs",
                       help="worker processes for sharded counting "
@@ -183,6 +207,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="print at most this many rules")
     mine.add_argument("--explain", action="store_true",
                       help="print the full derivation of each rule")
+    mine.add_argument("--agreement", action="store_true",
+                      help="append a cross-measure agreement section to "
+                           "each derivation (implies --explain): every "
+                           "registered measure re-judges the run and "
+                           "reports whether it admits the rule")
 
     positive = commands.add_parser(
         "positive", help="mine generalized positive association rules"
@@ -216,6 +245,14 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="emit a GitHub-markdown table (the README's "
                               "engine table is generated with this)")
 
+    measures = commands.add_parser(
+        "measures", help="list registered interestingness measures"
+    )
+    measures.add_argument("--markdown", action="store_true",
+                          help="emit a GitHub-markdown table (the "
+                               "README's measure table is generated "
+                               "with this)")
+
     compile_ = commands.add_parser(
         "compile",
         help="mine rules and compile a serving rule index",
@@ -228,6 +265,10 @@ def _build_parser() -> argparse.ArgumentParser:
                                "rules compiled alongside the negatives")
     compile_.add_argument("--engine", type=_engine_spec, default="bitmap",
                           metavar="SPEC")
+    compile_.add_argument("--measure", type=_measure_spec, default="ri",
+                          metavar="NAME",
+                          help="interestingness measure the compiled "
+                               "negative rules are admitted by")
     compile_.add_argument("--max-size", type=int, default=None)
     compile_.add_argument("--max-sibling-replacements", type=int,
                           default=None, dest="max_sibling_replacements")
@@ -255,6 +296,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SPEC",
                        help="counting engine for selective generation "
                             "(any registered spec)")
+    serve.add_argument("--measure", type=_measure_spec, default="ri",
+                       metavar="NAME",
+                       help="interestingness measure for selective "
+                            "generation (match the compiled index's)")
     serve.add_argument("--max-neighbors", type=int, default=32,
                        dest="max_neighbors",
                        help="selective neighborhood budget")
@@ -315,6 +360,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="counting engine for the incremental "
                             "re-mines ('cached'/'mmap' keep per-session "
                             "state that appends extend in place)")
+    watch.add_argument("--measure", type=_measure_spec, default="ri",
+                       metavar="NAME",
+                       help="interestingness measure for the "
+                            "incremental re-mines")
     watch.add_argument("--timeout", type=float, default=10.0,
                        help="delta push timeout (seconds)")
     return parser
@@ -357,6 +406,7 @@ def _command_mine(args: argparse.Namespace) -> int:
         miner=args.miner,
         algorithm=args.algorithm,
         engine=args.engine,
+        measure=args.measure,
         max_size=args.max_size,
         max_sibling_replacements=args.max_sibling_replacements,
         n_jobs=args.n_jobs,
@@ -373,7 +423,14 @@ def _command_mine(args: argparse.Namespace) -> int:
     )
     result = mine_negative_rules(database, taxonomy, config=config)
     print(result.summary(taxonomy, limit=args.limit))
-    if args.explain:
+    comparison = None
+    if args.agreement:
+        from .measures.compare import compare_measures
+
+        comparison = compare_measures(
+            result, args.minsup, args.minri
+        )
+    if args.explain or args.agreement:
         for rule in result.rules[: args.limit]:
             print()
             print(
@@ -382,6 +439,11 @@ def _command_mine(args: argparse.Namespace) -> int:
                     result.negative_itemsets,
                     result.large_itemsets,
                     taxonomy,
+                    agreement=(
+                        comparison.agreement_for(rule)
+                        if comparison is not None
+                        else None
+                    ),
                 )
             )
     return 0
@@ -449,21 +511,54 @@ def _command_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_engine_specs() -> str:
+    """The engine specs ``repro serve --engine`` accepts, spelled out.
+
+    Selective generation counts through the same registry as offline
+    mining, so the supported set is every registered name plus the
+    ``parallel:<serial>`` compositions.
+    """
+    specs = list(engine_names())
+    specs.extend(
+        f"parallel:{inner}" for inner in serial_engine_names()
+        if inner != "parallel"
+    )
+    return ", ".join(f"`{spec}`" for spec in specs)
+
+
 def _command_engines(args: argparse.Namespace) -> int:
     print(capability_table(markdown=args.markdown))
     if args.markdown:
         print()
         print(
             "Serving: `repro serve`'s on-target selective generation "
-            "counts through the same registry — any spec above (e.g. "
-            "`bitmap`, `cached`, `parallel:numpy`) is valid for its "
-            "`--engine` flag."
+            "counts through the same registry — its `--engine` flag "
+            f"supports {_serving_engine_specs()}."
+        )
+    else:
+        print()
+        print(
+            "serving: 'repro serve' selective generation supports "
+            + _serving_engine_specs().replace("`", "")
+            + " via --engine"
+        )
+    return 0
+
+
+def _command_measures(args: argparse.Namespace) -> int:
+    print(measure_table(markdown=args.markdown))
+    if args.markdown:
+        print()
+        print(
+            "Serving: `repro serve`'s on-target selective generation "
+            "judges rules through the same registry — any measure "
+            "above is valid for its `--measure` flag."
         )
     else:
         print()
         print(
             "serving: 'repro serve' selective generation accepts any "
-            "spec above via --engine"
+            "measure above via --measure"
         )
     return 0
 
@@ -475,6 +570,7 @@ def _command_compile(args: argparse.Namespace) -> int:
         minsup=args.minsup,
         minri=args.minri,
         engine=args.engine,
+        measure=args.measure,
         max_size=args.max_size,
         max_sibling_replacements=args.max_sibling_replacements,
     )
@@ -521,6 +617,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             minconf=args.minconf,
             session=session,
             max_neighbors=args.max_neighbors,
+            measure=args.measure,
         )
     service = RuleService(
         index, cache_size=args.cache_size, selective=selective
@@ -590,6 +687,7 @@ def _command_watch(args: argparse.Namespace) -> int:
         minsup=args.minsup,
         minri=args.minri,
         engine=args.engine,
+        measure=args.measure,
     )
     push = None
     if args.serve_addr is not None:
@@ -635,6 +733,7 @@ _COMMANDS = {
     "inspect": _command_inspect,
     "analyze": _command_analyze,
     "engines": _command_engines,
+    "measures": _command_measures,
     "compile": _command_compile,
     "serve": _command_serve,
     "score": _command_score,

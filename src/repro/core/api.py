@@ -16,6 +16,9 @@ from .._util import check_fraction, check_positive
 from ..data.database import TransactionDatabase
 from ..data.filedb import FileBackedDatabase
 from ..errors import ConfigError
+from ..measures.registry import (
+    validate_spec as validate_measure_spec,
+)
 from ..mining.engines import validate_spec
 from ..mining.generalized import ALGORITHMS
 from ..mining.itemset_index import LargeItemsetIndex
@@ -58,6 +61,14 @@ class MiningConfig:
         ``"index"``, ``"brute"``, ``"parallel"``) or a composition
         ``"parallel:<inner>"`` (e.g. ``"parallel:numpy"``). Run
         ``python -m repro engines`` for the full capability table.
+    measure:
+        Interestingness-measure spec judging candidates and rules:
+        ``"ri"`` (the paper's rule interest; default),
+        ``"kong-interest"`` (independence-deviation, arXiv:1806.07084)
+        or ``"coherent"`` (contingency-quadrant dominance,
+        arXiv:1308.2310) — any name registered with
+        :func:`repro.measures.registry.register_measure`. Run
+        ``python -m repro measures`` for the full capability table.
     max_size:
         Optional cap on itemset size.
     max_candidates_in_memory:
@@ -140,6 +151,7 @@ class MiningConfig:
     miner: str = "improved"
     algorithm: str = "cumulate"
     engine: str = "bitmap"
+    measure: str = "ri"
     max_size: int | None = None
     max_candidates_in_memory: int | None = None
     prune_taxonomy: bool = True
@@ -172,6 +184,13 @@ class MiningConfig:
                 f"choose from {ALGORITHMS}"
             )
         validate_spec(self.engine)
+        validate_measure_spec(self.measure)
+        if self.figure3_literal and self.measure != "ri":
+            raise ConfigError(
+                "figure3_literal is the RI measure's literal Figure 3 "
+                f"predicate; it cannot combine with measure="
+                f"{self.measure!r}"
+            )
         check_positive(self.n_jobs, "n_jobs")
         if self.shard_rows is not None:
             check_positive(self.shard_rows, "shard_rows")
@@ -206,6 +225,11 @@ class NegativeMiningResult:
         Pass/candidate accounting.
     config:
         The configuration used.
+    counts, total_transactions:
+        Raw counting results for every counted candidate and |D| — the
+        inputs :func:`repro.measures.compare.compare_measures` needs to
+        re-judge this run under every registered measure without
+        another pass over the data.
     """
 
     rules: list[NegativeRule]
@@ -214,6 +238,8 @@ class NegativeMiningResult:
     large_itemsets: LargeItemsetIndex
     stats: MiningStats
     config: MiningConfig = field(default_factory=MiningConfig)
+    counts: dict[tuple[int, ...], int] = field(default_factory=dict)
+    total_transactions: int = 0
 
     def summary(self, taxonomy: Taxonomy | None = None, limit: int = 10) -> str:
         """A human-readable report of the top rules."""
@@ -360,6 +386,8 @@ def mine_negative_rules(
                 output.large_itemsets,
                 final.minri,
                 prune_small_antecedents=final.prune_small_antecedents,
+                measure=session.measure,
+                minsup=final.minsup,
             )
             span.annotate("rules", len(rules))
     return NegativeMiningResult(
@@ -369,6 +397,8 @@ def mine_negative_rules(
         large_itemsets=output.large_itemsets,
         stats=output.stats,
         config=final,
+        counts=output.counts,
+        total_transactions=output.total_transactions,
     )
 
 

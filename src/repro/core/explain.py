@@ -186,26 +186,68 @@ def format_derivation(
     return "\n".join(lines)
 
 
+def format_agreement(agreement) -> str:
+    """Render a cross-measure agreement section for one rule.
+
+    *agreement* maps measure names to verdict objects with ``admitted``,
+    ``score``, ``rank`` and ``out_of`` attributes — the shape
+    :meth:`repro.measures.compare.MeasureComparison.agreement_for`
+    returns. Kept duck-typed so this module never imports the
+    comparison layer.
+    """
+    lines = ["measure agreement:"]
+    width = max((len(name) for name in agreement), default=0)
+    for name, verdict in agreement.items():
+        if verdict.admitted:
+            detail = f"admits (score={verdict.score:.4f}"
+            if verdict.rank is not None:
+                detail += f", rank {verdict.rank}/{verdict.out_of}"
+            detail += ")"
+        else:
+            detail = "does not admit"
+        lines.append(f"  {name.ljust(width)} : {detail}")
+    return "\n".join(lines)
+
+
 def explain_rule(
     rule: NegativeRule,
     negative: NegativeItemset,
     index: LargeItemsetIndex,
     taxonomy: Taxonomy,
+    agreement=None,
 ) -> str:
-    """Full textual explanation of a rule: derivation plus RI arithmetic."""
+    """Full textual explanation of a rule: derivation plus RI arithmetic.
+
+    A rule admitted by an alternative measure gets the measure's score
+    line instead of the RI arithmetic (whose expectation-based formula
+    does not describe it). *agreement* — a mapping as accepted by
+    :func:`format_agreement` — appends the cross-measure agreement
+    section; ``None`` (default) keeps the historical output
+    byte-for-byte.
+    """
     derivation = derive(negative, index, taxonomy)
     lines = [format_derivation(derivation, taxonomy)]
     lines.append(
         f"rule {taxonomy.format_itemset(rule.antecedent)} =/=> "
         f"{taxonomy.format_itemset(rule.consequent)}"
     )
-    lines.append(
-        f"  RI = ({rule.expected_support:.4f} - "
-        f"{rule.actual_support:.4f}) / "
-        f"sup({taxonomy.format_itemset(rule.antecedent)}) = "
-        f"{rule.expected_support - rule.actual_support:.4f} / "
-        f"{rule.antecedent_support:.4f} = {rule.ri:.3f}"
-    )
+    if rule.measure == "ri":
+        lines.append(
+            f"  RI = ({rule.expected_support:.4f} - "
+            f"{rule.actual_support:.4f}) / "
+            f"sup({taxonomy.format_itemset(rule.antecedent)}) = "
+            f"{rule.expected_support - rule.actual_support:.4f} / "
+            f"{rule.antecedent_support:.4f} = {rule.ri:.3f}"
+        )
+    else:
+        lines.append(
+            f"  score({rule.measure}) = {rule.ri:.4f} over "
+            f"sup(X)={rule.antecedent_support:.4f}, "
+            f"sup(Y)={rule.consequent_support:.4f}, "
+            f"actual={rule.actual_support:.4f}"
+        )
+    if agreement is not None:
+        lines.append(format_agreement(agreement))
     return "\n".join(lines)
 
 
@@ -214,12 +256,15 @@ def explain_result_rule(
     negatives: list[NegativeItemset],
     index: LargeItemsetIndex,
     taxonomy: Taxonomy,
+    agreement=None,
 ) -> str:
     """Explain a rule straight from a mining result's negative list."""
     items = rule.items
     for negative in negatives:
         if negative.items == items:
-            return explain_rule(rule, negative, index, taxonomy)
+            return explain_rule(
+                rule, negative, index, taxonomy, agreement=agreement
+            )
     raise KeyError(
         f"rule itemset {items!r} not found among the negative itemsets"
     )

@@ -1,64 +1,15 @@
-"""The rule interest measure RI (paper Section 2).
+"""Compat shim: RI now lives in :mod:`repro.measures.ri`.
 
-For a negative rule ``X =/=> Y`` over the negative itemset ``n = X ∪ Y``::
-
-    RI = (E[support(n)] - support(n)) / support(X)
-
-RI is *negatively* related to the actual support: it is highest when the
-actual support is zero and zero (or below) when the actual support meets or
-exceeds the expectation. A rule is *strong* when ``RI >= MinRI`` and both
-``support(X)`` and ``support(Y)`` meet MinSup.
+The paper's rule interest measure became the registered ``"ri"`` entry
+of the interestingness-measure registry
+(:mod:`repro.measures.registry`); its arithmetic moved to
+:mod:`repro.measures.ri`. This module keeps the historical import path
+``repro.core.interest`` working — :func:`rule_interest` and
+:func:`deviation_threshold` are re-exported unchanged.
 """
 
 from __future__ import annotations
 
-from ..errors import ConfigError
+from ..measures.ri import deviation_threshold, rule_interest
 
-
-def rule_interest(
-    expected_support: float,
-    actual_support: float,
-    antecedent_support: float,
-) -> float:
-    """Compute RI for a negative rule.
-
-    Parameters
-    ----------
-    expected_support:
-        ``E[support(X ∪ Y)]`` derived from the taxonomy (see
-        :mod:`repro.core.expectation`).
-    actual_support:
-        Measured ``support(X ∪ Y)``.
-    antecedent_support:
-        ``support(X)``; must be positive — the paper requires the
-        antecedent to be a large itemset, so a zero here indicates a
-        caller bug rather than a data property.
-
-    Returns
-    -------
-    float
-        The (possibly negative) interest value. Values below zero mean the
-        itemset occurs *more* often than expected.
-    """
-    if antecedent_support <= 0.0:
-        raise ConfigError(
-            "antecedent support must be positive "
-            f"(got {antecedent_support!r}); the antecedent of a negative "
-            "rule must be a large itemset"
-        )
-    if expected_support < 0.0 or actual_support < 0.0:
-        raise ConfigError("supports cannot be negative")
-    return (expected_support - actual_support) / antecedent_support
-
-
-def deviation_threshold(minsup: float, minri: float) -> float:
-    """The minimum expectation-vs-actual gap a negative itemset must show.
-
-    Section 2 decomposes the problem into "finding itemsets whose actual
-    support deviates at least ``MinSup × MinRI`` from their expected
-    support": since any rule antecedent has support at least MinSup, a gap
-    below this bound cannot yield RI >= MinRI for any split of the itemset.
-    """
-    if minsup <= 0.0 or minri <= 0.0:
-        raise ConfigError("minsup and minri must be positive")
-    return minsup * minri
+__all__ = ["rule_interest", "deviation_threshold"]

@@ -31,6 +31,12 @@ from dataclasses import dataclass, field
 from .._util import check_fraction, check_positive
 from ..data.database import TransactionDatabase
 from ..itemset import Itemset
+from ..errors import ConfigError
+from ..measures.registry import (
+    InterestMeasure,
+    MeasurePolicy,
+    create_measure,
+)
 from ..mining.generalized import iter_generalized_levels, mine_generalized
 from ..mining.itemset_index import LargeItemsetIndex
 from ..mining.vertical import CacheStats
@@ -39,7 +45,6 @@ from ..parallel.engine import ParallelStats
 from ..taxonomy.prune import restrict_to_items
 from ..taxonomy.tree import Taxonomy
 from .candidates import NegativeCandidate, generate_negative_candidates
-from .interest import deviation_threshold
 from .session import MiningSession
 
 
@@ -189,31 +194,100 @@ class MiningStats:
 
 @dataclass(slots=True)
 class MinerOutput:
-    """Everything a negative-itemset miner produces."""
+    """Everything a negative-itemset miner produces.
+
+    ``counts``/``total_transactions`` record the raw counting results
+    for *every* candidate that reached a counting pass — the inputs the
+    cross-measure comparison layer (:mod:`repro.measures.compare`)
+    needs to re-judge the same run under other measures without
+    touching the data again.
+    """
 
     large_itemsets: LargeItemsetIndex
     candidates: dict[Itemset, NegativeCandidate]
     negatives: list[NegativeItemset]
     stats: MiningStats
+    counts: dict[Itemset, int] = field(default_factory=dict)
+    total_transactions: int = 0
+
+
+def resolve_measure(
+    measure: "str | InterestMeasure | None",
+    session: MiningSession | None = None,
+    figure3_literal: bool = False,
+) -> InterestMeasure:
+    """The measure an explicit argument + session + legacy flag select.
+
+    An explicit *measure* wins; ``None`` falls back to the session's
+    bound measure (the ``measure=`` policy of ``MiningConfig``), then to
+    the registry default. The legacy ``figure3_literal`` flag is folded
+    into the resolved instance, so miners constructed directly with
+    ``figure3_literal=True`` keep their historical behavior; combining
+    it with a non-RI measure raises :class:`~repro.errors.ConfigError`.
+    """
+    resolved = measure
+    if resolved is None and session is not None:
+        resolved = session.measure
+    if resolved is None or isinstance(resolved, str):
+        return create_measure(
+            resolved if resolved is not None else "ri",
+            MeasurePolicy(figure3_literal=figure3_literal),
+        )
+    if figure3_literal and not getattr(resolved, "figure3_literal", False):
+        return create_measure(
+            resolved.name, MeasurePolicy(figure3_literal=True)
+        )
+    return resolved
+
+
+def _single_supports(
+    items: Itemset, index: LargeItemsetIndex
+) -> tuple[float, ...]:
+    """Member-item supports of a candidate, 0.0 for small singles.
+
+    Candidates may contain small items (their *rules* cannot, but the
+    itemset predicate sees them); an absent single reads as support 0,
+    which makes the independence baseline 0 and the candidate
+    inadmissible for the independence-based measures — exactly right,
+    since no large-sided rule can come out of it.
+    """
+    return tuple(
+        index.support_or_none((item,)) or 0.0 for item in items
+    )
 
 
 def select_negatives(
     candidates: dict[Itemset, NegativeCandidate],
     counts: dict[Itemset, int],
     total: int,
-    threshold: float,
-    figure3_literal: bool,
+    minsup: float,
+    minri: float,
+    measure: "InterestMeasure | None" = None,
+    index: LargeItemsetIndex | None = None,
 ) -> list[NegativeItemset]:
-    """Apply the negative-itemset predicate to counted candidates."""
+    """Apply a measure's negative-itemset predicate to counted candidates.
+
+    *measure* defaults to the paper's RI; *index* (the large itemsets)
+    is required by measures that judge candidates against independence
+    over single-item supports (``needs_taxonomy_expectation=False``).
+    """
+    if measure is None:
+        measure = create_measure("ri")
+    needs_singles = not measure.capabilities.needs_taxonomy_expectation
+    if needs_singles and index is None:
+        raise ConfigError(
+            f"measure {measure.name!r} judges candidates against "
+            "independence over single-item supports; pass the large "
+            "itemset index to select_negatives"
+        )
     negatives: list[NegativeItemset] = []
     for items, count in counts.items():
         candidate = candidates[items]
         actual = count / total
-        if figure3_literal:
-            keep = actual < threshold
-        else:
-            keep = candidate.expected_support - actual >= threshold
-        if keep:
+        singles = _single_supports(items, index) if needs_singles else ()
+        if measure.admits_itemset(
+            candidate.expected_support, actual, singles, minsup, minri
+        ):
             negatives.append(
                 NegativeItemset(
                     items=items,
@@ -245,7 +319,13 @@ class NaiveNegativeMiner:
         Optional cap on itemset size.
     figure3_literal:
         Use Figure 3's literal low-support predicate instead of the body
-        text's deviation predicate (see module docstring).
+        text's deviation predicate (see module docstring). RI only.
+    measure:
+        The interestingness measure judging candidates and rules: a
+        registered spec (``"ri"``, ``"kong-interest"``, ``"coherent"``)
+        or an :class:`~repro.measures.registry.InterestMeasure`
+        instance. ``None`` uses the session's bound measure (the
+        registry default when the session has none).
     """
 
     def __init__(
@@ -258,6 +338,7 @@ class NaiveNegativeMiner:
         max_size: int | None = None,
         figure3_literal: bool = False,
         max_sibling_replacements: int | None = None,
+        measure: "str | InterestMeasure | None" = None,
     ) -> None:
         check_fraction(minsup, "minsup")
         check_fraction(minri, "minri")
@@ -271,7 +352,9 @@ class NaiveNegativeMiner:
             else MiningSession(database, taxonomy)
         )
         self._max_size = max_size
-        self._figure3_literal = figure3_literal
+        self._measure = resolve_measure(
+            measure, self._session, figure3_literal
+        )
         self._max_sibling_replacements = max_sibling_replacements
 
     def mine(self) -> MinerOutput:
@@ -279,7 +362,6 @@ class NaiveNegativeMiner:
         database = self._database
         session = self._session
         total = len(database)
-        threshold = deviation_threshold(self._minsup, self._minri)
         start_physical = database.scans
         start_logical = getattr(database, "logical_scans", database.scans)
         # Fresh per-run accumulators: a second mine() must never report
@@ -288,6 +370,7 @@ class NaiveNegativeMiner:
 
         index = LargeItemsetIndex()
         all_candidates: dict[Itemset, NegativeCandidate] = {}
+        all_counts: dict[Itemset, int] = {}
         negatives: list[NegativeItemset] = []
         batches = 0
 
@@ -320,11 +403,12 @@ class NaiveNegativeMiner:
             counts = session.count(
                 list(candidates), restrict_to_candidate_items=True
             )
+            all_counts.update(counts)
             batches += 1
             negatives.extend(
                 select_negatives(
-                    candidates, counts, total, threshold,
-                    self._figure3_literal,
+                    candidates, counts, total, self._minsup, self._minri,
+                    measure=self._measure, index=index,
                 )
             )
 
@@ -339,7 +423,10 @@ class NaiveNegativeMiner:
             cache=session.cache_stats,
         )
         session.publish_run(stats)
-        return MinerOutput(index, all_candidates, negatives, stats)
+        return MinerOutput(
+            index, all_candidates, negatives, stats,
+            counts=all_counts, total_transactions=total,
+        )
 
 
 class ImprovedNegativeMiner:
@@ -347,7 +434,8 @@ class ImprovedNegativeMiner:
 
     Parameters
     ----------
-    database, taxonomy, minsup, minri, session, max_size, figure3_literal:
+    database, taxonomy, minsup, minri, session, max_size, figure3_literal,
+    measure:
         As for :class:`NaiveNegativeMiner`.
     algorithm:
         Generalized miner for step 1 (``"basic"``, ``"cumulate"``,
@@ -379,6 +467,7 @@ class ImprovedNegativeMiner:
         figure3_literal: bool = False,
         max_sibling_replacements: int | None = None,
         rng: random.Random | None = None,
+        measure: "str | InterestMeasure | None" = None,
     ) -> None:
         check_fraction(minsup, "minsup")
         check_fraction(minri, "minri")
@@ -399,7 +488,9 @@ class ImprovedNegativeMiner:
         self._max_size = max_size
         self._batch_size = max_candidates_in_memory
         self._prune_taxonomy = prune_taxonomy
-        self._figure3_literal = figure3_literal
+        self._measure = resolve_measure(
+            measure, self._session, figure3_literal
+        )
         self._max_sibling_replacements = max_sibling_replacements
         self._rng = rng
 
@@ -408,7 +499,6 @@ class ImprovedNegativeMiner:
         database = self._database
         session = self._session
         total = len(database)
-        threshold = deviation_threshold(self._minsup, self._minri)
         start_physical = database.scans
         start_logical = getattr(database, "logical_scans", database.scans)
         # Fresh per-run accumulators: a second mine() must never report
@@ -447,6 +537,7 @@ class ImprovedNegativeMiner:
             span.annotate("candidates", len(candidates))
 
         negatives: list[NegativeItemset] = []
+        all_counts: dict[Itemset, int] = {}
         batches = 0
         with obs.span("mine.negative_count") as span:
             for batch in _batched(sorted(candidates), self._batch_size):
@@ -456,11 +547,12 @@ class ImprovedNegativeMiner:
                 counts = session.count(
                     batch, restrict_to_candidate_items=True
                 )
+                all_counts.update(counts)
                 batches += 1
                 negatives.extend(
                     select_negatives(
-                        candidates, counts, total, threshold,
-                        self._figure3_literal,
+                        candidates, counts, total, self._minsup,
+                        self._minri, measure=self._measure, index=index,
                     )
                 )
             span.annotate("batches", batches)
@@ -476,7 +568,10 @@ class ImprovedNegativeMiner:
             cache=session.cache_stats,
         )
         session.publish_run(stats)
-        return MinerOutput(index, candidates, negatives, stats)
+        return MinerOutput(
+            index, candidates, negatives, stats,
+            counts=all_counts, total_transactions=total,
+        )
 
 
 def _batched(

@@ -16,6 +16,13 @@ procedure. A consequent ``h`` survives a level only when all of:
 refuses to *emit* such rules) so the exhaustive behavior can be compared
 in tests: Figure 4's pruning is a heuristic — subsets of a small
 antecedent may themselves be large.
+
+The third condition is the default measure's; generation is
+parameterized by any registered
+:class:`~repro.measures.registry.InterestMeasure`, whose ``rule_score``
+/ ``admits_rule`` replace the RI arithmetic (and whose
+``monotone_prune`` capability decides whether a failed score prunes
+superset consequents the way RI's monotonicity allows).
 """
 
 from __future__ import annotations
@@ -25,11 +32,11 @@ from collections.abc import Iterable, Iterator
 
 from .._util import check_fraction
 from ..itemset import Itemset, difference
+from ..measures.registry import InterestMeasure, create_measure
 from ..mining.apriori import apriori_gen
 from ..mining.itemset_index import LargeItemsetIndex
 from ..serialize import check_payload, header
 from ..taxonomy.tree import Taxonomy
-from .interest import rule_interest
 from .negmining import NegativeItemset
 
 
@@ -43,11 +50,17 @@ class NegativeRule:
         Disjoint non-empty canonical itemsets partitioning the negative
         itemset.
     ri:
-        The rule interest measure.
+        The admitting measure's rule score — the paper's rule interest
+        for the default ``"ri"`` measure, the respective score for an
+        alternative measure (see :attr:`measure`).
     expected_support, actual_support:
         Expectation vs measurement for ``antecedent ∪ consequent``.
     antecedent_support, consequent_support:
         Fractional supports of the sides (both >= MinSup by construction).
+    measure:
+        Name of the registered interestingness measure that admitted
+        (and scored) this rule; provenance carried through serialization
+        into the serving layer's rule index.
     """
 
     antecedent: Itemset
@@ -57,6 +70,7 @@ class NegativeRule:
     actual_support: float
     antecedent_support: float
     consequent_support: float
+    measure: str = "ri"
 
     @property
     def items(self) -> Itemset:
@@ -78,11 +92,17 @@ class NegativeRule:
             "actual_support": self.actual_support,
             "antecedent_support": self.antecedent_support,
             "consequent_support": self.consequent_support,
+            "measure": self.measure,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "NegativeRule":
-        """Rebuild a rule from :meth:`as_dict` output."""
+        """Rebuild a rule from :meth:`as_dict` output.
+
+        ``measure`` is read leniently (``"ri"`` when absent) so rule
+        indexes compiled before measure provenance existed keep
+        loading.
+        """
         check_payload(payload, "negative-rule")
         return cls(
             antecedent=tuple(payload["antecedent"]),
@@ -92,6 +112,7 @@ class NegativeRule:
             actual_support=payload["actual_support"],
             antecedent_support=payload["antecedent_support"],
             consequent_support=payload["consequent_support"],
+            measure=payload.get("measure", "ri"),
         )
 
     def format(self, taxonomy: Taxonomy | None = None) -> str:
@@ -102,9 +123,10 @@ class NegativeRule:
             name_of = str
         left = ", ".join(name_of(item) for item in self.antecedent)
         right = ", ".join(name_of(item) for item in self.consequent)
+        label = "RI" if self.measure == "ri" else self.measure
         return (
             f"{{{left}}} =/=> {{{right}}} "
-            f"(RI={self.ri:.3f}, expected={self.expected_support:.4f}, "
+            f"({label}={self.ri:.3f}, expected={self.expected_support:.4f}, "
             f"actual={self.actual_support:.4f})"
         )
 
@@ -114,6 +136,8 @@ def generate_negative_rules(
     index: LargeItemsetIndex,
     minri: float,
     prune_small_antecedents: bool = True,
+    measure: "str | InterestMeasure | None" = None,
+    minsup: float | None = None,
 ) -> list[NegativeRule]:
     """Generate every strong negative rule from the negative itemsets.
 
@@ -129,17 +153,27 @@ def generate_negative_rules(
     prune_small_antecedents:
         Follow Figure 4 and stop extending a consequent whose antecedent
         is small (default), or keep extending for exhaustive enumeration.
+    measure:
+        The interestingness measure scoring and admitting splits — a
+        registered spec or instance; ``None`` means the paper's RI.
+    minsup:
+        Minimum support, for measures whose rule threshold needs it
+        (``kong-interest``); the RI path ignores it.
 
     Returns
     -------
-    list of NegativeRule, sorted by descending RI.
+    list of NegativeRule, sorted by descending score.
     """
     check_fraction(minri, "minri")
+    if measure is None:
+        measure = create_measure("ri")
+    elif isinstance(measure, str):
+        measure = create_measure(measure)
     rules: list[NegativeRule] = []
     for negative in negatives:
         rules.extend(
             _rules_for_itemset(negative, index, minri,
-                               prune_small_antecedents)
+                               prune_small_antecedents, measure, minsup)
         )
     rules.sort(key=lambda rule: (-rule.ri, rule.antecedent, rule.consequent))
     return rules
@@ -150,6 +184,8 @@ def _rules_for_itemset(
     index: LargeItemsetIndex,
     minri: float,
     prune_small_antecedents: bool,
+    measure: InterestMeasure,
+    minsup: float | None,
 ) -> Iterator[NegativeRule]:
     items = negative.items
     size = len(items)
@@ -157,7 +193,8 @@ def _rules_for_itemset(
     for drop in range(size):
         consequent = (items[drop],)
         keep, rule = _evaluate(
-            negative, consequent, index, minri, prune_small_antecedents
+            negative, consequent, index, minri, prune_small_antecedents,
+            measure, minsup,
         )
         if rule is not None:
             yield rule
@@ -168,7 +205,8 @@ def _rules_for_itemset(
         next_frontier: list[Itemset] = []
         for consequent in apriori_gen(frontier):
             keep, rule = _evaluate(
-                negative, consequent, index, minri, prune_small_antecedents
+                negative, consequent, index, minri,
+                prune_small_antecedents, measure, minsup,
             )
             if rule is not None:
                 yield rule
@@ -183,6 +221,8 @@ def _evaluate(
     index: LargeItemsetIndex,
     minri: float,
     prune_small_antecedents: bool,
+    measure: InterestMeasure,
+    minsup: float | None,
 ) -> tuple[bool, NegativeRule | None]:
     """Judge one consequent; return (keep-in-frontier, emitted rule)."""
     if not index.is_large(consequent):
@@ -193,20 +233,25 @@ def _evaluate(
         # extending (a superset consequent means a *smaller* antecedent,
         # which may be large even though this one is not).
         return (not prune_small_antecedents), None
-    ri = rule_interest(
+    score = measure.rule_score(
         negative.expected_support,
         negative.actual_support,
         index.support(antecedent),
+        index.support(consequent),
     )
-    if ri < minri:
-        return False, None
+    if not measure.admits_rule(score, minsup, minri):
+        # RI can never recover on a superset consequent (the antecedent
+        # only shrinks, its support only grows); measures without that
+        # monotonicity must keep extending.
+        return (not measure.capabilities.monotone_prune), None
     rule = NegativeRule(
         antecedent=antecedent,
         consequent=consequent,
-        ri=ri,
+        ri=score,
         expected_support=negative.expected_support,
         actual_support=negative.actual_support,
         antecedent_support=index.support(antecedent),
         consequent_support=index.support(consequent),
+        measure=measure.name,
     )
     return True, rule

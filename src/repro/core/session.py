@@ -31,6 +31,12 @@ from typing import Any
 
 from ..errors import ConfigError
 from ..itemset import Itemset
+from ..measures.registry import (
+    DEFAULT_MEASURE,
+    InterestMeasure,
+    MeasurePolicy,
+    create_measure,
+)
 from ..mining.engines import (
     DEFAULT_ENGINE,
     CountingEngine,
@@ -86,6 +92,12 @@ class MiningSession:
         to it instead of receiving pickled row slices. Requires a
         parallel configuration (``n_jobs > 1`` or a parallel engine
         spec).
+    measure:
+        The interestingness measure bound to this execution context — a
+        registered spec (``"ri"``, ``"kong-interest"``, ``"coherent"``)
+        or a ready :class:`~repro.measures.registry.InterestMeasure`
+        instance. Miners run under this session default to it, exactly
+        as they default to the session's engine.
     trace_path, metrics:
         Observability sinks for :meth:`observed` (see
         :mod:`repro.obs`).
@@ -107,6 +119,7 @@ class MiningSession:
         segment_rows: int | None = None,
         max_resident_bytes: int | None = None,
         spill_dir: str | None = None,
+        measure: str | InterestMeasure = DEFAULT_MEASURE,
         trace_path: str | None = None,
         metrics: str = "none",
         default_run_kind: str = "mine",
@@ -128,6 +141,7 @@ class MiningSession:
                 spill_dir=spill_dir,
             ),
         )
+        self.measure = create_measure(measure)
         self.trace_path = trace_path
         self.metrics = metrics
         if default_run_kind not in RUN_KINDS:
@@ -170,6 +184,10 @@ class MiningSession:
             segment_rows=config.segment_rows,
             max_resident_bytes=config.max_resident_bytes,
             spill_dir=config.spill_dir,
+            measure=create_measure(
+                config.measure,
+                MeasurePolicy(figure3_literal=config.figure3_literal),
+            ),
             trace_path=config.trace_path,
             metrics=config.metrics,
             default_run_kind=default_run_kind,
@@ -278,5 +296,6 @@ class MiningSession:
     def __repr__(self) -> str:
         return (
             f"MiningSession(engine={self.engine.spec!r}, "
+            f"measure={self.measure.spec!r}, "
             f"taxonomy={'yes' if self.taxonomy is not None else 'no'})"
         )

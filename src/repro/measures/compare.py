@@ -1,0 +1,214 @@
+"""Cross-measure evaluation of one mining run.
+
+One run's raw material — the counted candidates, the large itemsets,
+|D| — is measure-independent; only the *judging* differs between the
+registered interestingness measures. :func:`compare_measures` therefore
+re-runs selection and rule generation for every registered measure over
+a single :class:`~repro.core.negmining.MinerOutput` (or
+:class:`~repro.core.api.NegativeMiningResult`) without touching the
+database again, and the resulting :class:`MeasureComparison` answers
+the scenario-diversity questions: which measures agree on a rule
+(:meth:`~MeasureComparison.agreement_for`, feeding the explain path's
+agreement section), and how similar the admitted rule sets are overall
+(:meth:`~MeasureComparison.jaccard` /
+:meth:`~MeasureComparison.overlap_matrix`, feeding the E14 benchmark).
+
+This module depends on :mod:`repro.core` and must therefore never be
+imported from ``repro.measures.__init__`` (the registry is imported by
+the miners mid-initialization); import it explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.negmining import select_negatives
+from ..core.rulegen import NegativeRule, generate_negative_rules
+from ..errors import ConfigError
+from .registry import create_measure, measure_names
+
+#: The (antecedent, consequent) identity under which rule sets are
+#: intersected — scores differ between measures by construction, so
+#: agreement is about *which splits* are admitted, not their values.
+RulePair = tuple[tuple[int, ...], tuple[int, ...]]
+
+
+@dataclass(slots=True)
+class MeasureVerdict:
+    """One measure's judgment of one rule split."""
+
+    measure: str
+    admitted: bool
+    score: float | None = None
+    rank: int | None = None
+    out_of: int | None = None
+
+
+@dataclass(slots=True)
+class MeasureEvaluation:
+    """One measure's full re-judgment of a mining run."""
+
+    measure: str
+    negatives: list
+    rules: list[NegativeRule]
+    wall_s: float
+
+    def rule_pairs(self) -> set[RulePair]:
+        """The admitted splits as an identity set."""
+        return {
+            (rule.antecedent, rule.consequent) for rule in self.rules
+        }
+
+
+@dataclass(slots=True)
+class MeasureComparison:
+    """Every registered measure's view of one mining run."""
+
+    minsup: float
+    minri: float
+    total_transactions: int
+    evaluations: dict[str, MeasureEvaluation] = field(
+        default_factory=dict
+    )
+
+    def jaccard(self, first: str, second: str) -> float:
+        """Jaccard similarity of two measures' admitted rule sets.
+
+        1.0 for two empty sets — no rules is perfect agreement.
+        """
+        a = self.evaluations[first].rule_pairs()
+        b = self.evaluations[second].rule_pairs()
+        union = a | b
+        if not union:
+            return 1.0
+        return len(a & b) / len(union)
+
+    def overlap_matrix(self) -> dict[str, dict[str, float]]:
+        """Pairwise Jaccard similarities, keyed both ways."""
+        names = list(self.evaluations)
+        return {
+            first: {
+                second: self.jaccard(first, second) for second in names
+            }
+            for first in names
+        }
+
+    def agreement_for(
+        self, rule: NegativeRule
+    ) -> dict[str, MeasureVerdict]:
+        """Each measure's verdict on *rule*'s split, with rank.
+
+        Ranks are 1-based positions in the measure's own descending
+        score order (the order ``generate_negative_rules`` returns).
+        """
+        pair = (rule.antecedent, rule.consequent)
+        verdicts: dict[str, MeasureVerdict] = {}
+        for name, evaluation in self.evaluations.items():
+            verdict = MeasureVerdict(measure=name, admitted=False)
+            for position, candidate in enumerate(evaluation.rules, 1):
+                if (candidate.antecedent, candidate.consequent) == pair:
+                    verdict = MeasureVerdict(
+                        measure=name,
+                        admitted=True,
+                        score=candidate.ri,
+                        rank=position,
+                        out_of=len(evaluation.rules),
+                    )
+                    break
+            verdicts[name] = verdict
+        return verdicts
+
+    def summary(self) -> str:
+        """A compact text report: per-measure counts plus the matrix."""
+        lines = []
+        for name, evaluation in self.evaluations.items():
+            lines.append(
+                f"{name}: {len(evaluation.negatives)} negative sets, "
+                f"{len(evaluation.rules)} rules "
+                f"({evaluation.wall_s * 1e3:.1f} ms)"
+            )
+        names = list(self.evaluations)
+        for i, first in enumerate(names):
+            for second in names[i + 1:]:
+                lines.append(
+                    f"jaccard({first}, {second}) = "
+                    f"{self.jaccard(first, second):.3f}"
+                )
+        return "\n".join(lines)
+
+
+def compare_measures(
+    output,
+    minsup: float,
+    minri: float,
+    measures: tuple[str, ...] | None = None,
+    prune_small_antecedents: bool = True,
+) -> MeasureComparison:
+    """Judge one mining run under every registered measure.
+
+    Parameters
+    ----------
+    output:
+        Anything carrying ``candidates``, ``counts``,
+        ``large_itemsets`` and ``total_transactions`` — a
+        :class:`~repro.core.negmining.MinerOutput` or a
+        :class:`~repro.core.api.NegativeMiningResult`.
+    minsup, minri:
+        The thresholds the run was mined at (measures interpret them
+        per their own semantics).
+    measures:
+        Measure names to evaluate; ``None`` means every registered one.
+    prune_small_antecedents:
+        Figure 4's small-antecedent pruning, passed through to rule
+        generation.
+
+    Notes
+    -----
+    The default measure's evaluation reproduces the run's own output
+    exactly when the run was mined with it: selection and generation
+    are deterministic over the recorded counts.
+    """
+    counts = output.counts
+    if not counts and output.candidates:
+        raise ConfigError(
+            "mining output carries no candidate counts; re-mine with "
+            "this version (MinerOutput.counts) before comparing measures"
+        )
+    total = output.total_transactions
+    if total < 1:
+        raise ConfigError(
+            "mining output records no transaction total; re-mine with "
+            "this version before comparing measures"
+        )
+    comparison = MeasureComparison(
+        minsup=minsup, minri=minri, total_transactions=total
+    )
+    for name in measures if measures is not None else measure_names():
+        measure = create_measure(name)
+        start = time.perf_counter()
+        negatives = select_negatives(
+            output.candidates,
+            counts,
+            total,
+            minsup,
+            minri,
+            measure=measure,
+            index=output.large_itemsets,
+        )
+        rules = generate_negative_rules(
+            negatives,
+            output.large_itemsets,
+            minri,
+            prune_small_antecedents=prune_small_antecedents,
+            measure=measure,
+            minsup=minsup,
+        )
+        wall_s = time.perf_counter() - start
+        comparison.evaluations[name] = MeasureEvaluation(
+            measure=name,
+            negatives=negatives,
+            rules=rules,
+            wall_s=wall_s,
+        )
+    return comparison

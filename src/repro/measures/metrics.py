@@ -30,6 +30,21 @@ def _check_rule(sup_x: float, sup_y: float, sup_xy: float) -> None:
         )
 
 
+def _clamp_joint(sup_x: float, sup_y: float, sup_xy: float) -> float:
+    """Degenerate-tolerant validation for the sentinel-returning metrics.
+
+    Like :func:`_check_rule`, but an impossible joint support — which
+    float division can produce from perfectly consistent counts — is
+    clamped to ``min(sup_x, sup_y)`` instead of raising, so a report
+    scoring many rules (:mod:`repro.measures.compare`) never aborts on
+    one degenerate rule. The fractions themselves are still validated.
+    """
+    _check(sup_x, "sup_x")
+    _check(sup_y, "sup_y")
+    _check(sup_xy, "sup_xy")
+    return min(sup_xy, sup_x, sup_y)
+
+
 def confidence(sup_x: float, sup_xy: float) -> float:
     """``P(Y | X)`` — the classic rule confidence."""
     _check(sup_x, "sup_x")
@@ -72,10 +87,15 @@ def leverage(sup_x: float, sup_y: float, sup_xy: float) -> float:
 def conviction(sup_x: float, sup_y: float, sup_xy: float) -> float:
     """``P(X) · P(not Y) / P(X and not Y)``.
 
-    Conviction below 1 marks negative association; ``math.inf`` is
-    returned for perfect implication (X never occurs without Y).
+    Conviction below 1 marks negative association. Degenerate supports
+    get a documented sentinel instead of an error: ``math.inf`` for
+    perfect implication (``sup_xy == sup_x`` — X never occurs without
+    Y), and a joint support exceeding either side (float noise in
+    derived supports) is clamped to the feasible maximum rather than
+    rejected. ``support(X) = 0`` still raises — a rule antecedent is
+    large by construction, so that is a caller bug.
     """
-    _check_rule(sup_x, sup_y, sup_xy)
+    sup_xy = _clamp_joint(sup_x, sup_y, sup_xy)
     if sup_x <= 0.0:
         raise ConfigError("conviction undefined for support(X) = 0")
     x_without_y = sup_x - sup_xy
@@ -99,11 +119,15 @@ def chi_square(
     Returns
     -------
     float
-        The statistic (1 degree of freedom). Returns 0 when either
-        marginal is degenerate (all or no transactions contain a side),
-        since the table then has an empty row or column.
+        The statistic (1 degree of freedom). Returns the sentinel
+        ``0.0`` for a zero-variance contingency table — either marginal
+        degenerate (all or no transactions contain a side), so the
+        table has an empty row or column. A joint support exceeding
+        either side (float noise in derived supports) is clamped to the
+        feasible maximum rather than rejected; ``transactions < 1``
+        still raises.
     """
-    _check_rule(sup_x, sup_y, sup_xy)
+    sup_xy = _clamp_joint(sup_x, sup_y, sup_xy)
     if transactions < 1:
         raise ConfigError("transactions must be >= 1")
     statistic = 0.0

@@ -9,9 +9,15 @@ reports can rank or filter on any of them.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from ..core.rulegen import NegativeRule
-from ..mining.rules import AssociationRule
+if TYPE_CHECKING:
+    # Annotation-only: importing repro.core here at runtime would close
+    # an import cycle (core.negmining -> measures.registry -> measures
+    # package -> this module -> core.rulegen -> core.negmining).
+    from ..core.rulegen import NegativeRule
+    from ..mining.rules import AssociationRule
+
 from .metrics import (
     chi_square,
     confidence,
@@ -24,7 +30,14 @@ from .metrics import (
 
 @dataclass(frozen=True, slots=True)
 class RuleScores:
-    """All classical measures for one rule (positive or negative)."""
+    """All classical measures for one rule (positive or negative).
+
+    ``measures`` optionally carries the registered interestingness
+    measures' scores for the same rule (``{"ri": …, "kong-interest":
+    …}``, see :mod:`repro.measures.compare`); it is ``None`` — and
+    absent from :meth:`as_dict` — unless a caller asked for them, so
+    existing reports keep their exact shape.
+    """
 
     confidence: float
     negative_confidence: float
@@ -32,10 +45,11 @@ class RuleScores:
     leverage: float
     conviction: float
     chi_square: float
+    measures: dict[str, float] | None = None
 
     def as_dict(self) -> dict[str, float]:
         """The scores as a plain dict, e.g. for CSV or JSON reports."""
-        return {
+        payload = {
             "confidence": self.confidence,
             "negative_confidence": self.negative_confidence,
             "lift": self.lift,
@@ -43,10 +57,13 @@ class RuleScores:
             "conviction": self.conviction,
             "chi_square": self.chi_square,
         }
+        if self.measures is not None:
+            payload["measures"] = dict(self.measures)
+        return payload
 
 
 def score_negative_rule(
-    rule: NegativeRule, transactions: int
+    rule: NegativeRule, transactions: int, include_measures: bool = False
 ) -> RuleScores:
     """Score a negative rule from its recorded supports.
 
@@ -56,6 +73,11 @@ def score_negative_rule(
         A rule from :func:`repro.core.rulegen.generate_negative_rules`.
     transactions:
         |D|, for the chi-square statistic.
+    include_measures:
+        Also evaluate every registered interestingness measure's
+        :meth:`~repro.measures.registry.InterestMeasure.rule_score` on
+        the rule's recorded supports and attach the results as
+        :attr:`RuleScores.measures`.
 
     Notes
     -----
@@ -63,11 +85,25 @@ def score_negative_rule(
     conviction < 1 and a high negative confidence — the classical
     signatures of negative correlation.
     """
+    measures = None
+    if include_measures:
+        from .registry import create_measure, measure_names
+
+        measures = {
+            name: create_measure(name).rule_score(
+                rule.expected_support,
+                rule.actual_support,
+                rule.antecedent_support,
+                rule.consequent_support,
+            )
+            for name in measure_names()
+        }
     return _score(
         rule.antecedent_support,
         rule.consequent_support,
         rule.actual_support,
         transactions,
+        measures=measures,
     )
 
 
@@ -88,7 +124,11 @@ def score_positive_rule(
 
 
 def _score(
-    sup_x: float, sup_y: float, sup_xy: float, transactions: int
+    sup_x: float,
+    sup_y: float,
+    sup_xy: float,
+    transactions: int,
+    measures: dict[str, float] | None = None,
 ) -> RuleScores:
     return RuleScores(
         confidence=confidence(sup_x, sup_xy),
@@ -97,4 +137,5 @@ def _score(
         leverage=leverage(sup_x, sup_y, sup_xy),
         conviction=conviction(sup_x, sup_y, sup_xy),
         chi_square=chi_square(sup_x, sup_y, sup_xy, transactions),
+        measures=measures,
     )

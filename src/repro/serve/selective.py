@@ -41,11 +41,11 @@ from dataclasses import dataclass
 
 from .._util import check_fraction
 from ..core.candidates import generate_negative_candidates
-from ..core.interest import deviation_threshold
 from ..core.negmining import (
     MiningStats,
     NegativeItemset,
     _build_stats,
+    resolve_measure,
     select_negatives,
 )
 from ..core.rulegen import NegativeRule, generate_negative_rules
@@ -131,6 +131,7 @@ def mine_selective(
     max_neighbors: int = 32,
     max_sibling_replacements: int | None = None,
     prune_small_antecedents: bool = True,
+    measure=None,
 ) -> SelectiveResult:
     """Mine the rules mentioning *target* without a full mining run.
 
@@ -157,6 +158,12 @@ def mine_selective(
         restricted universe, ranked by co-occurrence with the seeds.
     max_sibling_replacements, prune_small_antecedents:
         Passed through to candidate generation / Figure 4 pruning.
+    measure:
+        The interestingness measure judging candidates and rules — a
+        registered spec or instance; ``None`` uses the session's bound
+        measure (the registry default for a fresh session), so a
+        service configured with ``--measure`` serves selective rules
+        consistent with its offline index.
 
     Returns
     -------
@@ -175,6 +182,7 @@ def mine_selective(
         )
     if session is None:
         session = MiningSession(database, taxonomy)
+    measure = resolve_measure(measure, session)
     session.begin_run(kind="serving")
     total = len(database)
     min_count = minsup * total
@@ -230,14 +238,18 @@ def mine_selective(
                     candidates,
                     counts,
                     total,
-                    deviation_threshold(minsup, minri),
-                    figure3_literal=False,
+                    minsup,
+                    minri,
+                    measure=measure,
+                    index=index,
                 )
         negative_rules = [
             rule
             for rule in generate_negative_rules(
                 negatives, index, minri,
                 prune_small_antecedents=prune_small_antecedents,
+                measure=measure,
+                minsup=minsup,
             )
             if target in rule.items
         ]

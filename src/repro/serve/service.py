@@ -131,6 +131,10 @@ class SelectiveContext:
     session: MiningSession = None
     max_size: int | None = None
     max_neighbors: int = 32
+    #: Interestingness-measure spec (or instance) for query-time
+    #: mining; ``None`` follows the session's bound measure, so served
+    #: selective rules stay consistent with the offline run.
+    measure: object = None
 
     def __post_init__(self) -> None:
         if self.session is None:
@@ -264,6 +268,7 @@ class RuleService:
                 session=context.session,
                 max_size=context.max_size,
                 max_neighbors=context.max_neighbors,
+                measure=context.measure,
             )
             payload = {
                 "target": target_id,

@@ -1,0 +1,274 @@
+"""Unit tests for cross-measure comparison and measure threading."""
+
+import pytest
+
+from repro.core.api import MiningConfig, mine_negative_rules
+from repro.core.explain import (
+    explain_result_rule,
+    format_agreement,
+)
+from repro.core.rulegen import NegativeRule
+from repro.core.session import MiningSession
+from repro.errors import ConfigError
+from repro.measures.compare import (
+    MeasureVerdict,
+    compare_measures,
+)
+from repro.measures.registry import measure_names
+from repro.measures.scoring import score_negative_rule
+from repro.serve.selective import mine_selective
+from repro.synthetic.grocery import generate_grocery_dataset
+
+MINSUP = 0.05
+MINRI = 0.5
+
+
+@pytest.fixture(scope="module")
+def grocery():
+    return generate_grocery_dataset(
+        num_transactions=1200, loyalty_strength=0.9, seed=1998
+    )
+
+
+@pytest.fixture(scope="module")
+def result(grocery):
+    return mine_negative_rules(
+        grocery.database,
+        grocery.taxonomy,
+        config=MiningConfig(minsup=MINSUP, minri=MINRI, max_size=3),
+    )
+
+
+@pytest.fixture(scope="module")
+def comparison(result):
+    return compare_measures(result, MINSUP, MINRI)
+
+
+class TestCompareMeasures:
+    def test_covers_every_registered_measure(self, comparison):
+        assert tuple(comparison.evaluations) == measure_names()
+
+    def test_ri_evaluation_reproduces_the_run(self, result, comparison):
+        evaluation = comparison.evaluations["ri"]
+        assert evaluation.negatives == result.negative_itemsets
+        assert evaluation.rules == result.rules
+
+    def test_measure_subset(self, result):
+        partial = compare_measures(
+            result, MINSUP, MINRI, measures=("ri", "coherent")
+        )
+        assert tuple(partial.evaluations) == ("ri", "coherent")
+
+    def test_rules_carry_their_measure(self, comparison):
+        for name, evaluation in comparison.evaluations.items():
+            for rule in evaluation.rules:
+                assert rule.measure == name
+
+    def test_jaccard_self_is_one(self, comparison):
+        for name in comparison.evaluations:
+            assert comparison.jaccard(name, name) == 1.0
+
+    def test_jaccard_two_empty_sets_is_one(self, comparison):
+        # coherent admits nothing on sparse market-basket data.
+        assert not comparison.evaluations["coherent"].rules
+        assert comparison.jaccard("coherent", "coherent") == 1.0
+
+    def test_overlap_matrix_is_symmetric(self, comparison):
+        matrix = comparison.overlap_matrix()
+        names = list(matrix)
+        assert names == list(measure_names())
+        for first in names:
+            for second in names:
+                assert matrix[first][second] == pytest.approx(
+                    matrix[second][first]
+                )
+
+    def test_agreement_for_ranks_are_one_based(self, comparison):
+        evaluation = comparison.evaluations["ri"]
+        assert evaluation.rules
+        top = evaluation.rules[0]
+        agreement = comparison.agreement_for(top)
+        assert set(agreement) == set(measure_names())
+        verdict = agreement["ri"]
+        assert verdict.admitted
+        assert verdict.rank == 1
+        assert verdict.out_of == len(evaluation.rules)
+        assert verdict.score == pytest.approx(top.ri)
+        assert not agreement["coherent"].admitted
+        assert agreement["coherent"].rank is None
+
+    def test_summary_mentions_counts_and_jaccard(self, comparison):
+        summary = comparison.summary()
+        for name in measure_names():
+            assert name in summary
+        assert "jaccard(ri, kong-interest)" in summary
+
+    def test_stale_output_without_counts_rejected(self, result):
+        class Stale:
+            candidates = result.candidates
+            counts = {}
+            large_itemsets = result.large_itemsets
+            total_transactions = result.total_transactions
+
+        with pytest.raises(ConfigError, match="no candidate counts"):
+            compare_measures(Stale(), MINSUP, MINRI)
+
+    def test_zero_transaction_total_rejected(self, result):
+        class Stale:
+            candidates = result.candidates
+            counts = result.counts
+            large_itemsets = result.large_itemsets
+            total_transactions = 0
+
+        with pytest.raises(ConfigError, match="no transaction total"):
+            compare_measures(Stale(), MINSUP, MINRI)
+
+
+class TestAgreementRendering:
+    def test_format_agreement(self):
+        agreement = {
+            "ri": MeasureVerdict(
+                "ri", admitted=True, score=0.75, rank=2, out_of=9
+            ),
+            "coherent": MeasureVerdict("coherent", admitted=False),
+        }
+        text = format_agreement(agreement)
+        assert text.startswith("measure agreement:")
+        assert "admits (score=0.7500, rank 2/9)" in text
+        assert "does not admit" in text
+
+    def test_explain_appends_agreement_section(
+        self, result, comparison, grocery
+    ):
+        rule = result.rules[0]
+        plain = explain_result_rule(
+            rule,
+            result.negative_itemsets,
+            result.large_itemsets,
+            grocery.taxonomy,
+        )
+        assert "measure agreement" not in plain
+        augmented = explain_result_rule(
+            rule,
+            result.negative_itemsets,
+            result.large_itemsets,
+            grocery.taxonomy,
+            agreement=comparison.agreement_for(rule),
+        )
+        assert augmented.startswith(plain)
+        assert "measure agreement:" in augmented
+        assert "kong-interest" in augmented
+
+    def test_explain_non_ri_rule_uses_score_line(self, grocery, result):
+        kong = mine_negative_rules(
+            grocery.database,
+            grocery.taxonomy,
+            config=MiningConfig(
+                minsup=MINSUP,
+                minri=MINRI,
+                max_size=3,
+                measure="kong-interest",
+            ),
+        )
+        assert kong.rules, "kong-interest admits rules on grocery data"
+        rule = kong.rules[0]
+        explanation = explain_result_rule(
+            rule,
+            kong.negative_itemsets,
+            kong.large_itemsets,
+            grocery.taxonomy,
+        )
+        assert "score(kong-interest) =" in explanation
+        assert "  RI = " not in explanation
+
+
+class TestMeasureThreading:
+    def test_session_binds_the_measure(self, grocery):
+        session = MiningSession(
+            grocery.database, grocery.taxonomy,
+            measure="kong-interest",
+        )
+        assert session.measure.spec == "kong-interest"
+        assert "kong-interest" in repr(session)
+
+    def test_config_rejects_unknown_measure(self):
+        with pytest.raises(ConfigError, match="unknown interest measure"):
+            MiningConfig(minsup=0.1, minri=0.5, measure="tofu")
+
+    def test_config_rejects_figure3_with_alternative_measure(self):
+        with pytest.raises(ConfigError, match="figure3_literal"):
+            MiningConfig(
+                minsup=0.1,
+                minri=0.5,
+                measure="coherent",
+                figure3_literal=True,
+            )
+
+    def test_result_rules_record_the_measure(self, grocery):
+        kong = mine_negative_rules(
+            grocery.database,
+            grocery.taxonomy,
+            config=MiningConfig(
+                minsup=MINSUP,
+                minri=MINRI,
+                max_size=3,
+                measure="kong-interest",
+            ),
+        )
+        assert kong.config.measure == "kong-interest"
+        assert all(r.measure == "kong-interest" for r in kong.rules)
+
+    def test_as_dict_round_trips_measure(self, grocery):
+        rule = NegativeRule(
+            antecedent=(1,),
+            consequent=(2,),
+            ri=0.4,
+            expected_support=0.1,
+            actual_support=0.02,
+            antecedent_support=0.2,
+            consequent_support=0.3,
+            measure="coherent",
+        )
+        payload = rule.as_dict()
+        assert payload["measure"] == "coherent"
+        assert NegativeRule.from_dict(payload) == rule
+
+    def test_from_dict_defaults_to_ri(self):
+        payload = NegativeRule(
+            antecedent=(1,),
+            consequent=(2,),
+            ri=0.4,
+            expected_support=0.1,
+            actual_support=0.02,
+            antecedent_support=0.2,
+            consequent_support=0.3,
+        ).as_dict()
+        payload.pop("measure")
+        assert NegativeRule.from_dict(payload).measure == "ri"
+
+    def test_scoring_can_attach_measure_scores(self, result):
+        rule = result.rules[0]
+        plain = score_negative_rule(rule, result.total_transactions)
+        assert plain.measures is None
+        assert "measures" not in plain.as_dict()
+        scored = score_negative_rule(
+            rule, result.total_transactions, include_measures=True
+        )
+        assert scored.measures is not None
+        assert set(scored.measures) == set(measure_names())
+        assert scored.measures["ri"] == pytest.approx(rule.ri)
+        assert scored.as_dict()["measures"] == scored.measures
+
+    def test_selective_mining_honors_the_measure(self, grocery):
+        red = grocery.taxonomy.id_of("KolaRed")
+        selective = mine_selective(
+            grocery.database,
+            grocery.taxonomy,
+            red,
+            MINSUP,
+            MINRI,
+            measure="kong-interest",
+        )
+        assert selective.negative_rules
+        for rule in selective.negative_rules:
+            assert rule.measure == "kong-interest"

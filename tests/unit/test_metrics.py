@@ -76,6 +76,17 @@ class TestConviction:
         with pytest.raises(ConfigError):
             conviction(0.0, 0.4, 0.0)
 
+    def test_impossible_joint_clamped(self):
+        """A joint above a marginal (float drift in callers) is clamped
+        to the feasible region instead of raising: sup_xy=0.5 against
+        sup_y=0.3 behaves as the perfectly-correlated 0.3."""
+        assert conviction(0.5, 0.3, 0.5) == pytest.approx(1.75)
+        assert conviction(0.5, 0.3, 0.5) == conviction(0.5, 0.3, 0.3)
+
+    def test_clamp_can_reach_the_infinite_sentinel(self):
+        # Clamped to sup_x: X ⊆ Y exactly, the documented inf sentinel.
+        assert conviction(0.3, 0.5, 0.4) == math.inf
+
 
 class TestChiSquare:
     def test_independence_is_zero(self):
@@ -96,6 +107,11 @@ class TestChiSquare:
     def test_bad_transaction_count_rejected(self):
         with pytest.raises(ConfigError):
             chi_square(0.5, 0.4, 0.2, 0)
+
+    def test_impossible_joint_clamped(self):
+        assert chi_square(0.3, 0.4, 0.35, 100) == pytest.approx(
+            chi_square(0.3, 0.4, 0.3, 100)
+        )
 
     def test_symmetry(self):
         assert chi_square(0.5, 0.3, 0.2, 500) == pytest.approx(
